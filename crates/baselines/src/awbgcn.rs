@@ -1,0 +1,92 @@
+//! AWB-GCN: workload-balanced zero-skipping SpMM engine (Geng et al.,
+//! MICRO'20).
+//!
+//! AWB-GCN executes GCN as a chain of sparse matrix multiplications on a
+//! 4096-PE array with runtime workload rebalancing (distribution smoothing,
+//! evil-row remoting). It has no redundancy removal and a lower effective
+//! utilisation than I-GCN on skewed graphs — exactly the published gap in
+//! Table VIII — so it is modelled as the same PE-array roofline with its
+//! own utilisation and published configuration.
+
+use crate::pe_array::PeArrayModel;
+use crate::workload::GcnWorkload;
+
+/// AWB-GCN's published deployment: 4096 PEs at 330 MHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwbGcnModel {
+    array: PeArrayModel,
+}
+
+impl Default for AwbGcnModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AwbGcnModel {
+    /// Creates the published-configuration model.
+    pub fn new() -> Self {
+        Self {
+            array: PeArrayModel {
+                name: "AWB-GCN",
+                pes: 4096,
+                freq_hz: 330e6,
+                utilization: 0.50,
+                mem_bw_gbps: 460.0,
+                dsps: 4096,
+                watts: 140.0,
+            },
+        }
+    }
+
+    /// The underlying PE-array model.
+    pub fn array(&self) -> &PeArrayModel {
+        &self.array
+    }
+
+    /// Latency in microseconds for a GCN workload.
+    pub fn latency_us(&self, workload: &GcnWorkload) -> f64 {
+        self.array
+            .latency_us(workload.total_macs(), workload.message_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cora_class_latency_matches_published_magnitude() {
+        // AWB-GCN reports 2.3 µs on Cora.
+        let w = GcnWorkload::from_stats(2708, 5429, 49_260, 16, 2);
+        let l = AwbGcnModel::new().latency_us(&w);
+        assert!((1.0..=5.0).contains(&l), "{l} µs");
+    }
+
+    #[test]
+    fn pubmed_class_latency_matches_published_magnitude() {
+        // AWB-GCN reports 30 µs on PubMed (nnz ≈ 19717 × 500 × 0.10).
+        let w = GcnWorkload::from_stats(19_717, 44_338, 985_850, 16, 2);
+        let l = AwbGcnModel::new().latency_us(&w);
+        assert!((15.0..=60.0).contains(&l), "{l} µs");
+    }
+
+    #[test]
+    fn reddit_is_memory_bound_at_tens_of_ms() {
+        // AWB-GCN reports 3.2e4 µs on Reddit.
+        let w = GcnWorkload::from_stats(232_965, 114_615_892, 140_244_930, 16, 2);
+        let l = AwbGcnModel::new().latency_us(&w);
+        assert!((20_000.0..=50_000.0).contains(&l), "{l} µs");
+        assert!(AwbGcnModel::new()
+            .array()
+            .memory_bound(w.total_macs(), w.message_bytes()));
+    }
+
+    #[test]
+    fn igcn_beats_awb_on_compute_bound_graphs() {
+        let w = GcnWorkload::from_stats(2708, 5429, 49_260, 16, 2);
+        let awb = AwbGcnModel::new().latency_us(&w);
+        let igcn = crate::IGcnModel::new().latency_us_with_redundancy(&w, 0.1);
+        assert!(igcn < awb, "I-GCN {igcn} vs AWB {awb}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Op-count workload description for the Table VIII comparison config.
+
+use flowgnn_graph::Graph;
+
+/// The operation counts of an L-layer GCN on one graph — the workload
+/// I-GCN and AWB-GCN execute (Sec. VI-F: 2 layers, hidden dimension 16, no
+/// edge embeddings).
+///
+/// Both accelerators skip zeros in the sparse feature matrix, so layer 1's
+/// `XW` is counted on the feature nonzeros; subsequent layers operate on
+/// dense hidden embeddings.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_baselines::GcnWorkload;
+/// use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+///
+/// let g = DatasetSpec::standard(DatasetKind::Cora).stream().next().unwrap();
+/// let w = GcnWorkload::from_graph(&g, 16, 2);
+/// assert!(w.total_macs() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcnWorkload {
+    /// Node count.
+    pub nodes: u64,
+    /// Directed edge count.
+    pub edges: u64,
+    /// Total nonzeros in the input feature matrix.
+    pub feature_nnz: u64,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Number of GCN layers.
+    pub layers: u64,
+}
+
+impl GcnWorkload {
+    /// Measures the workload of a graph (feature nonzeros from the
+    /// feature source's expected density).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn from_graph(graph: &Graph, hidden: usize, layers: usize) -> Self {
+        assert!(layers > 0, "a GCN needs at least one layer");
+        let nnz =
+            (graph.node_features().expected_nnz_per_row() * graph.num_nodes() as f64) as u64;
+        Self {
+            nodes: graph.num_nodes() as u64,
+            edges: graph.num_edges() as u64,
+            feature_nnz: nnz,
+            hidden: hidden as u64,
+            layers: layers as u64,
+        }
+    }
+
+    /// Builds a workload from published dataset statistics.
+    pub fn from_stats(nodes: u64, edges: u64, feature_nnz: u64, hidden: u64, layers: u64) -> Self {
+        Self {
+            nodes,
+            edges,
+            feature_nnz,
+            hidden,
+            layers,
+        }
+    }
+
+    /// MACs in the combination (weight) stages: sparse `XW` for layer 1,
+    /// dense `HW` for the rest.
+    pub fn combination_macs(&self) -> u64 {
+        let first = self.feature_nnz * self.hidden;
+        let rest = (self.layers - 1) * self.nodes * self.hidden * self.hidden;
+        first + rest
+    }
+
+    /// MACs in the aggregation (`A·H`) stages across all layers.
+    pub fn aggregation_macs(&self) -> u64 {
+        self.layers * self.edges * self.hidden
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.combination_macs() + self.aggregation_macs()
+    }
+
+    /// Off-chip message traffic in bytes: each aggregation streams one
+    /// `hidden`-wide fp32 vector per edge per layer (partial sums stay in
+    /// on-chip accumulators).
+    pub fn message_bytes(&self) -> u64 {
+        self.layers * self.edges * self.hidden * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn cora_workload_matches_hand_count() {
+        let w = GcnWorkload::from_stats(2708, 5429, 49_260, 16, 2);
+        assert_eq!(w.combination_macs(), 49_260 * 16 + 2708 * 256);
+        assert_eq!(w.aggregation_macs(), 2 * 5429 * 16);
+        assert_eq!(w.message_bytes(), 2 * 5429 * 16 * 4);
+    }
+
+    #[test]
+    fn sparse_features_shrink_layer_one() {
+        let dense = GcnWorkload::from_stats(1000, 5000, 1000 * 1433, 16, 2);
+        let sparse = GcnWorkload::from_stats(1000, 5000, 18_000, 16, 2);
+        assert!(sparse.combination_macs() < dense.combination_macs() / 10);
+    }
+
+    #[test]
+    fn from_graph_uses_feature_density() {
+        let g = DatasetSpec::standard(DatasetKind::Cora)
+            .stream()
+            .next()
+            .unwrap();
+        let w = GcnWorkload::from_graph(&g, 16, 2);
+        let expected_nnz = (2708.0 * 1433.0 * 0.0127) as u64;
+        let ratio = w.feature_nnz as f64 / expected_nnz as f64;
+        assert!((0.9..=1.1).contains(&ratio), "nnz {} vs {expected_nnz}", w.feature_nnz);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let g = DatasetSpec::standard(DatasetKind::Cora).stream().next().unwrap();
+        GcnWorkload::from_graph(&g, 16, 0);
+    }
+}

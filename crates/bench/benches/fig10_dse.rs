@@ -1,0 +1,40 @@
+//! Fig. 10 bench: representative corners of the 108-point design space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::GnnModel;
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let graph = spec.stream().next().expect("non-empty");
+    let model = GnnModel::gcn(spec.node_feat_dim(), 11);
+
+    let corners = [
+        ("p1-1-1-1", (1, 1, 1, 1)),
+        ("p2-4-2-2", (2, 4, 2, 2)),
+        ("p4-4-4-8", (4, 4, 4, 8)),
+    ];
+    let mut group = c.benchmark_group("fig10_dse");
+    for (name, (pn, pe, pa, ps)) in corners {
+        let config = ArchConfig::default()
+            .with_parallelism(pn, pe, pa, ps)
+            .with_execution(ExecutionMode::TimingOnly);
+        let acc = Accelerator::new(model.clone(), config);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(acc.run(&graph)).total_cycles)
+        });
+    }
+    group.finish();
+
+    let f = flowgnn_bench::experiments::fig10(SampleSize::Quick);
+    let best = f.best();
+    println!(
+        "\nFig. 10 best of 108 points: P_node={} P_edge={} P_apply={} P_scatter={} at {:.2}x",
+        best.p_node, best.p_edge, best.p_apply, best.p_scatter, best.speedup
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

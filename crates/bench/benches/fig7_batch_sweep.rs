@@ -1,0 +1,43 @@
+//! Fig. 7 bench: one batch sweep (GPU model) plus one FlowGNN run on a
+//! MolHIV graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_baselines::GpuModel;
+use flowgnn_bench::SampleSize;
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::GnnModel;
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let graph = spec.stream().next().expect("non-empty");
+    let model = GnnModel::gin(spec.node_feat_dim(), spec.edge_feat_dim(), 7);
+    let acc = Accelerator::new(
+        model.clone(),
+        ArchConfig::default().with_execution(ExecutionMode::TimingOnly),
+    );
+
+    c.bench_function("fig7_flowgnn_one_graph", |b| {
+        b.iter(|| std::hint::black_box(acc.run(&graph)).total_cycles)
+    });
+    c.bench_function("fig7_gpu_batch_sweep", |b| {
+        b.iter(|| {
+            GpuModel::BATCH_SIZES
+                .iter()
+                .map(|&batch| GpuModel::latency_per_graph_ms(&model, 25, 55, batch))
+                .sum::<f64>()
+        })
+    });
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::fig7(DatasetKind::MolHiv, SampleSize::Quick).table()
+    );
+    println!(
+        "{}",
+        flowgnn_bench::experiments::fig7(DatasetKind::MolPcba, SampleSize::Quick).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 8 bench: FlowGNN cycle simulation on the Cora citation graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::{GnnModel, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::Cora);
+    let graph = spec.stream().next().expect("single graph");
+    let config = ArchConfig::default().with_execution(ExecutionMode::TimingOnly);
+
+    let mut group = c.benchmark_group("fig8_cora");
+    group.sample_size(10);
+    for kind in [ModelKind::Gcn, ModelKind::Gat] {
+        let model = GnnModel::preset(kind, spec.node_feat_dim(), None, 29);
+        let acc = Accelerator::new(model, config);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(acc.run(&graph)).total_cycles)
+        });
+    }
+    group.finish();
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::fig8(DatasetKind::Cora).table()
+    );
+    println!(
+        "{}",
+        flowgnn_bench::experiments::fig8(DatasetKind::CiteSeer).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 9 bench: one MolHIV graph through each pipeline strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode, PipelineStrategy};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::GnnModel;
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let graph = spec.stream().next().expect("non-empty");
+    let model = GnnModel::gcn(spec.node_feat_dim(), 11);
+
+    let mut group = c.benchmark_group("fig9_ablation");
+    for strategy in PipelineStrategy::ABLATION_ORDER {
+        let config = ArchConfig::default()
+            .with_parallelism(1, 1, 1, 1)
+            .with_strategy(strategy)
+            .with_execution(ExecutionMode::TimingOnly);
+        let acc = Accelerator::new(model.clone(), config);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| std::hint::black_box(acc.run(&graph)).total_cycles)
+        });
+    }
+    group.finish();
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::fig9(SampleSize::Quick).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table III bench: resource estimation for every paper model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_core::{ArchConfig, ResourceEstimate};
+use flowgnn_models::{GnnModel, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    let config = ArchConfig::default();
+    let mut group = c.benchmark_group("table3_resources");
+    for kind in ModelKind::PAPER_MODELS {
+        let model = GnnModel::preset(kind, 9, Some(3), 7);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| ResourceEstimate::for_model(std::hint::black_box(&model), &config))
+        });
+    }
+    group.finish();
+
+    // Regenerate and print the full table once per bench run.
+    println!("\n{}", flowgnn_bench::experiments::table3().table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table IV bench: dataset generation throughput per dataset family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_datasets");
+    for kind in [DatasetKind::MolHiv, DatasetKind::Hep, DatasetKind::Cora] {
+        let spec = DatasetSpec::standard(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let g = spec.stream().next().expect("non-empty");
+                std::hint::black_box(g.num_edges())
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::table4(SampleSize::Quick).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

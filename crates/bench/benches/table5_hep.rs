@@ -1,0 +1,29 @@
+//! Table V bench: FlowGNN cycle simulation of one HEP event per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::{GnnModel, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::Hep);
+    let graph = spec.stream().next().expect("non-empty");
+    let config = ArchConfig::default().with_execution(ExecutionMode::TimingOnly);
+
+    let mut group = c.benchmark_group("table5_hep");
+    for kind in ModelKind::PAPER_MODELS {
+        let model = GnnModel::preset(kind, spec.node_feat_dim(), spec.edge_feat_dim(), 7);
+        let acc = Accelerator::new(model, config);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(acc.run(&graph)).total_cycles)
+        });
+    }
+    group.finish();
+
+    let t = flowgnn_bench::experiments::table5(SampleSize::Quick);
+    println!("\n{}", t.table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

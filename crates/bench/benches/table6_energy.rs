@@ -1,0 +1,29 @@
+//! Table VI bench: energy-efficiency computation per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_core::{ArchConfig, EnergyModel, ResourceEstimate};
+use flowgnn_models::{GnnModel, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    let config = ArchConfig::default();
+    let mut group = c.benchmark_group("table6_energy");
+    for kind in ModelKind::PAPER_MODELS {
+        let model = GnnModel::preset(kind, 9, Some(3), 7);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let energy = EnergyModel::new(ResourceEstimate::for_model(&model, &config));
+                std::hint::black_box(energy.graphs_per_kj(1e-4))
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::table6(SampleSize::Quick).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

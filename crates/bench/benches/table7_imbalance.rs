@@ -1,0 +1,27 @@
+//! Table VII bench: workload-imbalance measurement across bank counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::SampleSize;
+use flowgnn_core::stream_imbalance_percent;
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let mut group = c.benchmark_group("table7_imbalance");
+    for p_edge in [4usize, 16, 64] {
+        group.bench_function(format!("p_edge_{p_edge}"), |b| {
+            b.iter(|| {
+                stream_imbalance_percent(spec.stream().take_prefix(20), p_edge)
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "\n{}",
+        flowgnn_bench::experiments::table7(SampleSize::Quick).table()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

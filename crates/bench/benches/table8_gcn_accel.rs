@@ -1,0 +1,27 @@
+//! Table VIII bench: islandization and accelerator models on Cora.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_baselines::{AwbGcnModel, GcnWorkload, IGcnModel, Islandization};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let spec = DatasetSpec::standard(DatasetKind::Cora);
+    let graph = spec.stream().next().expect("single graph");
+    let workload = GcnWorkload::from_graph(&graph, 16, 2);
+
+    c.bench_function("table8_islandization_cora", |b| {
+        b.iter(|| std::hint::black_box(Islandization::analyze(&graph)).redundant_fraction)
+    });
+    c.bench_function("table8_accel_models", |b| {
+        b.iter(|| {
+            let awb = AwbGcnModel::new().latency_us(&workload);
+            let igcn = IGcnModel::new().latency_us_with_redundancy(&workload, 0.1);
+            std::hint::black_box(awb + igcn)
+        })
+    });
+
+    println!("\n{}", flowgnn_bench::experiments::table8(false).table());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

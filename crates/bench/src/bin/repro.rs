@@ -1,0 +1,158 @@
+//! `repro` — regenerate every table and figure of the FlowGNN paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [experiment ...] [--quick|--full] [--csv DIR]
+//!
+//! experiments: table1 table3 table4 table5 table6 table7 table8
+//!              fig6 fig7 fig8 fig9 fig10 queues utilization all
+//!              (default: all)
+//! --quick      tiny samples (seconds, for smoke tests)
+//! --full       paper-scale samples (all graphs; slow)
+//! --csv DIR    additionally write each table as DIR/<name>.csv
+//! ```
+
+use std::path::PathBuf;
+
+use flowgnn_bench::{experiments, SampleSize, TextTable};
+use flowgnn_graph::datasets::DatasetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sample = SampleSize::Standard;
+    let mut full = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => sample = SampleSize::Quick,
+            "--full" => {
+                sample = SampleSize::Full;
+                full = true;
+            }
+            "--csv" => match iter.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [table1|table3|table4|table5|table6|table7|table8|fig6|fig7|fig8|fig9|fig10|queues|utilization|banking|scorecard|all ...] [--quick|--full] [--csv DIR]"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "table7", "table8", "queues", "utilization", "banking", "scorecard",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let emit = |name: &str, table: &TextTable, note: Option<String>| {
+        println!("{table}");
+        if let Some(note) = note {
+            println!("{note}\n");
+        }
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+    };
+
+    for w in &wanted {
+        match w.as_str() {
+            "table1" | "table2" => emit("table1_coverage", &experiments::coverage().table(), None),
+            "table3" => emit("table3_resources", &experiments::table3().table(), None),
+            "table4" => emit("table4_datasets", &experiments::table4(sample).table(), None),
+            "table5" => {
+                let t = experiments::table5(sample);
+                emit(
+                    "table5_hep_latency",
+                    &t.table(),
+                    Some(format!("(averaged over {} HEP graphs)", t.graphs)),
+                );
+            }
+            "table6" => emit("table6_energy", &experiments::table6(sample).table(), None),
+            "fig6" => emit("fig6_virtual_node", &experiments::fig6(sample).table(), None),
+            "fig7" => {
+                emit(
+                    "fig7_molhiv",
+                    &experiments::fig7(DatasetKind::MolHiv, sample).table(),
+                    None,
+                );
+                emit(
+                    "fig7_molpcba",
+                    &experiments::fig7(DatasetKind::MolPcba, sample).table(),
+                    None,
+                );
+            }
+            "fig8" => {
+                emit("fig8_cora", &experiments::fig8(DatasetKind::Cora).table(), None);
+                emit(
+                    "fig8_citeseer",
+                    &experiments::fig8(DatasetKind::CiteSeer).table(),
+                    None,
+                );
+            }
+            "fig9" => emit("fig9_ablation", &experiments::fig9(sample).table(), None),
+            "fig10" => {
+                let f = experiments::fig10(sample);
+                let best = f.best();
+                emit(
+                    "fig10_dse",
+                    &f.table(),
+                    Some(format!(
+                        "best: P_node={} P_edge={} P_apply={} P_scatter={} at {:.2}x",
+                        best.p_node, best.p_edge, best.p_apply, best.p_scatter, best.speedup
+                    )),
+                );
+            }
+            "table7" => emit("table7_imbalance", &experiments::table7(sample).table(), None),
+            "table8" => {
+                let t = experiments::table8(full);
+                let note = (!t.full_scale)
+                    .then(|| "(Reddit at default preset scale; pass --full for 114.6M edges)".into());
+                emit("table8_gcn_accelerators", &t.table(), note);
+            }
+            "queues" => {
+                let sweep = experiments::queue_sweep(sample);
+                let knee = sweep.knee();
+                emit(
+                    "ext_queue_sweep",
+                    &sweep.table(),
+                    Some(format!("(bursty-config knee at capacity {knee})")),
+                );
+            }
+            "utilization" => emit(
+                "ext_utilization",
+                &experiments::utilization_ladder(sample).table(),
+                None,
+            ),
+            "banking" => emit(
+                "ext_gather_banking",
+                &experiments::gather_banking(sample).table(),
+                None,
+            ),
+            "scorecard" => emit("scorecard", &experiments::scorecard(sample).table(), None),
+            other => eprintln!("unknown experiment: {other} (see --help)"),
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Table VIII: comparison against I-GCN and AWB-GCN on citation graphs.
+//!
+//! The comparison follows the paper's setup (Sec. VI-F): a 2-layer GCN
+//! with hidden dimension 16 and no edge embeddings on Cora, CiteSeer,
+//! PubMed, and Reddit; latencies are normalised by DSP count because the
+//! accelerators use different platforms. Reddit runs at the dataset
+//! preset's default scale unless `full` is set.
+
+use flowgnn_baselines::{AwbGcnModel, GcnWorkload, IGcnModel, Islandization};
+use flowgnn_core::{
+    Accelerator, ArchConfig, EnergyModel, ExecutionMode, ResourceEstimate,
+};
+use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn_models::GnnModel;
+
+use super::{fmt_sci, fmt_x};
+use crate::TextTable;
+
+/// Published Table VIII values
+/// `(dataset, awb_us, igcn_us, flowgnn_us, flowgnn_dsps)`.
+pub const PAPER_TABLE8: [(DatasetKind, f64, f64, f64, u64); 4] = [
+    (DatasetKind::Cora, 2.3, 1.3, 6.912, 747),
+    (DatasetKind::CiteSeer, 4.0, 1.9, 8.332, 747),
+    (DatasetKind::PubMed, 30.0, 15.1, 53.22, 747),
+    (DatasetKind::Reddit, 3.2e4, 3.0e4, 1.36e5, 747),
+];
+
+/// One accelerator's entry in a Table VIII row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorEntry {
+    /// Latency in microseconds.
+    pub latency_us: f64,
+    /// DSPs used.
+    pub dsps: u64,
+    /// DSP-normalised latency (µs at a 4096-DSP budget).
+    pub normalized_us: f64,
+    /// Energy efficiency in graphs/kJ.
+    pub graphs_per_kj: f64,
+}
+
+/// One dataset's Table VIII row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table8Row {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// AWB-GCN model results.
+    pub awb: AcceleratorEntry,
+    /// I-GCN model results.
+    pub igcn: AcceleratorEntry,
+    /// FlowGNN simulated results.
+    pub flowgnn: AcceleratorEntry,
+    /// Redundancy fraction I-GCN's islandization found on this graph.
+    pub igcn_redundancy: f64,
+}
+
+impl Table8Row {
+    /// FlowGNN's DSP-normalised speedup over I-GCN (> 1 means FlowGNN
+    /// wins after normalisation, the paper's headline).
+    pub fn flowgnn_vs_igcn(&self) -> f64 {
+        self.igcn.normalized_us / self.flowgnn.normalized_us
+    }
+}
+
+/// The full Table VIII reproduction.
+#[derive(Debug, Clone)]
+pub struct Table8 {
+    /// Per-dataset rows.
+    pub rows: Vec<Table8Row>,
+    /// Whether Reddit ran at full published scale.
+    pub full_scale: bool,
+}
+
+impl Table8 {
+    /// Renders the table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table VIII: vs I-GCN and AWB-GCN (2-layer GCN, dim 16)",
+            &[
+                "Dataset",
+                "Accel",
+                "Latency (us)",
+                "DSPs",
+                "Norm. (us)",
+                "EE (graph/kJ)",
+                "vs I-GCN",
+            ],
+        );
+        for r in &self.rows {
+            let entries = [("AWB-GCN", r.awb), ("I-GCN", r.igcn), ("FlowGNN", r.flowgnn)];
+            for (name, e) in entries {
+                let vs = if name == "FlowGNN" {
+                    fmt_x(r.flowgnn_vs_igcn())
+                } else {
+                    "-".into()
+                };
+                t.row_owned(vec![
+                    r.dataset.name().to_string(),
+                    name.to_string(),
+                    format!("{:.3}", e.latency_us),
+                    e.dsps.to_string(),
+                    format!("{:.3}", e.normalized_us),
+                    fmt_sci(e.graphs_per_kj),
+                    vs,
+                ]);
+            }
+        }
+        t
+    }
+}
+
+/// The FlowGNN configuration used for the comparison kernel: a wide but
+/// small-dimension deployment (the paper's 747-DSP GCN kernel).
+pub fn table8_config() -> ArchConfig {
+    ArchConfig::default()
+        .with_parallelism(8, 8, 16, 16)
+        .with_execution(ExecutionMode::TimingOnly)
+}
+
+/// Reproduces Table VIII. `full` runs Reddit at its published 114.6M-edge
+/// scale (slow); otherwise the preset's default scale is used and noted.
+pub fn table8(full: bool) -> Table8 {
+    let config = table8_config();
+    let rows = [
+        DatasetKind::Cora,
+        DatasetKind::CiteSeer,
+        DatasetKind::PubMed,
+        DatasetKind::Reddit,
+    ]
+    .iter()
+    .map(|&kind| {
+        let mut spec = DatasetSpec::standard(kind);
+        if full {
+            spec = spec.full_scale();
+        }
+        let graph = spec.stream().next().expect("single-graph dataset");
+        let workload = GcnWorkload::from_graph(&graph, 16, 2);
+
+        let awb_model = AwbGcnModel::new();
+        let awb_us = awb_model.latency_us(&workload);
+        let awb = AcceleratorEntry {
+            latency_us: awb_us,
+            dsps: awb_model.array().dsps,
+            normalized_us: awb_model.array().dsp_normalized_us(awb_us),
+            graphs_per_kj: awb_model.array().graphs_per_kj(awb_us),
+        };
+
+        let igcn_model = IGcnModel::new();
+        let islandization = Islandization::analyze(&graph);
+        let igcn_us =
+            igcn_model.latency_us_with_redundancy(&workload, islandization.redundant_fraction);
+        let igcn = AcceleratorEntry {
+            latency_us: igcn_us,
+            dsps: igcn_model.array().dsps,
+            normalized_us: igcn_model.array().dsp_normalized_us(igcn_us),
+            graphs_per_kj: igcn_model.array().graphs_per_kj(igcn_us),
+        };
+
+        let model = GnnModel::gcn_with(spec.node_feat_dim(), 16, 2, false, 5);
+        let acc = Accelerator::new(model.clone(), config);
+        let report = acc.run(&graph);
+        let resources = ResourceEstimate::for_model(&model, &config);
+        let energy = EnergyModel::new(resources);
+        let fg_us = report.latency_us();
+        let flowgnn = AcceleratorEntry {
+            latency_us: fg_us,
+            dsps: resources.dsp,
+            normalized_us: fg_us * resources.dsp as f64 / 4096.0,
+            graphs_per_kj: energy.graphs_per_kj(fg_us * 1e-6),
+        };
+
+        Table8Row {
+            dataset: kind,
+            awb,
+            igcn,
+            flowgnn,
+            igcn_redundancy: islandization.redundant_fraction,
+        }
+    })
+    .collect();
+    Table8 {
+        rows,
+        full_scale: full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_four_datasets() {
+        let t = table8(false);
+        assert_eq!(t.rows.len(), 4);
+        assert!(!t.full_scale);
+    }
+
+    #[test]
+    fn igcn_beats_awb_everywhere_like_the_paper() {
+        for r in table8(false).rows {
+            assert!(
+                r.igcn.latency_us <= r.awb.latency_us,
+                "{}: I-GCN {} vs AWB {}",
+                r.dataset,
+                r.igcn.latency_us,
+                r.awb.latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn flowgnn_normalized_is_same_order_as_igcn() {
+        // Paper: FlowGNN wins by 1.03–1.56× after DSP normalisation. Our
+        // first-order resource model lands within one order of magnitude;
+        // EXPERIMENTS.md records the exact ratios.
+        for r in table8(false).rows {
+            let ratio = r.flowgnn_vs_igcn();
+            assert!(
+                (0.05..=20.0).contains(&ratio),
+                "{}: normalized ratio {ratio}",
+                r.dataset
+            );
+        }
+    }
+
+    #[test]
+    fn flowgnn_uses_far_fewer_dsps() {
+        for r in table8(false).rows {
+            assert!(r.flowgnn.dsps < r.igcn.dsps / 2, "{:?}", r.flowgnn);
+        }
+    }
+
+    #[test]
+    fn latencies_scale_up_the_dataset_ladder() {
+        let t = table8(false);
+        // Cora < PubMed < Reddit for every accelerator.
+        let lat = |i: usize| {
+            (
+                t.rows[i].awb.latency_us,
+                t.rows[i].igcn.latency_us,
+                t.rows[i].flowgnn.latency_us,
+            )
+        };
+        let (a0, i0, f0) = lat(0);
+        let (a2, i2, f2) = lat(2);
+        let (a3, i3, f3) = lat(3);
+        assert!(a0 < a2 && a2 < a3);
+        assert!(i0 < i2 && i2 < i3);
+        assert!(f0 < f2 && f2 < f3);
+    }
+}

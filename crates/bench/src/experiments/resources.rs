@@ -1,0 +1,126 @@
+//! Table III: per-model resource usage on the Alveo U50.
+
+use flowgnn_core::{ArchConfig, ResourceEstimate, U50_AVAILABLE};
+use flowgnn_models::{GnnModel, ModelKind};
+
+use crate::TextTable;
+
+/// Published Table III values `(model, dsp, lut, ff, bram)`.
+pub const PAPER_TABLE3: [(ModelKind, u64, u64, u64, u64); 5] = [
+    (ModelKind::Gin, 1741, 262_863, 166_098, 204),
+    (ModelKind::Gcn, 1048, 229_521, 192_328, 185),
+    (ModelKind::Pna, 2499, 205_641, 203_125, 767),
+    (ModelKind::Gat, 2488, 148_750, 134_439, 335),
+    (ModelKind::Dgn, 1563, 200_602, 156_681, 462),
+];
+
+/// One model's resource row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// The model.
+    pub kind: ModelKind,
+    /// Our estimate.
+    pub estimate: ResourceEstimate,
+    /// The paper's place-and-route numbers, if published for this model.
+    pub paper: Option<(u64, u64, u64, u64)>,
+}
+
+/// The full Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Per-model rows (paper order).
+    pub rows: Vec<Table3Row>,
+    /// The availability envelope (U50).
+    pub available: ResourceEstimate,
+}
+
+impl Table3 {
+    /// Renders the table, paper values in parentheses.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table III: resource usage on Xilinx Alveo U50 (est. vs paper)",
+            &["Model", "DSP", "LUT", "FF", "BRAM"],
+        );
+        t.row_owned(vec![
+            "Available".into(),
+            self.available.dsp.to_string(),
+            self.available.lut.to_string(),
+            self.available.ff.to_string(),
+            self.available.bram.to_string(),
+        ]);
+        for r in &self.rows {
+            let cell = |got: u64, paper: Option<u64>| match paper {
+                Some(p) => format!("{got} ({p})"),
+                None => got.to_string(),
+            };
+            t.row_owned(vec![
+                r.kind.name().to_string(),
+                cell(r.estimate.dsp, r.paper.map(|p| p.0)),
+                cell(r.estimate.lut, r.paper.map(|p| p.1)),
+                cell(r.estimate.ff, r.paper.map(|p| p.2)),
+                cell(r.estimate.bram, r.paper.map(|p| p.3)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Reproduces Table III: resource estimates for the six models in their
+/// MolHIV deployment (9-d node features, 3-d edge features, 2 NT / 4 MP
+/// units).
+pub fn table3() -> Table3 {
+    let config = ArchConfig::default();
+    let rows = [
+        ModelKind::Gin,
+        ModelKind::Gcn,
+        ModelKind::Pna,
+        ModelKind::Gat,
+        ModelKind::Dgn,
+    ]
+    .iter()
+    .map(|&kind| {
+        let model = GnnModel::preset(kind, 9, Some(3), 7);
+        let estimate = ResourceEstimate::for_model(&model, &config);
+        let paper = PAPER_TABLE3
+            .iter()
+            .find(|(k, ..)| *k == kind)
+            .map(|&(_, d, l, f, b)| (d, l, f, b));
+        Table3Row {
+            kind,
+            estimate,
+            paper,
+        }
+    })
+    .collect();
+    Table3 {
+        rows,
+        available: U50_AVAILABLE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_five_published_models() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.rows.iter().all(|r| r.paper.is_some()));
+    }
+
+    #[test]
+    fn every_estimate_fits_the_board() {
+        for r in table3().rows {
+            assert!(r.estimate.fits(&U50_AVAILABLE), "{:?}", r.kind);
+        }
+    }
+
+    #[test]
+    fn render_mentions_each_model() {
+        let s = table3().table().render();
+        for kind in [ModelKind::Gin, ModelKind::Pna, ModelKind::Dgn] {
+            assert!(s.contains(kind.name()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The reproduction scorecard: every qualitative claim the paper's
+//! evaluation makes, re-measured and given a verdict — the artifact-
+//! evaluation view of this repository.
+
+use flowgnn_core::U50_AVAILABLE;
+use flowgnn_graph::datasets::DatasetKind;
+use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
+use flowgnn_models::{reference, GnnModel, ModelKind};
+
+use super::{fig10, fig6, fig7, fig9, table3, table4, table5, table7, table8};
+use crate::{SampleSize, TextTable};
+
+/// One claim's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Which paper artifact the claim comes from.
+    pub source: &'static str,
+    /// The claim, as the paper states it.
+    pub statement: &'static str,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the measurement supports the claim.
+    pub holds: bool,
+}
+
+/// The full scorecard.
+#[derive(Debug, Clone)]
+pub struct Scorecard {
+    /// All claims, paper order.
+    pub claims: Vec<Claim>,
+}
+
+impl Scorecard {
+    /// Number of claims that hold.
+    pub fn holding(&self) -> usize {
+        self.claims.iter().filter(|c| c.holds).count()
+    }
+
+    /// Renders the scorecard.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            &format!(
+                "Reproduction scorecard: {}/{} claims hold",
+                self.holding(),
+                self.claims.len()
+            ),
+            &["Source", "Claim", "Measured", "Verdict"],
+        );
+        for c in &self.claims {
+            t.row_owned(vec![
+                c.source.to_string(),
+                c.statement.to_string(),
+                c.measured.clone(),
+                if c.holds { "HOLDS" } else { "DEVIATES" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Re-measures every qualitative claim. Runs each underlying experiment
+/// at the given sample size (use [`SampleSize::Quick`] for smoke tests).
+pub fn scorecard(sample: SampleSize) -> Scorecard {
+    let mut claims = Vec::new();
+
+    // Functional correctness (Sec. VI-A: "guaranteed end-to-end
+    // functionality by cross-checking").
+    {
+        let g = MoleculeLike::new(20.0, 77).generate(0);
+        let mut worst: f32 = 0.0;
+        for kind in ModelKind::PAPER_MODELS {
+            let model = GnnModel::preset(kind, 9, Some(3), 5);
+            let acc = flowgnn_core::Accelerator::new(model.clone(), Default::default());
+            let sim = acc.run(&g).output.unwrap().graph_output.unwrap();
+            let reference = reference::run(&model, &g).graph_output.unwrap();
+            for (a, b) in sim.iter().zip(&reference) {
+                worst = worst.max((a - b).abs() / a.abs().max(1.0));
+            }
+        }
+        claims.push(Claim {
+            source: "Sec. VI-A",
+            statement: "accelerator output matches the framework reference",
+            measured: format!("worst relative error {worst:.1e} across 6 models"),
+            holds: worst < 2e-3,
+        });
+    }
+
+    // Table III: everything fits the U50.
+    {
+        let t = table3();
+        let fits = t.rows.iter().all(|r| r.estimate.fits(&U50_AVAILABLE));
+        claims.push(Claim {
+            source: "Table III",
+            statement: "all six kernels fit the Alveo U50",
+            measured: format!(
+                "max DSP {} of {}",
+                t.rows.iter().map(|r| r.estimate.dsp).max().unwrap_or(0),
+                U50_AVAILABLE.dsp
+            ),
+            holds: fits,
+        });
+    }
+
+    // Table IV: generated statistics track the published datasets.
+    {
+        let t = table4(sample);
+        let worst = t
+            .rows
+            .iter()
+            .filter(|r| r.kind.is_streamed())
+            .map(|r| {
+                (r.measured.mean_edges / r.paper.mean_edges - 1.0)
+                    .abs()
+                    .max((r.measured.mean_nodes / r.paper.mean_nodes - 1.0).abs())
+            })
+            .fold(0.0, f64::max);
+        claims.push(Claim {
+            source: "Table IV",
+            statement: "streamed datasets match published statistics",
+            measured: format!("worst deviation {:.1}%", worst * 100.0),
+            holds: worst < 0.15,
+        });
+    }
+
+    // Table V: batch-1 dominance, DGN the extreme case.
+    {
+        let t = table5(sample);
+        let min_speedup = t
+            .rows
+            .iter()
+            .map(|r| r.speedup_vs_gpu().min(r.speedup_vs_cpu()))
+            .fold(f64::INFINITY, f64::min);
+        let dgn_max = {
+            let dgn = t.rows.iter().find(|r| r.kind == ModelKind::Dgn).unwrap();
+            t.rows
+                .iter()
+                .all(|r| r.speedup_vs_gpu() <= dgn.speedup_vs_gpu())
+        };
+        claims.push(Claim {
+            source: "Table V",
+            statement: "FlowGNN beats CPU and GPU at batch 1 for every model",
+            measured: format!("minimum speedup {min_speedup:.1}x"),
+            holds: min_speedup > 1.0,
+        });
+        claims.push(Claim {
+            source: "Table V",
+            statement: "DGN shows the largest GPU speedup",
+            measured: if dgn_max { "largest" } else { "not largest" }.into(),
+            holds: dgn_max,
+        });
+    }
+
+    // Fig. 7: crossover structure.
+    {
+        let f = fig7(DatasetKind::MolHiv, sample);
+        let gin = f.series.iter().find(|s| s.kind == ModelKind::Gin).unwrap();
+        let gat = f.series.iter().find(|s| s.kind == ModelKind::Gat).unwrap();
+        let dgn = f.series.iter().find(|s| s.kind == ModelKind::Dgn).unwrap();
+        let gin_crosses = gin.gpu_ms_by_batch.last().unwrap().1 < gin.flowgnn_ms;
+        let gat_never = gat.gpu_ms_by_batch.iter().all(|&(_, ms)| ms > gat.flowgnn_ms);
+        let dgn_never = dgn.gpu_ms_by_batch.iter().all(|&(_, ms)| ms > dgn.flowgnn_ms);
+        claims.push(Claim {
+            source: "Fig. 7",
+            statement: "GPU catches up at large batch for isotropic models; never for GAT/DGN",
+            measured: format!(
+                "GIN crossover: {gin_crosses}; GAT never: {gat_never}; DGN never: {dgn_never}"
+            ),
+            holds: gin_crosses && gat_never && dgn_never,
+        });
+    }
+
+    // Fig. 9: the ablation ladder is monotone.
+    {
+        let f = fig9(sample);
+        let monotone = f
+            .steps
+            .windows(2)
+            .all(|p| p[1].latency_ms <= p[0].latency_ms * 1.02);
+        claims.push(Claim {
+            source: "Fig. 9",
+            statement: "each architecture refinement reduces latency",
+            measured: format!(
+                "{:.4} -> {:.4} ms over {} steps",
+                f.steps.first().unwrap().latency_ms,
+                f.steps.last().unwrap().latency_ms,
+                f.steps.len()
+            ),
+            holds: monotone,
+        });
+    }
+
+    // Fig. 10: the DSE rewards parallelism sub-linearly.
+    {
+        let f = fig10(sample);
+        let best = f.best();
+        let full_parallel = 4.0 * 4.0; // P_node x P_edge at the corner
+        claims.push(Claim {
+            source: "Fig. 10",
+            statement: "parallelism helps but sub-linearly (entangled parameters)",
+            measured: format!("best {:.1}x at 16x unit parallelism", best.speedup),
+            holds: best.speedup > 2.0 && best.speedup < full_parallel * 4.0,
+        });
+    }
+
+    // Table VII: bounded imbalance, big graphs balance best.
+    {
+        let t = table7(sample);
+        let max = t.max_imbalance();
+        let reddit_best = {
+            let row = &t.values[1]; // P_edge = 4
+            row[6] <= row[0]
+        };
+        claims.push(Claim {
+            source: "Table VII",
+            statement: "banking imbalance stays below ~9% and shrinks with graph size",
+            measured: format!("max {max:.2}%"),
+            holds: max < 10.0 && reddit_best,
+        });
+    }
+
+    // Table VIII: I-GCN beats AWB; FlowGNN competitive with far fewer
+    // DSPs; redundancy dies with edge features.
+    {
+        let t = table8(false);
+        let igcn_wins = t.rows.iter().all(|r| r.igcn.latency_us <= r.awb.latency_us);
+        let fewer_dsps = t.rows.iter().all(|r| r.flowgnn.dsps < r.igcn.dsps / 2);
+        claims.push(Claim {
+            source: "Table VIII",
+            statement: "I-GCN beats AWB-GCN; FlowGNN competes with far fewer DSPs",
+            measured: format!(
+                "I-GCN wins: {igcn_wins}; FlowGNN DSPs {} vs 4096",
+                t.rows[0].flowgnn.dsps
+            ),
+            holds: igcn_wins && fewer_dsps,
+        });
+        let redundancy_dies = {
+            use flowgnn_baselines::Islandization;
+            let g = MoleculeLike::new(20.0, 3).generate(0);
+            let isl = Islandization::analyze(&g);
+            isl.redundant_fraction_with_edge_features() == 0.0
+        };
+        claims.push(Claim {
+            source: "Fig. 1(b)",
+            statement: "edge embeddings invalidate I-GCN's redundancy removal",
+            measured: "removable fraction = 0 with edge features".into(),
+            holds: redundancy_dies,
+        });
+    }
+
+    // Fig. 6: the dataflow absorbs virtual-node imbalance.
+    {
+        let f = fig6(sample);
+        let fixed = f.rows[1].vn_overhead();
+        let flow = f.rows[3].vn_overhead();
+        claims.push(Claim {
+            source: "Fig. 6",
+            statement: "the dataflow absorbs the virtual node's imbalance",
+            measured: format!(
+                "VN overhead {:.0}% (fixed) vs {:.0}% (FlowGNN)",
+                fixed * 100.0,
+                flow * 100.0
+            ),
+            holds: flow < fixed,
+        });
+    }
+
+    Scorecard { claims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_holds_at_quick_scale() {
+        let card = scorecard(SampleSize::Quick);
+        for c in &card.claims {
+            assert!(c.holds, "{} — {}: {}", c.source, c.statement, c.measured);
+        }
+        assert!(card.claims.len() >= 10);
+    }
+
+    #[test]
+    fn render_summarises_the_verdicts() {
+        let card = scorecard(SampleSize::Quick);
+        let s = card.table().render();
+        assert!(s.contains("HOLDS"));
+        assert!(s.contains("Table V"));
+    }
+}

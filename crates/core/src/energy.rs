@@ -1,0 +1,132 @@
+//! Board power and energy-efficiency model (Table VI analogue).
+//!
+//! The paper reports energy efficiency in graphs/kJ from measured board
+//! power. Without a board, power is modelled as FPGA static power plus
+//! dynamic power proportional to the active resources — the standard
+//! first-order FPGA power decomposition. The absolute wattage lands in the
+//! U50's typical 10–30 W envelope (consistent with the paper's "4× less
+//! power" than CPU/GPU claim); energy-efficiency *ratios* against the
+//! baselines come from the calibrated baseline powers in
+//! `flowgnn-baselines`.
+
+use crate::resource::ResourceEstimate;
+
+/// FPGA static power floor in watts (Alveo U50 class).
+pub const FPGA_STATIC_WATTS: f64 = 10.0;
+
+/// Converts a resource bill into board power and energy metrics.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_core::{ArchConfig, EnergyModel, ResourceEstimate};
+/// use flowgnn_models::GnnModel;
+///
+/// let model = GnnModel::gcn(9, 0);
+/// let res = ResourceEstimate::for_model(&model, &ArchConfig::default());
+/// let energy = EnergyModel::new(res);
+/// assert!(energy.board_watts() > 10.0 && energy.board_watts() < 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    resources: ResourceEstimate,
+}
+
+impl EnergyModel {
+    /// Dynamic watts per DSP slice at 300 MHz.
+    const WATTS_PER_DSP: f64 = 1.5e-3;
+    /// Dynamic watts per BRAM36.
+    const WATTS_PER_BRAM: f64 = 3.0e-3;
+    /// Dynamic watts per LUT.
+    const WATTS_PER_LUT: f64 = 2.0e-5;
+
+    /// Creates the model from a resource bill.
+    pub fn new(resources: ResourceEstimate) -> Self {
+        Self { resources }
+    }
+
+    /// Estimated board power in watts.
+    pub fn board_watts(&self) -> f64 {
+        FPGA_STATIC_WATTS
+            + self.resources.dsp as f64 * Self::WATTS_PER_DSP
+            + self.resources.bram as f64 * Self::WATTS_PER_BRAM
+            + self.resources.lut as f64 * Self::WATTS_PER_LUT
+    }
+
+    /// Energy per graph in joules, for a per-graph latency in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_s` is not positive.
+    pub fn joules_per_graph(&self, latency_s: f64) -> f64 {
+        assert!(latency_s > 0.0, "latency must be positive");
+        self.board_watts() * latency_s
+    }
+
+    /// The paper's Table VI metric: graphs per kilojoule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_s` is not positive.
+    pub fn graphs_per_kj(&self, latency_s: f64) -> f64 {
+        1.0 / (self.joules_per_graph(latency_s) * 1e-3)
+    }
+}
+
+/// Energy efficiency in graphs/kJ for any platform from latency and power.
+///
+/// # Panics
+///
+/// Panics if either argument is not positive.
+pub fn graphs_per_kj(latency_s: f64, watts: f64) -> f64 {
+    assert!(latency_s > 0.0 && watts > 0.0, "latency and power must be positive");
+    1.0 / (latency_s * watts * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchConfig;
+    use flowgnn_models::GnnModel;
+
+    fn model_energy(seed: u64) -> EnergyModel {
+        let model = GnnModel::gin(9, Some(3), seed);
+        EnergyModel::new(ResourceEstimate::for_model(&model, &ArchConfig::default()))
+    }
+
+    #[test]
+    fn board_power_is_in_u50_envelope() {
+        let w = model_energy(0).board_watts();
+        assert!((10.0..=40.0).contains(&w), "{w} W");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_latency() {
+        let e = model_energy(0);
+        let j1 = e.joules_per_graph(1e-4);
+        let j2 = e.joules_per_graph(2e-4);
+        assert!((j2 / j1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graphs_per_kj_is_reciprocal() {
+        let e = model_energy(0);
+        let lat = 1e-4;
+        let gpk = e.graphs_per_kj(lat);
+        assert!((gpk * e.joules_per_graph(lat) * 1e-3 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platform_helper_matches_table_vi_magnitudes() {
+        // FlowGNN-class: ~100 µs at ~18 W → O(10^5..10^6) graphs/kJ,
+        // matching Table VI's FlowGNN column magnitude.
+        let gpk = graphs_per_kj(1e-4, 18.0);
+        assert!((1e5..=1e6).contains(&gpk), "{gpk}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_latency_panics() {
+        model_energy(0).joules_per_graph(0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! First-order FPGA resource model (Table III analogue).
+//!
+//! We have no HLS toolchain, so resource usage is *estimated* from the
+//! architecture's structure: the NT units' multiply–accumulate lanes
+//! (`P_node × P_apply × output lanes`), the MP units' per-edge datapaths
+//! (`P_edge × P_scatter`, weighted by the φ/𝒜 complexity), and the on-chip
+//! buffers (double-buffered O(N) message buffers sized by the aggregation
+//! state dimension). Constants are first-order calibrations against the
+//! paper's published Table III; EXPERIMENTS.md records estimate-vs-paper
+//! per model. The *ordering* across models (PNA/GAT DSP-heavy, PNA
+//! BRAM-heavy, GIN LUT-heavy) is structural, not fitted.
+
+use flowgnn_models::{AggregatorKind, GnnModel, MessageTransform};
+
+use crate::config::ArchConfig;
+use crate::regions::lower;
+
+/// Resources available on the Xilinx Alveo U50 (Table III header row).
+pub const U50_AVAILABLE: ResourceEstimate = ResourceEstimate {
+    dsp: 5952,
+    lut: 872_000,
+    ff: 1_743_000,
+    bram: 1344,
+};
+
+/// An FPGA resource bill: DSP slices, LUTs, flip-flops, BRAM36 blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// DSP slices.
+    pub dsp: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// 36 Kb block RAMs.
+    pub bram: u64,
+}
+
+impl ResourceEstimate {
+    /// Maximum on-chip node capacity assumed for buffer sizing (nodes).
+    pub const BUFFER_NODES: u64 = 1024;
+
+    /// Estimates the bill for `model` on `config`.
+    pub fn for_model(model: &GnnModel, config: &ArchConfig) -> Self {
+        let pn = config.effective_p_node() as u64;
+        let pe = config.effective_p_edge() as u64;
+        let pa = config.p_apply as u64;
+        let ps = config.p_scatter as u64;
+        let regions = lower(model);
+
+        // NT lanes: input-stationary MACs update the whole output vector
+        // for P_apply inputs per cycle; the widest FC bounds the array.
+        let max_fc_out = regions
+            .iter()
+            .flat_map(|r| r.nt_fc.iter().map(|&(_, o)| o as u64))
+            .max()
+            .unwrap_or(16);
+        let total_fc_layers: u64 = regions
+            .iter()
+            .map(|r| r.nt_fc.len() as u64)
+            .max()
+            .unwrap_or(0);
+
+        // Per-edge datapath complexity of φ and 𝒜 (DSPs and LUTs per lane).
+        let (phi_dsp, phi_lut) = model
+            .layers()
+            .iter()
+            .map(|l| match l.phi() {
+                MessageTransform::WeightedCopy => (2, 1800),
+                MessageTransform::ReluAddEdge { .. } => (3, 3000),
+                MessageTransform::DirectionalPair => (4, 3000),
+                MessageTransform::GatAttention { .. } => (45, 1800),
+                MessageTransform::Custom { .. } => (4, 2500),
+            })
+            .fold((0u64, 0u64), |acc, v| (acc.0.max(v.0), acc.1.max(v.1)));
+        let (agg_dsp, agg_lut) = model
+            .layers()
+            .iter()
+            .map(|l| match l.agg() {
+                AggregatorKind::Sum => (1, 200),
+                AggregatorKind::Mean => (2, 300),
+                AggregatorKind::Max | AggregatorKind::Min => (1, 250),
+                AggregatorKind::Pna => (30, 1200),
+            })
+            .fold((0u64, 0u64), |acc, v| (acc.0.max(v.0), acc.1.max(v.1)));
+
+        let dsp = 100 + pn * pa * max_fc_out.div_ceil(2) + pe * ps * (phi_dsp + agg_dsp);
+        let lut = 60_000 + pn * pa * total_fc_layers * 1500 + pe * ps * (phi_lut + agg_lut);
+        let ff = lut * 4 / 5;
+
+        // Double-buffered message buffers sized by aggregation state, plus
+        // the node-embedding buffer, at BUFFER_NODES capacity. One BRAM36
+        // holds 1024 32-bit words.
+        let agg_state_dim = model
+            .layers()
+            .iter()
+            .map(|l| {
+                let d = l.message_dim() as u64;
+                match l.agg() {
+                    AggregatorKind::Pna => 4 * d,
+                    _ => d,
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        let emb_dim = regions.iter().map(|r| r.payload_dim as u64).max().unwrap_or(0);
+        let words =
+            2 * Self::BUFFER_NODES * agg_state_dim + 2 * Self::BUFFER_NODES * emb_dim / 2;
+        let queue_words = (pn * pe * config.queue_capacity as u64 * ps).max(1);
+        let bram = (words + queue_words).div_ceil(1024);
+
+        Self { dsp, lut, ff, bram }
+    }
+
+    /// Utilisation of this bill against an availability envelope, as
+    /// fractions per resource `(dsp, lut, ff, bram)`.
+    pub fn utilization(&self, available: &ResourceEstimate) -> (f64, f64, f64, f64) {
+        (
+            self.dsp as f64 / available.dsp as f64,
+            self.lut as f64 / available.lut as f64,
+            self.ff as f64 / available.ff as f64,
+            self.bram as f64 / available.bram as f64,
+        )
+    }
+
+    /// Whether the bill fits in the availability envelope.
+    pub fn fits(&self, available: &ResourceEstimate) -> bool {
+        self.dsp <= available.dsp
+            && self.lut <= available.lut
+            && self.ff <= available.ff
+            && self.bram <= available.bram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_models::ModelKind;
+
+    fn estimate(kind: ModelKind) -> ResourceEstimate {
+        let model = GnnModel::preset(kind, 9, Some(3), 0);
+        ResourceEstimate::for_model(&model, &ArchConfig::default())
+    }
+
+    #[test]
+    fn all_paper_models_fit_the_u50() {
+        for kind in ModelKind::PAPER_MODELS {
+            let r = estimate(kind);
+            assert!(r.fits(&U50_AVAILABLE), "{kind}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn gin_outweighs_gcn_in_dsp_and_lut() {
+        // Table III ordering: GIN (MLP NT + edge embeddings) > GCN.
+        let gin = estimate(ModelKind::Gin);
+        let gcn = estimate(ModelKind::Gcn);
+        assert!(gin.dsp > gcn.dsp);
+        assert!(gin.lut > gcn.lut);
+    }
+
+    #[test]
+    fn pna_is_bram_heaviest() {
+        // Table III: PNA 767 BRAM, the largest of the six.
+        let pna = estimate(ModelKind::Pna);
+        for kind in ModelKind::PAPER_MODELS {
+            if kind != ModelKind::Pna {
+                assert!(
+                    pna.bram >= estimate(kind).bram,
+                    "PNA should dominate {kind} in BRAM"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_in_table_iii_decade() {
+        // Within a factor of ~2.5 of the published numbers.
+        let paper: &[(ModelKind, u64, u64, u64)] = &[
+            (ModelKind::Gin, 1741, 262_863, 204),
+            (ModelKind::Gcn, 1048, 229_521, 185),
+            (ModelKind::Pna, 2499, 205_641, 767),
+            (ModelKind::Gat, 2488, 148_750, 335),
+            (ModelKind::Dgn, 1563, 200_602, 462),
+        ];
+        for &(kind, dsp, lut, bram) in paper {
+            let r = estimate(kind);
+            for (got, want, what) in
+                [(r.dsp, dsp, "dsp"), (r.lut, lut, "lut"), (r.bram, bram, "bram")]
+            {
+                let ratio = got as f64 / want as f64;
+                assert!(
+                    (0.3..=3.0).contains(&ratio),
+                    "{kind} {what}: estimated {got} vs paper {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_parallelism_costs_more() {
+        let model = GnnModel::gcn(9, 0);
+        let small =
+            ResourceEstimate::for_model(&model, &ArchConfig::default().with_parallelism(1, 1, 1, 1));
+        let big =
+            ResourceEstimate::for_model(&model, &ArchConfig::default().with_parallelism(4, 8, 8, 8));
+        assert!(big.dsp > small.dsp);
+        assert!(big.lut > small.lut);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let r = estimate(ModelKind::Gcn);
+        let (d, l, f, b) = r.utilization(&U50_AVAILABLE);
+        for frac in [d, l, f, b] {
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Bounded registered FIFOs and a pool for routing between units.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with hardware-register semantics.
+///
+/// Items pushed during a simulation cycle are *staged*: they count against
+/// capacity immediately (the producer sees the queue as full), but become
+/// visible to [`Fifo::pop`] only after the cycle boundary's
+/// [`Fifo::commit`]. This models a synchronous FIFO with one-cycle
+/// forwarding latency and prevents accidental zero-latency pass-through of
+/// a token through an entire pipeline in a single simulated cycle.
+///
+/// The FIFO also records occupancy statistics used for queue-sizing
+/// analyses.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_desim::Fifo;
+///
+/// let mut q = Fifo::new(1);
+/// assert!(q.try_push('a'));
+/// assert!(!q.try_push('b')); // full: staged items count against capacity
+/// q.commit();
+/// assert_eq!(q.pop(), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    capacity: usize,
+    ready: VecDeque<T>,
+    staged: Vec<T>,
+    total_pushed: u64,
+    total_popped: u64,
+    max_occupancy: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a FIFO needs capacity of at least 1");
+        Self {
+            capacity,
+            ready: VecDeque::with_capacity(capacity),
+            staged: Vec::new(),
+            total_pushed: 0,
+            total_popped: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total occupancy including staged items.
+    pub fn len(&self) -> usize {
+        self.ready.len() + self.staged.len()
+    }
+
+    /// Whether the FIFO holds no items (ready or staged).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a push would be rejected this cycle.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Number of items currently poppable (committed).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Stages an item for the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full; producers must check
+    /// [`Fifo::is_full`] first (that check *is* the backpressure signal).
+    pub fn push(&mut self, item: T) {
+        assert!(!self.is_full(), "push into full FIFO (missing backpressure check)");
+        self.staged.push(item);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.len());
+    }
+
+    /// Stages an item if there is room, returning whether it was accepted.
+    pub fn try_push(&mut self, item: T) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.push(item);
+            true
+        }
+    }
+
+    /// Pops the oldest *committed* item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.ready.pop_front();
+        if item.is_some() {
+            self.total_popped += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest committed item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.ready.front()
+    }
+
+    /// Cycle boundary: makes all staged items poppable.
+    pub fn commit(&mut self) {
+        self.ready.extend(self.staged.drain(..));
+    }
+
+    /// Total items ever pushed (staged or committed).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Total items ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.total_popped
+    }
+
+    /// High-water mark of occupancy.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Removes all items and resets statistics (reuse between runs).
+    pub fn reset(&mut self) {
+        self.ready.clear();
+        self.staged.clear();
+        self.total_pushed = 0;
+        self.total_popped = 0;
+        self.max_occupancy = 0;
+    }
+}
+
+/// Handle to a FIFO inside a [`FifoPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FifoId(usize);
+
+/// An arena of same-typed FIFOs.
+///
+/// Simulated units hold [`FifoId`]s rather than owning queues, so a unit
+/// can push into another unit's input queue while the simulator retains a
+/// single point of mutation (and can commit every queue at each cycle
+/// boundary).
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_desim::FifoPool;
+///
+/// let mut pool = FifoPool::new();
+/// let q = pool.alloc(4);
+/// pool[q].push(1u32);
+/// pool.commit_all();
+/// assert_eq!(pool[q].pop(), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoPool<T> {
+    fifos: Vec<Fifo<T>>,
+}
+
+impl<T> FifoPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self { fifos: Vec::new() }
+    }
+
+    /// Allocates a new FIFO of the given capacity and returns its id.
+    pub fn alloc(&mut self, capacity: usize) -> FifoId {
+        self.fifos.push(Fifo::new(capacity));
+        FifoId(self.fifos.len() - 1)
+    }
+
+    /// Number of FIFOs in the pool.
+    pub fn len(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Whether the pool has no FIFOs.
+    pub fn is_empty(&self) -> bool {
+        self.fifos.is_empty()
+    }
+
+    /// Commits every FIFO (cycle boundary).
+    pub fn commit_all(&mut self) {
+        for f in &mut self.fifos {
+            f.commit();
+        }
+    }
+
+    /// Whether every FIFO is completely empty (quiescence check).
+    pub fn all_empty(&self) -> bool {
+        self.fifos.iter().all(Fifo::is_empty)
+    }
+
+    /// Resets every FIFO.
+    pub fn reset_all(&mut self) {
+        for f in &mut self.fifos {
+            f.reset();
+        }
+    }
+
+    /// Iterates over `(id, fifo)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FifoId, &Fifo<T>)> {
+        self.fifos.iter().enumerate().map(|(i, f)| (FifoId(i), f))
+    }
+}
+
+impl<T> std::ops::Index<FifoId> for FifoPool<T> {
+    type Output = Fifo<T>;
+
+    fn index(&self, id: FifoId) -> &Fifo<T> {
+        &self.fifos[id.0]
+    }
+}
+
+impl<T> std::ops::IndexMut<FifoId> for FifoPool<T> {
+    fn index_mut(&mut self, id: FifoId) -> &mut Fifo<T> {
+        &mut self.fifos[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_items_invisible_until_commit() {
+        let mut q = Fifo::new(4);
+        q.push(1);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 1);
+        q.commit();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_commits() {
+        let mut q = Fifo::new(8);
+        q.push(1);
+        q.push(2);
+        q.commit();
+        q.push(3);
+        q.commit();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn capacity_counts_staged_items() {
+        let mut q = Fifo::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(q.is_full());
+        assert!(!q.try_push(3));
+        q.commit();
+        assert!(q.is_full()); // still holding two committed items
+        q.pop();
+        assert!(q.try_push(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "full FIFO")]
+    fn push_into_full_panics() {
+        let mut q = Fifo::new(1);
+        q.push(1);
+        q.push(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity of at least 1")]
+    fn zero_capacity_rejected() {
+        Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn statistics_track_flow() {
+        let mut q = Fifo::new(4);
+        q.push(1);
+        q.push(2);
+        q.commit();
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.max_occupancy(), 2);
+    }
+
+    #[test]
+    fn conservation_of_items() {
+        // Everything pushed is eventually popped exactly once.
+        let mut q = Fifo::new(3);
+        let mut popped = Vec::new();
+        let mut next = 0;
+        for _ in 0..100 {
+            while q.try_push(next) {
+                next += 1;
+            }
+            q.commit();
+            while let Some(v) = q.pop() {
+                popped.push(v);
+            }
+        }
+        assert_eq!(popped, (0..next).collect::<Vec<_>>());
+        assert_eq!(q.total_pushed(), q.total_popped() + q.len() as u64);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = Fifo::new(2);
+        q.push(9);
+        q.commit();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = Fifo::new(2);
+        q.push(5);
+        q.commit();
+        assert_eq!(q.peek(), Some(&5));
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn pool_routes_by_id() {
+        let mut pool = FifoPool::new();
+        let a = pool.alloc(2);
+        let b = pool.alloc(2);
+        pool[a].push(1);
+        pool[b].push(2);
+        pool.commit_all();
+        assert_eq!(pool[a].pop(), Some(1));
+        assert_eq!(pool[b].pop(), Some(2));
+        assert!(pool.all_empty());
+    }
+
+    #[test]
+    fn pool_quiescence_detects_staged_items() {
+        let mut pool = FifoPool::new();
+        let a = pool.alloc(2);
+        pool[a].push(1);
+        assert!(!pool.all_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-unit busy/stall accounting.
+
+use crate::Cycle;
+
+/// Records what a simulated unit did each cycle.
+///
+/// The paper's pipelining argument (Fig. 4) is about *idle cycles*: the
+/// non-pipelined design wastes cycles where NT waits for MP and vice versa,
+/// and each architectural refinement removes a class of stalls. `Meter`
+/// classifies every cycle of a unit as busy, stalled on empty input,
+/// stalled on full output, or idle, so those idle-cycle claims can be
+/// verified quantitatively.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_desim::Meter;
+///
+/// let mut m = Meter::new("nt0");
+/// m.busy();
+/// m.stall_empty();
+/// let u = m.utilization(2);
+/// assert!((u.busy_fraction - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Meter {
+    name: String,
+    busy: Cycle,
+    stall_empty: Cycle,
+    stall_full: Cycle,
+}
+
+/// A utilisation summary over a run of a known length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Fraction of cycles doing useful work.
+    pub busy_fraction: f64,
+    /// Fraction of cycles stalled waiting for input.
+    pub stall_empty_fraction: f64,
+    /// Fraction of cycles stalled on output backpressure.
+    pub stall_full_fraction: f64,
+    /// Fraction of cycles with nothing to do (drained).
+    pub idle_fraction: f64,
+}
+
+impl Meter {
+    /// Creates a meter labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            busy: 0,
+            stall_empty: 0,
+            stall_full: 0,
+        }
+    }
+
+    /// The unit's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one busy cycle.
+    pub fn busy(&mut self) {
+        self.busy += 1;
+    }
+
+    /// Records `n` busy cycles at once (for multi-cycle operations).
+    pub fn busy_n(&mut self, n: Cycle) {
+        self.busy += n;
+    }
+
+    /// Records a cycle stalled on empty input.
+    pub fn stall_empty(&mut self) {
+        self.stall_empty += 1;
+    }
+
+    /// Records a cycle stalled on full output (backpressure).
+    pub fn stall_full(&mut self) {
+        self.stall_full += 1;
+    }
+
+    /// Busy cycle count.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Input-stall cycle count.
+    pub fn stall_empty_cycles(&self) -> Cycle {
+        self.stall_empty
+    }
+
+    /// Output-stall cycle count.
+    pub fn stall_full_cycles(&self) -> Cycle {
+        self.stall_full
+    }
+
+    /// Summarises utilisation over a run of `total` cycles.
+    ///
+    /// Idle is everything not otherwise classified. If `total` is smaller
+    /// than the recorded activity (caller error), fractions may exceed 1;
+    /// they are reported as-is for debuggability rather than masked.
+    pub fn utilization(&self, total: Cycle) -> Utilization {
+        let t = total.max(1) as f64;
+        let busy = self.busy as f64 / t;
+        let se = self.stall_empty as f64 / t;
+        let sf = self.stall_full as f64 / t;
+        Utilization {
+            busy_fraction: busy,
+            stall_empty_fraction: se,
+            stall_full_fraction: sf,
+            idle_fraction: (1.0 - busy - se - sf).max(0.0),
+        }
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.busy = 0;
+        self.stall_empty = 0;
+        self.stall_full = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_partition_the_run() {
+        let mut m = Meter::new("u");
+        for _ in 0..6 {
+            m.busy();
+        }
+        for _ in 0..2 {
+            m.stall_empty();
+        }
+        m.stall_full();
+        let u = m.utilization(10);
+        assert!((u.busy_fraction - 0.6).abs() < 1e-9);
+        assert!((u.stall_empty_fraction - 0.2).abs() < 1e-9);
+        assert!((u.stall_full_fraction - 0.1).abs() < 1e-9);
+        assert!((u.idle_fraction - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_n_accumulates() {
+        let mut m = Meter::new("u");
+        m.busy_n(5);
+        m.busy();
+        assert_eq!(m.busy_cycles(), 6);
+    }
+
+    #[test]
+    fn zero_total_does_not_divide_by_zero() {
+        let m = Meter::new("u");
+        let u = m.utilization(0);
+        assert_eq!(u.busy_fraction, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = Meter::new("u");
+        m.busy();
+        m.stall_full();
+        m.reset();
+        assert_eq!(m.busy_cycles(), 0);
+        assert_eq!(m.stall_full_cycles(), 0);
+    }
+
+    #[test]
+    fn name_is_kept() {
+        assert_eq!(Meter::new("mp3").name(), "mp3");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the simulation substrate: conservation, ordering,
+//! and capacity invariants of the registered FIFOs.
+
+use flowgnn_desim::{Fifo, FifoPool};
+use proptest::prelude::*;
+
+/// A random schedule of FIFO operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Commit,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Commit),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Everything pushed is popped exactly once, in order, regardless of
+    /// the interleaving of pushes, pops, and commits.
+    #[test]
+    fn conservation_and_fifo_order(schedule in ops(), cap in 1usize..16) {
+        let mut q = Fifo::new(cap);
+        let mut pushed = Vec::new();
+        let mut popped = Vec::new();
+        for op in schedule {
+            match op {
+                Op::Push(v) => {
+                    if q.try_push(v) {
+                        pushed.push(v);
+                    }
+                }
+                Op::Pop => {
+                    if let Some(v) = q.pop() {
+                        popped.push(v);
+                    }
+                }
+                Op::Commit => q.commit(),
+            }
+        }
+        // Drain the remainder.
+        q.commit();
+        while let Some(v) = q.pop() {
+            popped.push(v);
+        }
+        prop_assert_eq!(pushed, popped);
+    }
+
+    /// Occupancy never exceeds capacity, and the high-water mark is
+    /// consistent.
+    #[test]
+    fn capacity_is_never_exceeded(schedule in ops(), cap in 1usize..16) {
+        let mut q = Fifo::new(cap);
+        for op in schedule {
+            match op {
+                Op::Push(v) => {
+                    let _ = q.try_push(v);
+                }
+                Op::Pop => {
+                    let _ = q.pop();
+                }
+                Op::Commit => q.commit(),
+            }
+            prop_assert!(q.len() <= cap);
+            prop_assert!(q.max_occupancy() <= cap);
+        }
+    }
+
+    /// Items staged in one cycle are never poppable in the same cycle
+    /// (registered-FIFO semantics).
+    #[test]
+    fn no_same_cycle_passthrough(values in proptest::collection::vec(0u32..100, 1..10)) {
+        let mut q = Fifo::new(16);
+        for &v in &values {
+            q.push(v);
+            prop_assert_eq!(q.pop(), None);
+        }
+        q.commit();
+        for &v in &values {
+            prop_assert_eq!(q.pop(), Some(v));
+        }
+    }
+
+    /// Push/pop counters reconcile with occupancy.
+    #[test]
+    fn counters_reconcile(schedule in ops(), cap in 1usize..16) {
+        let mut q = Fifo::new(cap);
+        for op in schedule {
+            match op {
+                Op::Push(v) => {
+                    let _ = q.try_push(v);
+                }
+                Op::Pop => {
+                    let _ = q.pop();
+                }
+                Op::Commit => q.commit(),
+            }
+        }
+        prop_assert_eq!(q.total_pushed(), q.total_popped() + q.len() as u64);
+    }
+
+    /// Pool-wide commit preserves per-queue independence.
+    #[test]
+    fn pool_queues_are_independent(
+        pushes in proptest::collection::vec((0usize..4, 0u32..100), 1..50),
+    ) {
+        let mut pool = FifoPool::new();
+        let ids: Vec<_> = (0..4).map(|_| pool.alloc(64)).collect();
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        for (q, v) in pushes {
+            pool[ids[q]].push(v);
+            expected[q].push(v);
+        }
+        pool.commit_all();
+        for (q, id) in ids.iter().enumerate() {
+            let mut got = Vec::new();
+            while let Some(v) = pool[*id].pop() {
+                got.push(v);
+            }
+            prop_assert_eq!(&got, &expected[q]);
+        }
+        prop_assert!(pool.all_empty());
+    }
+}

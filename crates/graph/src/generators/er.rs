@@ -1,0 +1,141 @@
+//! Erdős–Rényi random graphs (test workloads).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{mix_seed, GraphGenerator};
+use crate::{FeatureSource, Graph, NodeId};
+
+/// Erdős–Rényi `G(n, p)` generator with optional edge features.
+///
+/// Not one of the paper's datasets; used throughout the test suites as an
+/// unstructured workload with tunable density.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_graph::generators::{ErdosRenyi, GraphGenerator};
+///
+/// let g = ErdosRenyi::new(20, 0.1, 42).generate(0);
+/// assert_eq!(g.num_nodes(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErdosRenyi {
+    num_nodes: usize,
+    edge_prob: f64,
+    node_feat_dim: usize,
+    edge_feat_dim: Option<usize>,
+    seed: u64,
+}
+
+impl ErdosRenyi {
+    /// Creates a generator for `G(num_nodes, edge_prob)` graphs with 8-d
+    /// node features and no edge features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_prob` is not within `[0, 1]`.
+    pub fn new(num_nodes: usize, edge_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&edge_prob),
+            "edge probability {edge_prob} outside [0, 1]"
+        );
+        Self {
+            num_nodes,
+            edge_prob,
+            node_feat_dim: 8,
+            edge_feat_dim: None,
+            seed,
+        }
+    }
+
+    /// Sets the node feature dimension.
+    pub fn node_feat_dim(mut self, dim: usize) -> Self {
+        self.node_feat_dim = dim;
+        self
+    }
+
+    /// Enables `dim`-dimensional edge features.
+    pub fn edge_feat_dim(mut self, dim: usize) -> Self {
+        self.edge_feat_dim = Some(dim);
+        self
+    }
+}
+
+impl GraphGenerator for ErdosRenyi {
+    fn generate(&self, index: usize) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let n = self.num_nodes;
+        let mut edges = Vec::new();
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v && rng.gen_bool(self.edge_prob) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let node_features = {
+            let mut data = Vec::with_capacity(n * self.node_feat_dim);
+            for _ in 0..n * self.node_feat_dim {
+                data.push(rng.gen_range(-1.0..=1.0));
+            }
+            FeatureSource::dense(flowgnn_tensor::Matrix::from_vec(
+                n,
+                self.node_feat_dim,
+                data,
+            ))
+        };
+        let edge_features = self.edge_feat_dim.map(|d| {
+            let mut data = Vec::with_capacity(edges.len() * d);
+            for _ in 0..edges.len() * d {
+                data.push(rng.gen_range(-1.0..=1.0));
+            }
+            flowgnn_tensor::Matrix::from_vec(edges.len(), d, data)
+        });
+        Graph::new(n, edges, node_features, edge_features).expect("generator produces valid graphs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let g1 = ErdosRenyi::new(15, 0.3, 7).generate(3);
+        let g2 = ErdosRenyi::new(15, 0.3, 7).generate(3);
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let gen = ErdosRenyi::new(15, 0.3, 7);
+        assert_ne!(gen.generate(0).edges(), gen.generate(1).edges());
+    }
+
+    #[test]
+    fn density_roughly_matches_p() {
+        let g = ErdosRenyi::new(100, 0.1, 1).generate(0);
+        let expected = 100.0 * 99.0 * 0.1;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.3, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn p_zero_gives_no_edges_p_one_gives_complete() {
+        assert_eq!(ErdosRenyi::new(10, 0.0, 0).generate(0).num_edges(), 0);
+        assert_eq!(ErdosRenyi::new(10, 1.0, 0).generate(0).num_edges(), 90);
+    }
+
+    #[test]
+    fn edge_features_opt_in() {
+        let g = ErdosRenyi::new(10, 0.5, 0).edge_feat_dim(3).generate(0);
+        assert_eq!(g.edge_feature_dim(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        ErdosRenyi::new(10, 1.5, 0);
+    }
+}

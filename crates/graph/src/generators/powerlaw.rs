@@ -1,0 +1,267 @@
+//! Chung-Lu power-law graph generator (citation/social graph stand-in).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::{mix_seed, GraphGenerator};
+use crate::{FeatureSource, Graph, NodeId};
+
+/// Generates power-law graphs with prescribed node and edge counts using
+/// the Chung-Lu model: node `i` has weight `(i + 1)^(−1/(γ−1))` and each
+/// edge picks both endpoints proportionally to weight, yielding a degree
+/// distribution with exponent `γ`.
+///
+/// Stands in for the single-graph benchmarks (Cora, CiteSeer, PubMed,
+/// Reddit): the accelerator's behaviour on these graphs depends on node
+/// count, edge count, and degree skew — all reproduced — not on the actual
+/// citation text. Node features are procedural (generated on demand), since
+/// Reddit-scale dense features would need ~560 MB.
+///
+/// For graphs up to [`ChungLu::DEDUP_LIMIT`] edges, sampled edges are
+/// deduplicated so the edge count is exact over *simple* edges; beyond it,
+/// duplicates are kept (negligible at that scale: collision probability per
+/// sample is O(E/N²)).
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_graph::generators::{ChungLu, GraphGenerator};
+///
+/// let cora_like = ChungLu::new(2708, 5429, 64, 1).generate(0);
+/// assert_eq!(cora_like.num_nodes(), 2708);
+/// assert_eq!(cora_like.num_edges(), 5429);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChungLu {
+    num_nodes: usize,
+    num_edges: usize,
+    node_feat_dim: usize,
+    feature_density: f64,
+    exponent: f64,
+    seed: u64,
+}
+
+impl ChungLu {
+    /// Above this edge count duplicate edges are no longer filtered.
+    pub const DEDUP_LIMIT: usize = 20_000_000;
+
+    /// Creates a generator for graphs with exactly `num_nodes` nodes and
+    /// `num_edges` directed edges, with degree exponent 2.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 2`.
+    pub fn new(num_nodes: usize, num_edges: usize, node_feat_dim: usize, seed: u64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        Self {
+            num_nodes,
+            num_edges,
+            node_feat_dim,
+            feature_density: 1.0,
+            exponent: 2.5,
+            seed,
+        }
+    }
+
+    /// Sets the node-feature density (fraction of nonzero elements);
+    /// citation graphs have sparse bag-of-words features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `(0, 1]`.
+    pub fn feature_density(mut self, density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "feature density {density} outside (0, 1]"
+        );
+        self.feature_density = density;
+        self
+    }
+
+    /// Sets the power-law exponent γ (default 2.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent <= 1`.
+    pub fn exponent(mut self, exponent: f64) -> Self {
+        assert!(exponent > 1.0, "power-law exponent must exceed 1");
+        self.exponent = exponent;
+        self
+    }
+
+    /// Builds the cumulative weight table for endpoint sampling.
+    fn cumulative_weights(&self) -> Vec<f64> {
+        let alpha = -1.0 / (self.exponent - 1.0);
+        let mut cum = Vec::with_capacity(self.num_nodes);
+        let mut total = 0.0;
+        for i in 0..self.num_nodes {
+            total += ((i + 1) as f64).powf(alpha);
+            cum.push(total);
+        }
+        cum
+    }
+
+    fn sample_node(cum: &[f64], rng: &mut SmallRng) -> NodeId {
+        let total = *cum.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        cum.partition_point(|&c| c <= x) as NodeId
+    }
+}
+
+impl GraphGenerator for ChungLu {
+    fn generate(&self, index: usize) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let cum = self.cumulative_weights();
+        let dedup = self.num_edges <= Self::DEDUP_LIMIT;
+        let mut seen: HashSet<(NodeId, NodeId)> = if dedup {
+            HashSet::with_capacity(self.num_edges * 2)
+        } else {
+            HashSet::new()
+        };
+        let mut edges = Vec::with_capacity(self.num_edges);
+        let max_attempts = self
+            .num_edges
+            .saturating_mul(50)
+            .max(1000);
+        let mut attempts = 0usize;
+        while edges.len() < self.num_edges && attempts < max_attempts {
+            attempts += 1;
+            let u = Self::sample_node(&cum, &mut rng);
+            let v = Self::sample_node(&cum, &mut rng);
+            if u == v {
+                continue;
+            }
+            if dedup && !seen.insert((u, v)) {
+                continue;
+            }
+            edges.push((u, v));
+        }
+        // Extremely dense requests may exhaust simple-edge capacity; fill
+        // the remainder with (possibly duplicate) edges to honour the count.
+        while edges.len() < self.num_edges {
+            let u = Self::sample_node(&cum, &mut rng);
+            let mut v = Self::sample_node(&cum, &mut rng);
+            if u == v {
+                v = (v + 1) % self.num_nodes as NodeId;
+            }
+            edges.push((u, v));
+        }
+
+        Graph::new(
+            self.num_nodes,
+            edges,
+            if self.feature_density < 1.0 {
+                FeatureSource::sparse_procedural(
+                    self.num_nodes,
+                    self.node_feat_dim,
+                    self.feature_density,
+                    mix_seed(self.seed, index) ^ 0xFEA7,
+                )
+            } else {
+                FeatureSource::procedural(
+                    self.num_nodes,
+                    self.node_feat_dim,
+                    mix_seed(self.seed, index) ^ 0xFEA7,
+                )
+            },
+            None,
+        )
+        .expect("generator produces valid graphs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = ChungLu::new(500, 2000, 8, 3).generate(0);
+        let b = ChungLu::new(500, 2000, 8, 3).generate(0);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn exact_counts() {
+        let g = ChungLu::new(1000, 4000, 16, 1).generate(0);
+        assert_eq!(g.num_nodes(), 1000);
+        assert_eq!(g.num_edges(), 4000);
+    }
+
+    #[test]
+    fn no_self_loops_and_simple_when_deduped() {
+        let g = ChungLu::new(300, 1500, 8, 2).generate(0);
+        let mut seen = HashSet::new();
+        for &(u, v) in g.edges() {
+            assert_ne!(u, v, "self loop");
+            assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Power-law graphs have hubs: the max degree should far exceed the
+        // mean, unlike an ER graph.
+        let g = ChungLu::new(2000, 10000, 8, 7).generate(0);
+        let degs = g.in_degrees();
+        let max = *degs.iter().max().unwrap() as f64;
+        let mean = 10000.0 / 2000.0;
+        assert!(max > mean * 8.0, "max degree {max} not hub-like vs mean {mean}");
+    }
+
+    #[test]
+    fn low_ids_are_hubs() {
+        // Weight decreases with id, so node 0 should be among the highest
+        // degree nodes.
+        let g = ChungLu::new(1000, 8000, 8, 5).generate(0);
+        let degs = g.in_degrees();
+        let d0 = degs[0];
+        let median = {
+            let mut d = degs.clone();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        assert!(d0 > median, "node 0 degree {d0} vs median {median}");
+    }
+
+    #[test]
+    fn dense_request_still_honours_count() {
+        // More edges than simple-edge capacity near the hubs forces the
+        // fallback path.
+        let g = ChungLu::new(10, 200, 4, 0).generate(0);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn features_are_procedural() {
+        let g = ChungLu::new(100, 300, 32, 0).generate(0);
+        assert!(matches!(
+            g.node_features(),
+            crate::FeatureSource::Procedural { .. }
+        ));
+        assert_eq!(g.node_feature_dim(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn invalid_exponent_panics() {
+        ChungLu::new(10, 10, 4, 0).exponent(1.0);
+    }
+
+    #[test]
+    fn sparse_features_opt_in() {
+        let g = ChungLu::new(100, 300, 64, 0).feature_density(0.1).generate(0);
+        assert!(matches!(
+            g.node_features(),
+            crate::FeatureSource::SparseProcedural { .. }
+        ));
+        assert!((g.node_features().expected_nnz_per_row() - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_density_panics() {
+        ChungLu::new(10, 10, 4, 0).feature_density(0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Structural statistics of a graph.
+//!
+//! Generators are validated against the paper's Table IV on *counts*;
+//! these statistics go further — degree spread, density, clustering — so
+//! tests can assert each family has the structure it claims (power-law
+//! graphs have hubs, meshes do not, small worlds cluster).
+
+use crate::{Adjacency, Graph};
+
+/// Summary statistics of one graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Mean in-degree.
+    pub mean_degree: f64,
+    /// Maximum in-degree.
+    pub max_degree: u32,
+    /// Standard deviation of the in-degree distribution.
+    pub degree_std: f64,
+    /// Edge density `E / (N · (N − 1))` (0 for graphs with < 2 nodes).
+    pub density: f64,
+    /// Fraction of nodes with no in-edges.
+    pub isolated_fraction: f64,
+    /// Mean local clustering coefficient (over nodes with in-degree ≥ 2),
+    /// treating edges as directed.
+    pub clustering: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph` (O(N + E + Σ deg²) for the
+    /// clustering term).
+    pub fn of(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        let deg = graph.in_degrees();
+        let mean = if n == 0 { 0.0 } else { e as f64 / n as f64 };
+        let max = deg.iter().copied().max().unwrap_or(0);
+        let var = if n == 0 {
+            0.0
+        } else {
+            deg.iter()
+                .map(|&d| {
+                    let x = d as f64 - mean;
+                    x * x
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let density = if n < 2 {
+            0.0
+        } else {
+            e as f64 / (n as f64 * (n as f64 - 1.0))
+        };
+        let isolated = if n == 0 {
+            0.0
+        } else {
+            deg.iter().filter(|&&d| d == 0).count() as f64 / n as f64
+        };
+        Self {
+            nodes: n,
+            edges: e,
+            mean_degree: mean,
+            max_degree: max,
+            degree_std: var.sqrt(),
+            density,
+            isolated_fraction: isolated,
+            clustering: clustering_coefficient(graph),
+        }
+    }
+
+    /// A hub indicator: how many standard deviations the maximum degree
+    /// sits above the mean (0 when degrees are constant).
+    pub fn hubbiness(&self) -> f64 {
+        if self.degree_std < 1e-12 {
+            0.0
+        } else {
+            (self.max_degree as f64 - self.mean_degree) / self.degree_std
+        }
+    }
+}
+
+/// Mean local clustering coefficient over in-neighbourhoods: for each
+/// node with ≥ 2 in-neighbours, the fraction of in-neighbour pairs that
+/// are themselves connected by a directed edge (either direction).
+fn clustering_coefficient(graph: &Graph) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let csc = Adjacency::in_edges(graph);
+    let out = Adjacency::out_edges(graph);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in 0..n as u32 {
+        let nb = csc.neighbors(v);
+        if nb.len() < 2 {
+            continue;
+        }
+        let mut linked = 0usize;
+        let mut pairs = 0usize;
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if a == b {
+                    continue; // parallel edges give duplicate neighbours
+                }
+                pairs += 1;
+                if out.neighbors(a).contains(&b) || out.neighbors(b).contains(&a) {
+                    linked += 1;
+                }
+            }
+        }
+        if pairs > 0 {
+            total += linked as f64 / pairs as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{ChungLu, GraphGenerator, GridMesh, SmallWorld};
+    use crate::{FeatureSource, NodeId};
+    use flowgnn_tensor::Matrix;
+
+    fn triangle() -> Graph {
+        Graph::new(
+            3,
+            vec![(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)],
+            FeatureSource::dense(Matrix::zeros(3, 1)),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let s = GraphStats::of(&triangle());
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 6);
+        assert!((s.clustering - 1.0).abs() < 1e-9, "{}", s.clustering);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated_fraction, 0.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering_and_high_hubbiness() {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 1..20 {
+            edges.push((v, 0));
+        }
+        let g = Graph::new(
+            20,
+            edges,
+            FeatureSource::dense(Matrix::zeros(20, 1)),
+            None,
+        )
+        .unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert!(s.hubbiness() > 3.0, "{}", s.hubbiness());
+    }
+
+    #[test]
+    fn power_law_out_hubs_a_mesh() {
+        let pl = GraphStats::of(&ChungLu::new(400, 2000, 4, 1).generate(0));
+        let mesh = GraphStats::of(&GridMesh::new(20, 20, 1).generate(0));
+        assert!(
+            pl.hubbiness() > mesh.hubbiness(),
+            "power-law {} vs mesh {}",
+            pl.hubbiness(),
+            mesh.hubbiness()
+        );
+        assert!(mesh.degree_std < 1.0, "mesh degrees nearly constant");
+    }
+
+    #[test]
+    fn small_world_clusters_more_than_random_rewiring() {
+        let lattice = GraphStats::of(&SmallWorld::new(100, 6, 0.0, 2).generate(0));
+        let random = GraphStats::of(&SmallWorld::new(100, 6, 1.0, 2).generate(0));
+        assert!(
+            lattice.clustering > random.clustering,
+            "lattice {} vs random {}",
+            lattice.clustering,
+            random.clustering
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = Graph::new(0, vec![], FeatureSource::dense(Matrix::zeros(0, 1)), None).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.hubbiness(), 0.0);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..5 as NodeId {
+            for v in 0..5 as NodeId {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::new(5, edges, FeatureSource::dense(Matrix::zeros(5, 1)), None).unwrap();
+        assert!((GraphStats::of(&g).density - 1.0).abs() < 1e-12);
+    }
+}

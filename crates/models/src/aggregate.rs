@@ -1,0 +1,315 @@
+//! Permutation-invariant aggregation 𝒜.
+
+use flowgnn_tensor::ops;
+
+use crate::NodeCtx;
+
+/// The aggregation function of one layer.
+///
+/// All variants are streaming: messages are folded into an [`AggState`] one
+/// at a time, in arrival order, with O(aggregate-dimension) state — exactly
+/// the property that lets the paper's architecture merge scatter and gather
+/// into one pass with O(N) message buffers instead of O(E) (Sec. III-C).
+/// Permutation invariance (up to float rounding) is what makes the merged
+/// scatter/gather order-insensitive; it is property-tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregatorKind {
+    /// Element-wise sum (GCN, GIN, and the GAT online-softmax numerators).
+    Sum,
+    /// Element-wise mean.
+    Mean,
+    /// Element-wise maximum (zeros for isolated nodes).
+    Max,
+    /// Element-wise minimum (zeros for isolated nodes).
+    Min,
+    /// PNA (Eq. 3): mean, std, max, min, each scaled by the identity,
+    /// amplification `log(D+1)/δ̃`, and attenuation `δ̃/log(D+1)` degree
+    /// scalers — a `12×dim` aggregate.
+    Pna,
+}
+
+/// Streaming aggregation state for one destination node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggState {
+    kind: AggregatorKind,
+    dim: usize,
+    count: u32,
+    /// Sum (or running max/min for those kinds).
+    acc: Vec<f32>,
+    /// Sum of squares (PNA only).
+    sum_sq: Vec<f32>,
+    /// Running max (PNA only).
+    max: Vec<f32>,
+    /// Running min (PNA only).
+    min: Vec<f32>,
+}
+
+impl AggregatorKind {
+    /// Number of PNA (aggregator × scaler) blocks.
+    pub const PNA_BLOCKS: usize = 12;
+
+    /// Aggregate output dimension for messages of dimension `msg_dim`.
+    pub fn out_dim(self, msg_dim: usize) -> usize {
+        match self {
+            AggregatorKind::Pna => Self::PNA_BLOCKS * msg_dim,
+            _ => msg_dim,
+        }
+    }
+
+    /// Creates empty state for one node.
+    pub fn init(self, msg_dim: usize) -> AggState {
+        let (sum_sq, max, min) = if self == AggregatorKind::Pna {
+            (
+                vec![0.0; msg_dim],
+                vec![f32::NEG_INFINITY; msg_dim],
+                vec![f32::INFINITY; msg_dim],
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let acc = match self {
+            AggregatorKind::Max => vec![f32::NEG_INFINITY; msg_dim],
+            AggregatorKind::Min => vec![f32::INFINITY; msg_dim],
+            _ => vec![0.0; msg_dim],
+        };
+        AggState {
+            kind: self,
+            dim: msg_dim,
+            count: 0,
+            acc,
+            sum_sq,
+            max,
+            min,
+        }
+    }
+
+    /// Folds one message into the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len()` differs from the state's dimension, or the
+    /// state was initialised for a different aggregator.
+    pub fn push(self, state: &mut AggState, msg: &[f32]) {
+        assert_eq!(state.kind, self, "aggregation state kind mismatch");
+        assert_eq!(msg.len(), state.dim, "message dimension mismatch");
+        state.count += 1;
+        match self {
+            AggregatorKind::Sum | AggregatorKind::Mean => ops::add_assign(&mut state.acc, msg),
+            AggregatorKind::Max => ops::max_assign(&mut state.acc, msg),
+            AggregatorKind::Min => ops::min_assign(&mut state.acc, msg),
+            AggregatorKind::Pna => {
+                for i in 0..state.dim {
+                    let v = msg[i];
+                    state.acc[i] += v;
+                    state.sum_sq[i] += v * v;
+                    state.max[i] = state.max[i].max(v);
+                    state.min[i] = state.min[i].min(v);
+                }
+            }
+        }
+    }
+
+    /// Finalises the aggregate for a node.
+    pub fn finish(self, state: &AggState, node: &NodeCtx) -> Vec<f32> {
+        assert_eq!(state.kind, self, "aggregation state kind mismatch");
+        let n = state.count;
+        match self {
+            AggregatorKind::Sum => state.acc.clone(),
+            AggregatorKind::Mean => {
+                if n == 0 {
+                    vec![0.0; state.dim]
+                } else {
+                    state.acc.iter().map(|s| s / n as f32).collect()
+                }
+            }
+            AggregatorKind::Max | AggregatorKind::Min => {
+                if n == 0 {
+                    vec![0.0; state.dim]
+                } else {
+                    state.acc.clone()
+                }
+            }
+            AggregatorKind::Pna => {
+                let dim = state.dim;
+                let mut base = Vec::with_capacity(4 * dim);
+                if n == 0 {
+                    base.resize(4 * dim, 0.0);
+                } else {
+                    let inv = 1.0 / n as f32;
+                    // mean
+                    for s in &state.acc {
+                        base.push(s * inv);
+                    }
+                    // std (population, clamped against rounding)
+                    for i in 0..dim {
+                        let mean = state.acc[i] * inv;
+                        base.push((state.sum_sq[i] * inv - mean * mean).max(0.0).sqrt());
+                    }
+                    base.extend_from_slice(&state.max);
+                    base.extend_from_slice(&state.min);
+                }
+                // Degree scalers (Eq. 3). Isolated nodes get zero scalers
+                // for the degree-dependent channels.
+                let log_d = ((node.degree + 1) as f32).ln();
+                let delta = node.mean_log_degree.max(1e-6);
+                let amplify = log_d / delta;
+                let attenuate = if log_d > 1e-6 { delta / log_d } else { 0.0 };
+                let mut out = Vec::with_capacity(Self::PNA_BLOCKS * dim);
+                for &scaler in &[1.0, amplify, attenuate] {
+                    for v in &base {
+                        out.push(scaler * v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Element operations per pushed message (for op-count baselines).
+    pub fn ops_per_message(self, msg_dim: usize) -> u64 {
+        match self {
+            AggregatorKind::Pna => 4 * msg_dim as u64,
+            _ => msg_dim as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for AggregatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AggregatorKind::Sum => "sum",
+            AggregatorKind::Mean => "mean",
+            AggregatorKind::Max => "max",
+            AggregatorKind::Min => "min",
+            AggregatorKind::Pna => "pna",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODE: NodeCtx = NodeCtx {
+        degree: 2,
+        mean_log_degree: 1.0986123, // ln 3 → amplify = 1 at degree 2
+    };
+
+    fn run(kind: AggregatorKind, msgs: &[&[f32]]) -> Vec<f32> {
+        let dim = msgs.first().map_or(2, |m| m.len());
+        let mut st = kind.init(dim);
+        for m in msgs {
+            kind.push(&mut st, m);
+        }
+        kind.finish(&st, &NODE)
+    }
+
+    #[test]
+    fn sum_adds() {
+        assert_eq!(
+            run(AggregatorKind::Sum, &[&[1.0, 2.0], &[3.0, 4.0]]),
+            vec![4.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn mean_divides_by_count() {
+        assert_eq!(
+            run(AggregatorKind::Mean, &[&[1.0, 2.0], &[3.0, 4.0]]),
+            vec![2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn max_and_min_elementwise() {
+        assert_eq!(
+            run(AggregatorKind::Max, &[&[1.0, 5.0], &[3.0, 2.0]]),
+            vec![3.0, 5.0]
+        );
+        assert_eq!(
+            run(AggregatorKind::Min, &[&[1.0, 5.0], &[3.0, 2.0]]),
+            vec![1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn empty_aggregates_are_zero() {
+        for kind in [
+            AggregatorKind::Sum,
+            AggregatorKind::Mean,
+            AggregatorKind::Max,
+            AggregatorKind::Min,
+        ] {
+            assert_eq!(run(kind, &[]), vec![0.0, 0.0], "{kind}");
+        }
+        assert_eq!(run(AggregatorKind::Pna, &[]), vec![0.0; 24]);
+    }
+
+    #[test]
+    fn pna_layout_mean_std_max_min_blocks() {
+        let out = run(AggregatorKind::Pna, &[&[2.0, 0.0], &[4.0, 0.0]]);
+        assert_eq!(out.len(), 24);
+        // Identity-scaled block: mean, std, max, min.
+        assert_eq!(&out[0..2], &[3.0, 0.0]); // mean
+        assert_eq!(&out[2..4], &[1.0, 0.0]); // std of {2,4}
+        assert_eq!(&out[4..6], &[4.0, 0.0]); // max
+        assert_eq!(&out[6..8], &[2.0, 0.0]); // min
+        // Amplification block: degree 2 with δ̃ = ln 3 → scaler 1.
+        assert!((out[8] - 3.0).abs() < 1e-5);
+        // Attenuation block: also scaler ~1 here.
+        assert!((out[16] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pna_degree_scaling_amplifies_hubs() {
+        let mut st = AggregatorKind::Pna.init(1);
+        AggregatorKind::Pna.push(&mut st, &[1.0]);
+        let hub = NodeCtx {
+            degree: 100,
+            mean_log_degree: 1.0,
+        };
+        let out = AggregatorKind::Pna.finish(&st, &hub);
+        // Amplified mean (index 4) > identity mean (index 0).
+        assert!(out[4] > out[0], "{out:?}");
+        // Attenuated mean (index 8) < identity mean.
+        assert!(out[8] < out[0]);
+    }
+
+    #[test]
+    fn pna_isolated_node_attenuation_guard() {
+        let st = AggregatorKind::Pna.init(1);
+        let isolated = NodeCtx {
+            degree: 0,
+            mean_log_degree: 1.0,
+        };
+        let out = AggregatorKind::Pna.finish(&st, &isolated);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sum_is_permutation_invariant_exactly_for_ints() {
+        let fwd = run(AggregatorKind::Sum, &[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let rev = run(AggregatorKind::Sum, &[&[5.0, 6.0], &[3.0, 4.0], &[1.0, 2.0]]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_message_dim_panics() {
+        let mut st = AggregatorKind::Sum.init(2);
+        AggregatorKind::Sum.push(&mut st, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn state_kind_mismatch_panics() {
+        let mut st = AggregatorKind::Sum.init(2);
+        AggregatorKind::Mean.push(&mut st, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn out_dims() {
+        assert_eq!(AggregatorKind::Sum.out_dim(5), 5);
+        assert_eq!(AggregatorKind::Pna.out_dim(5), 60);
+    }
+}

@@ -1,0 +1,278 @@
+//! One message-passing layer: φ + 𝒜 + γ wired together.
+
+use flowgnn_tensor::Linear;
+
+use crate::{AggregatorKind, EdgeWeighting, MessageTransform, NodeTransform};
+
+/// One GNN layer in the FlowGNN programming model.
+///
+/// A layer is the unit the paper's skeleton (Listing 1) iterates over:
+/// an optional per-node *pre-projection* (GAT's shared head projection,
+/// executed in the NT unit), a message transformation φ with a per-edge
+/// scalar weighting, a streaming aggregator 𝒜, and a node transformation γ.
+/// Dimensions are validated at construction so a mis-wired model fails
+/// loudly before any simulation runs.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_models::{AggregatorKind, Combine, EdgeWeighting, GnnLayer,
+///     MessageTransform, NodeTransform};
+/// use flowgnn_tensor::{Activation, Linear};
+///
+/// // A GCN layer: normalised copy messages, sum aggregation, linear γ.
+/// let layer = GnnLayer::new(
+///     16,
+///     16,
+///     MessageTransform::WeightedCopy,
+///     EdgeWeighting::GcnNorm,
+///     AggregatorKind::Sum,
+///     NodeTransform::Linear {
+///         layer: Linear::seeded(16, 16, Activation::Relu, 0),
+///         combine: Combine::GcnSelfLoop,
+///     },
+/// );
+/// assert_eq!(layer.message_dim(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GnnLayer {
+    in_dim: usize,
+    out_dim: usize,
+    pre: Option<Linear>,
+    phi: MessageTransform,
+    weighting: EdgeWeighting,
+    agg: AggregatorKind,
+    gamma: NodeTransform,
+}
+
+impl GnnLayer {
+    /// Creates a layer, validating the dimension chain
+    /// `in → (pre) → φ → 𝒜 → γ → out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if γ's output dimension (given the payload and aggregate
+    /// dimensions) differs from `out_dim`.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        phi: MessageTransform,
+        weighting: EdgeWeighting,
+        agg: AggregatorKind,
+        gamma: NodeTransform,
+    ) -> Self {
+        let layer = Self {
+            in_dim,
+            out_dim,
+            pre: None,
+            phi,
+            weighting,
+            agg,
+            gamma,
+        };
+        layer.validate();
+        layer
+    }
+
+    /// Adds a per-node pre-projection applied before messaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection's input dimension differs from `in_dim`,
+    /// or the resulting chain no longer produces `out_dim`.
+    pub fn with_pre(mut self, pre: Linear) -> Self {
+        assert_eq!(
+            pre.in_dim(),
+            self.in_dim,
+            "pre-projection input dim {} does not match layer input dim {}",
+            pre.in_dim(),
+            self.in_dim
+        );
+        self.pre = Some(pre);
+        self.validate();
+        self
+    }
+
+    fn validate(&self) {
+        let got = self.gamma.out_dim(self.payload_dim(), self.agg_dim());
+        assert_eq!(
+            got, self.out_dim,
+            "node transform produces dim {got}, layer declares out_dim {}",
+            self.out_dim
+        );
+    }
+
+    /// Embedding dimension entering the layer.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Embedding dimension leaving the layer.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The dimension that streams through the NT-to-MP adapter: the
+    /// pre-projected embedding if a pre-projection exists, else the input
+    /// embedding.
+    pub fn payload_dim(&self) -> usize {
+        self.pre.as_ref().map_or(self.in_dim, Linear::out_dim)
+    }
+
+    /// Message dimension produced by φ.
+    pub fn message_dim(&self) -> usize {
+        self.phi.out_dim(self.payload_dim())
+    }
+
+    /// Aggregate dimension produced by 𝒜.
+    pub fn agg_dim(&self) -> usize {
+        self.agg.out_dim(self.message_dim())
+    }
+
+    /// The optional pre-projection.
+    pub fn pre(&self) -> Option<&Linear> {
+        self.pre.as_ref()
+    }
+
+    /// The message transformation φ.
+    pub fn phi(&self) -> &MessageTransform {
+        &self.phi
+    }
+
+    /// The per-edge scalar weighting.
+    pub fn weighting(&self) -> EdgeWeighting {
+        self.weighting
+    }
+
+    /// The aggregator 𝒜.
+    pub fn agg(&self) -> AggregatorKind {
+        self.agg
+    }
+
+    /// The node transformation γ.
+    pub fn gamma(&self) -> &NodeTransform {
+        &self.gamma
+    }
+
+    /// The fully-connected chain the NT unit runs per node (pre-projection
+    /// plus γ's layers), as `(in, out)` dimension pairs.
+    pub fn nt_fc_dims(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::new();
+        if let Some(pre) = &self.pre {
+            dims.push((pre.in_dim(), pre.out_dim()));
+        }
+        dims.extend(self.gamma.fc_dims(self.payload_dim(), self.agg_dim()));
+        dims
+    }
+
+    /// Multiply–accumulates per node for γ (and pre-projection).
+    pub fn nt_macs(&self) -> u64 {
+        let pre = self.pre.as_ref().map_or(0, Linear::macs);
+        pre + self.gamma.macs(self.payload_dim(), self.agg_dim())
+    }
+
+    /// Multiply–accumulates per edge for φ plus aggregation.
+    pub fn mp_macs(&self) -> u64 {
+        self.phi.macs(self.payload_dim()) + self.agg.ops_per_message(self.message_dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Combine;
+    use flowgnn_tensor::{Activation, Mlp};
+
+    fn gin_layer(dim: usize) -> GnnLayer {
+        GnnLayer::new(
+            dim,
+            dim,
+            MessageTransform::ReluAddEdge { edge_proj: None },
+            EdgeWeighting::One,
+            AggregatorKind::Sum,
+            NodeTransform::Mlp {
+                mlp: Mlp::seeded(&[dim, dim, dim], Activation::Relu, 1),
+                combine: Combine::SelfPlusEps(0.1),
+            },
+        )
+    }
+
+    #[test]
+    fn dims_chain_through() {
+        let l = gin_layer(10);
+        assert_eq!(l.in_dim(), 10);
+        assert_eq!(l.payload_dim(), 10);
+        assert_eq!(l.message_dim(), 10);
+        assert_eq!(l.agg_dim(), 10);
+        assert_eq!(l.out_dim(), 10);
+    }
+
+    #[test]
+    fn pna_aggregate_widens() {
+        let l = GnnLayer::new(
+            8,
+            8,
+            MessageTransform::WeightedCopy,
+            EdgeWeighting::One,
+            AggregatorKind::Pna,
+            NodeTransform::Linear {
+                layer: Linear::seeded(96 + 8, 8, Activation::Relu, 2),
+                combine: Combine::ConcatSelf,
+            },
+        );
+        assert_eq!(l.agg_dim(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer declares out_dim")]
+    fn mismatched_gamma_output_panics() {
+        GnnLayer::new(
+            8,
+            9, // γ actually produces 8
+            MessageTransform::WeightedCopy,
+            EdgeWeighting::One,
+            AggregatorKind::Sum,
+            NodeTransform::Identity {
+                combine: Combine::MessageOnly,
+            },
+        );
+    }
+
+    #[test]
+    fn pre_projection_changes_payload() {
+        let l = GnnLayer::new(
+            12,
+            6,
+            MessageTransform::GatAttention {
+                heads: 2,
+                head_dim: 3,
+                a_src: vec![0.0; 6],
+                a_dst: vec![0.0; 6],
+            },
+            EdgeWeighting::One,
+            AggregatorKind::Sum,
+            NodeTransform::GatNormalize {
+                heads: 2,
+                head_dim: 3,
+            },
+        )
+        .with_pre(Linear::seeded(12, 6, Activation::Identity, 3));
+        assert_eq!(l.payload_dim(), 6);
+        assert_eq!(l.message_dim(), 8); // 6 numerators + 2 denominators
+        assert_eq!(l.nt_fc_dims(), vec![(12, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match layer input dim")]
+    fn wrong_pre_dims_panic() {
+        gin_layer(10).with_pre(Linear::seeded(5, 10, Activation::Identity, 0));
+    }
+
+    #[test]
+    fn mac_counts_are_positive() {
+        let l = gin_layer(16);
+        assert!(l.nt_macs() > 0);
+        assert!(l.mp_macs() > 0);
+        assert_eq!(l.nt_fc_dims(), vec![(16, 16), (16, 16)]);
+    }
+}

@@ -1,0 +1,82 @@
+//! FlowGNN-RS programming model and reference GNN implementations.
+//!
+//! The paper's central generality claim (Sec. III-B) is that prevailing
+//! GNNs share one skeleton — explicit message passing:
+//!
+//! ```text
+//! x_i^{l+1} = γ( x_i^l,  𝒜_{j∈N(i)} φ(x_i^l, x_j^l, e_{i,j}^l) )
+//! ```
+//!
+//! and that an accelerator only needs three pluggable components per layer:
+//! a **message transformation** φ ([`MessageTransform`]), a permutation-
+//! invariant **aggregation** 𝒜 ([`AggregatorKind`]), and a **node
+//! transformation** γ ([`NodeTransform`]). This crate is that programming
+//! model (the Rust analogue of the paper's Listing 1), plus:
+//!
+//! - [`GnnModel`] presets for all six paper models — GCN, GIN, GIN+VN, GAT,
+//!   PNA, DGN — with the exact layer counts and dimensions of Sec. VI-A;
+//! - [`mod@reference`] — a functional executor playing the role of the paper's
+//!   PyTorch cross-check: the cycle-level simulator in `flowgnn-core` runs
+//!   the *same* component objects, so functional equivalence between the
+//!   "accelerator" and the "framework" is testable;
+//! - [`GraphContext`] — per-graph derived quantities (degrees, PNA degree
+//!   scalers, the DGN eigenvector field) that the paper treats as inputs.
+//!
+//! # Example: assembling a custom GNN (the paper's "NewGNN" scenario)
+//!
+//! ```
+//! use flowgnn_models::{GnnModel, ModelKind};
+//!
+//! // Paper Sec. V: NewGNN = GAT-style attention + PNA-style aggregators.
+//! // Here: the stock GIN preset for a 9-feature dataset with 3-d bonds.
+//! let model = GnnModel::gin(9, Some(3), 42);
+//! assert_eq!(model.kind(), ModelKind::Gin);
+//! assert_eq!(model.layers().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod context;
+mod layer;
+mod message;
+mod model;
+pub mod presets;
+pub mod reference;
+mod readout;
+mod transform;
+mod weighting;
+
+pub use aggregate::{AggState, AggregatorKind};
+pub use context::GraphContext;
+pub use layer::GnnLayer;
+pub use message::{MessageCtx, MessageTransform};
+pub use model::{GnnModel, ModelKind};
+pub use readout::{Pooling, Readout};
+pub use transform::{Combine, NodeCtx, NodeTransform};
+pub use weighting::EdgeWeighting;
+
+/// Which direction a model's pipeline runs (Sec. III-D2).
+///
+/// - `NtToMp`: transform, then scatter along **out-edges**; MP units own
+///   destination-node banks (GCN, GIN, PNA, DGN).
+/// - `MpToNt`: gather along **in-edges**, then transform; MP units own
+///   source-node banks. Favoured by GAT, whose attention weights need the
+///   gathering node's own projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Node transformation feeding message passing (scatter-style).
+    NtToMp,
+    /// Message passing feeding node transformation (gather-style).
+    MpToNt,
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dataflow::NtToMp => "NT-to-MP",
+            Dataflow::MpToNt => "MP-to-NT",
+        })
+    }
+}

@@ -1,0 +1,317 @@
+//! Message transformation φ — the per-edge computation.
+
+use std::sync::Arc;
+
+use flowgnn_tensor::{ops, Activation, Linear};
+
+/// Everything available to φ for one edge `u → v`.
+///
+/// `x_src` is the source embedding (the payload streamed through the
+/// NT-to-MP adapter); `x_dst` is the destination's embedding, available
+/// only in the MP-to-NT (gather) dataflow where the MP unit owns the
+/// destination's state — GAT needs it for attention logits. `edge_weight`
+/// is the scalar from [`EdgeWeighting`](crate::EdgeWeighting).
+#[derive(Debug, Clone, Copy)]
+pub struct MessageCtx<'a> {
+    /// Source node embedding.
+    pub x_src: &'a [f32],
+    /// Destination node embedding (gather dataflow only).
+    pub x_dst: Option<&'a [f32]>,
+    /// Per-edge features, if the graph has them.
+    pub edge_feat: Option<&'a [f32]>,
+    /// Scalar edge weight (1, GCN norm, or directional coefficient).
+    pub edge_weight: f32,
+}
+
+/// The message transformation φ of one layer.
+///
+/// This is the component the paper's Listing 1 lets "Alice" swap out
+/// (line 16); every built-in variant corresponds to one of the six paper
+/// models, and [`MessageTransform::Custom`] is the open extension point.
+#[derive(Clone)]
+pub enum MessageTransform {
+    /// `φ = w · x_src` — GCN (normalised copy), PNA, plain copy at `w = 1`.
+    WeightedCopy,
+    /// `φ = relu(x_src + W_e · e)` — GIN with edge embeddings (Eq. 1).
+    /// Without an edge projection (or edge features), `φ = relu(x_src)`.
+    ReluAddEdge {
+        /// Learned projection of raw edge features into the embedding
+        /// space (`None` when the dataset has no edge features).
+        edge_proj: Option<Linear>,
+    },
+    /// `φ = concat[x_src, w·x_src, 1, w]` — DGN: carries the mean channel,
+    /// the directional-derivative channel, and the counters the node
+    /// transform needs to finish both aggregators.
+    DirectionalPair,
+    /// GAT attention: per head `h`, computes
+    /// `α̃_h = exp(leaky_relu(a_src·z_src,h + a_dst·z_dst,h))` and emits
+    /// `concat[α̃_0·z_src,0, …, α̃_{H-1}·z_src,H-1, α̃_0, …, α̃_{H-1}]`,
+    /// the unnormalised attention numerators plus denominators (online
+    /// softmax: the node transform divides at the end).
+    GatAttention {
+        /// Number of attention heads.
+        heads: usize,
+        /// Per-head feature width.
+        head_dim: usize,
+        /// Per-head source attention vectors, `heads × head_dim` flattened.
+        a_src: Vec<f32>,
+        /// Per-head destination attention vectors, flattened.
+        a_dst: Vec<f32>,
+    },
+    /// Arbitrary user transformation (the paper's "NewerGNN" path).
+    Custom {
+        /// Output dimension produced by `f`.
+        out_dim: usize,
+        /// The transformation body.
+        f: Arc<dyn Fn(&MessageCtx<'_>, &mut Vec<f32>) + Send + Sync>,
+    },
+}
+
+impl MessageTransform {
+    /// Output (message) dimension given the source embedding dimension.
+    pub fn out_dim(&self, src_dim: usize) -> usize {
+        match self {
+            MessageTransform::WeightedCopy => src_dim,
+            MessageTransform::ReluAddEdge { .. } => src_dim,
+            MessageTransform::DirectionalPair => 2 * src_dim + 2,
+            MessageTransform::GatAttention { heads, head_dim, .. } => heads * head_dim + heads,
+            MessageTransform::Custom { out_dim, .. } => *out_dim,
+        }
+    }
+
+    /// Applies φ, writing the message into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches (wrong `x_src` length for the
+    /// configured edge projection or attention geometry).
+    pub fn apply(&self, ctx: &MessageCtx<'_>, out: &mut Vec<f32>) {
+        out.clear();
+        match self {
+            MessageTransform::WeightedCopy => {
+                out.extend_from_slice(ctx.x_src);
+                if ctx.edge_weight != 1.0 {
+                    ops::scale(out, ctx.edge_weight);
+                }
+            }
+            MessageTransform::ReluAddEdge { edge_proj } => {
+                out.extend_from_slice(ctx.x_src);
+                if let (Some(proj), Some(e)) = (edge_proj, ctx.edge_feat) {
+                    let embedded = proj.forward(e);
+                    ops::add_assign(out, &embedded);
+                }
+                Activation::Relu.apply_slice(out);
+            }
+            MessageTransform::DirectionalPair => {
+                out.extend_from_slice(ctx.x_src);
+                for &x in ctx.x_src {
+                    out.push(ctx.edge_weight * x);
+                }
+                out.push(1.0);
+                out.push(ctx.edge_weight);
+            }
+            MessageTransform::GatAttention {
+                heads,
+                head_dim,
+                a_src,
+                a_dst,
+            } => {
+                let z_src = ctx.x_src;
+                let z_dst = ctx
+                    .x_dst
+                    .expect("GAT attention requires the destination embedding (gather dataflow)");
+                assert_eq!(
+                    z_src.len(),
+                    heads * head_dim,
+                    "GAT source embedding length mismatch"
+                );
+                assert_eq!(
+                    z_dst.len(),
+                    heads * head_dim,
+                    "GAT destination embedding length mismatch"
+                );
+                let mut weights = Vec::with_capacity(*heads);
+                for h in 0..*heads {
+                    let lo = h * head_dim;
+                    let hi = lo + head_dim;
+                    let logit = ops::dot(&a_src[lo..hi], &z_src[lo..hi])
+                        + ops::dot(&a_dst[lo..hi], &z_dst[lo..hi]);
+                    // Clamp before exp: bounded weights keep the online
+                    // softmax finite without a separate max pass.
+                    let w = Activation::LeakyRelu.apply(logit).clamp(-30.0, 30.0).exp();
+                    weights.push(w);
+                    for &z in &z_src[lo..hi] {
+                        out.push(w * z);
+                    }
+                }
+                out.extend_from_slice(&weights);
+            }
+            MessageTransform::Custom { f, .. } => f(ctx, out),
+        }
+    }
+
+    /// Multiply–accumulate count of one φ application (for op-based
+    /// baseline models), given the source dimension.
+    pub fn macs(&self, src_dim: usize) -> u64 {
+        match self {
+            MessageTransform::WeightedCopy => src_dim as u64,
+            MessageTransform::ReluAddEdge { edge_proj } => {
+                src_dim as u64 + edge_proj.as_ref().map_or(0, Linear::macs)
+            }
+            MessageTransform::DirectionalPair => 2 * src_dim as u64,
+            MessageTransform::GatAttention { heads, head_dim, .. } => {
+                (heads * (3 * head_dim + 2)) as u64
+            }
+            MessageTransform::Custom { out_dim, .. } => *out_dim as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for MessageTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageTransform::WeightedCopy => write!(f, "WeightedCopy"),
+            MessageTransform::ReluAddEdge { edge_proj } => write!(
+                f,
+                "ReluAddEdge(edge_proj={})",
+                edge_proj.as_ref().map_or("none".into(), |p| format!(
+                    "{}x{}",
+                    p.in_dim(),
+                    p.out_dim()
+                ))
+            ),
+            MessageTransform::DirectionalPair => write!(f, "DirectionalPair"),
+            MessageTransform::GatAttention { heads, head_dim, .. } => {
+                write!(f, "GatAttention({heads} heads x {head_dim})")
+            }
+            MessageTransform::Custom { out_dim, .. } => write!(f, "Custom(out_dim={out_dim})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_tensor::{Activation, Matrix};
+
+    fn ctx<'a>(x: &'a [f32], w: f32) -> MessageCtx<'a> {
+        MessageCtx {
+            x_src: x,
+            x_dst: None,
+            edge_feat: None,
+            edge_weight: w,
+        }
+    }
+
+    #[test]
+    fn weighted_copy_scales() {
+        let mut out = Vec::new();
+        MessageTransform::WeightedCopy.apply(&ctx(&[1.0, -2.0], 0.5), &mut out);
+        assert_eq!(out, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn weighted_copy_unit_weight_is_copy() {
+        let mut out = Vec::new();
+        MessageTransform::WeightedCopy.apply(&ctx(&[1.0, -2.0], 1.0), &mut out);
+        assert_eq!(out, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn relu_add_edge_without_features_is_relu() {
+        let mut out = Vec::new();
+        MessageTransform::ReluAddEdge { edge_proj: None }.apply(&ctx(&[1.0, -2.0], 1.0), &mut out);
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_add_edge_projects_edge_features() {
+        let proj = Linear::new(
+            Matrix::from_rows(&[&[1.0], &[1.0]]),
+            vec![0.0, 0.0],
+            Activation::Identity,
+        );
+        let mt = MessageTransform::ReluAddEdge {
+            edge_proj: Some(proj),
+        };
+        let e = [3.0f32];
+        let c = MessageCtx {
+            x_src: &[1.0, -5.0],
+            x_dst: None,
+            edge_feat: Some(&e),
+            edge_weight: 1.0,
+        };
+        let mut out = Vec::new();
+        mt.apply(&c, &mut out);
+        // relu([1+3, -5+3]) = [4, 0]
+        assert_eq!(out, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn directional_pair_layout() {
+        let mut out = Vec::new();
+        MessageTransform::DirectionalPair.apply(&ctx(&[2.0, 3.0], -0.5), &mut out);
+        assert_eq!(out, vec![2.0, 3.0, -1.0, -1.5, 1.0, -0.5]);
+        assert_eq!(MessageTransform::DirectionalPair.out_dim(2), 6);
+    }
+
+    #[test]
+    fn gat_attention_emits_numerators_and_denominators() {
+        let mt = MessageTransform::GatAttention {
+            heads: 2,
+            head_dim: 2,
+            a_src: vec![1.0, 0.0, 0.0, 0.0],
+            a_dst: vec![0.0, 0.0, 0.0, 0.0],
+        };
+        let z_src = [1.0, 2.0, 3.0, 4.0];
+        let z_dst = [0.0; 4];
+        let c = MessageCtx {
+            x_src: &z_src,
+            x_dst: Some(&z_dst),
+            edge_feat: None,
+            edge_weight: 1.0,
+        };
+        let mut out = Vec::new();
+        mt.apply(&c, &mut out);
+        assert_eq!(out.len(), mt.out_dim(4));
+        // Head 0 logit = 1.0 → w0 = e^1; head 1 logit = 0 → w1 = 1.
+        let w0 = 1.0f32.exp();
+        assert!((out[0] - w0 * 1.0).abs() < 1e-5);
+        assert!((out[1] - w0 * 2.0).abs() < 1e-5);
+        assert!((out[2] - 3.0).abs() < 1e-5);
+        assert!((out[3] - 4.0).abs() < 1e-5);
+        assert!((out[4] - w0).abs() < 1e-5);
+        assert!((out[5] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the destination")]
+    fn gat_without_dst_panics() {
+        let mt = MessageTransform::GatAttention {
+            heads: 1,
+            head_dim: 1,
+            a_src: vec![0.0],
+            a_dst: vec![0.0],
+        };
+        let mut out = Vec::new();
+        mt.apply(&ctx(&[1.0], 1.0), &mut out);
+    }
+
+    #[test]
+    fn custom_transform_runs_user_code() {
+        let mt = MessageTransform::Custom {
+            out_dim: 1,
+            f: Arc::new(|c, out| out.push(c.x_src.iter().sum())),
+        };
+        let mut out = Vec::new();
+        mt.apply(&ctx(&[1.0, 2.0, 3.0], 1.0), &mut out);
+        assert_eq!(out, vec![6.0]);
+        assert!(format!("{mt:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn macs_are_positive_for_all_variants() {
+        assert!(MessageTransform::WeightedCopy.macs(8) > 0);
+        assert!(MessageTransform::DirectionalPair.macs(8) > 0);
+    }
+}

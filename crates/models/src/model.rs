@@ -1,0 +1,355 @@
+//! A complete GNN model: encoder, layer stack, readout.
+
+use flowgnn_tensor::Linear;
+
+use crate::{Dataflow, GnnLayer, Readout};
+
+/// Which paper model a [`GnnModel`] instantiates (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Graph Convolutional Network — the SpMM-expressible family.
+    Gcn,
+    /// Graph Isomorphism Network with edge embeddings — the family where
+    /// SpMM does not apply (Eq. 1).
+    Gin,
+    /// GIN with a virtual node connected to every other node.
+    GinVn,
+    /// Graph Attention Network — the anisotropic family.
+    Gat,
+    /// Principal Neighbourhood Aggregation — multi-aggregator family.
+    Pna,
+    /// Directional Graph Network — eigenvector-guided aggregation.
+    Dgn,
+    /// GraphSage (mean variant) — an "older GNN" served by stock
+    /// components (paper Sec. V): mean aggregation + concat update.
+    GraphSage,
+    /// Simplified GCN (Wu et al.) — K propagation steps with a single
+    /// linear transformation, no per-layer nonlinearity.
+    Sgc,
+    /// A user-assembled model (the paper's NewGNN/NewerGNN scenarios).
+    Custom,
+}
+
+impl ModelKind {
+    /// The six paper models, in Table V order.
+    pub const PAPER_MODELS: [ModelKind; 6] = [
+        ModelKind::Gin,
+        ModelKind::GinVn,
+        ModelKind::Gcn,
+        ModelKind::Gat,
+        ModelKind::Pna,
+        ModelKind::Dgn,
+    ];
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gin => "GIN",
+            ModelKind::GinVn => "GIN+VN",
+            ModelKind::Gat => "GAT",
+            ModelKind::Pna => "PNA",
+            ModelKind::Dgn => "DGN",
+            ModelKind::GraphSage => "GraphSage",
+            ModelKind::Sgc => "SGC",
+            ModelKind::Custom => "Custom",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete GNN: input encoder, message-passing layers, optional
+/// graph-level readout.
+///
+/// Construct paper models with the preset constructors
+/// ([`GnnModel::gcn`], [`GnnModel::gin`], [`GnnModel::gin_vn`],
+/// [`GnnModel::gat`], [`GnnModel::pna`], [`GnnModel::dgn`] — see
+/// [`crate::presets`]) or assemble a custom one with
+/// builder-style [`GnnModel::custom`].
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_models::GnnModel;
+///
+/// let gcn = GnnModel::gcn(9, 42);
+/// assert_eq!(gcn.hidden_dim(), 100);
+/// assert_eq!(gcn.layers().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GnnModel {
+    pub(crate) name: String,
+    pub(crate) kind: ModelKind,
+    pub(crate) dataflow: Dataflow,
+    pub(crate) encoder: Option<Linear>,
+    pub(crate) layers: Vec<GnnLayer>,
+    pub(crate) readout: Option<Readout>,
+    pub(crate) uses_virtual_node: bool,
+}
+
+impl GnnModel {
+    /// Assembles a custom model from parts, validating the dimension chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layer dimensions
+    /// mismatch (including encoder → first layer and last layer → readout).
+    pub fn custom(
+        name: impl Into<String>,
+        dataflow: Dataflow,
+        encoder: Option<Linear>,
+        layers: Vec<GnnLayer>,
+        readout: Option<Readout>,
+    ) -> Self {
+        let model = Self {
+            name: name.into(),
+            kind: ModelKind::Custom,
+            dataflow,
+            encoder,
+            layers,
+            readout,
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(!self.layers.is_empty(), "a model needs at least one layer");
+        if let Some(enc) = &self.encoder {
+            assert_eq!(
+                enc.out_dim(),
+                self.layers[0].in_dim(),
+                "encoder output dim {} does not feed first layer input dim {}",
+                enc.out_dim(),
+                self.layers[0].in_dim()
+            );
+        }
+        for pair in self.layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer output dim {} does not feed next layer input dim {}",
+                pair[0].out_dim(),
+                pair[1].in_dim()
+            );
+        }
+        if let Some(r) = &self.readout {
+            let last = self.layers.last().expect("non-empty").out_dim();
+            assert_eq!(
+                r.head().in_dim(),
+                last,
+                "readout head input dim {} does not match final embedding dim {last}",
+                r.head().in_dim()
+            );
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which paper model this is.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The pipeline direction this model favours.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// The input feature encoder, if any.
+    pub fn encoder(&self) -> Option<&Linear> {
+        self.encoder.as_ref()
+    }
+
+    /// The message-passing layers.
+    pub fn layers(&self) -> &[GnnLayer] {
+        &self.layers
+    }
+
+    /// The graph-level readout, if any.
+    pub fn readout(&self) -> Option<&Readout> {
+        self.readout.as_ref()
+    }
+
+    /// Whether the input graph must be augmented with a virtual node.
+    pub fn uses_virtual_node(&self) -> bool {
+        self.uses_virtual_node
+    }
+
+    /// The hidden embedding dimension (first layer's input).
+    pub fn hidden_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Raw input feature dimension expected by the model.
+    pub fn input_dim(&self) -> usize {
+        self.encoder
+            .as_ref()
+            .map_or(self.layers[0].in_dim(), Linear::in_dim)
+    }
+
+    /// Whether any layer needs the DGN eigenvector field.
+    pub fn needs_dgn_field(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| l.weighting() == crate::EdgeWeighting::Directional)
+    }
+
+    /// Estimated multiply–accumulates for one graph with `n` nodes and `e`
+    /// directed edges (virtual-node augmentation included automatically).
+    ///
+    /// Used by the op-proportional CPU/GPU baseline models.
+    pub fn macs_per_graph(&self, n: usize, e: usize) -> u64 {
+        let (n, e) = if self.uses_virtual_node {
+            (n + 1, e + 2 * n)
+        } else {
+            (n, e)
+        };
+        let (n64, e64) = (n as u64, e as u64);
+        let mut total = 0u64;
+        if let Some(enc) = &self.encoder {
+            total += n64 * enc.macs();
+        }
+        for layer in &self.layers {
+            total += n64 * layer.nt_macs() + e64 * layer.mp_macs();
+        }
+        if let Some(r) = &self.readout {
+            total += r.macs(n);
+        }
+        total
+    }
+}
+
+impl std::fmt::Display for GnnModel {
+    /// A one-model summary: name, dataflow, and the per-layer component
+    /// chain — the textual form of the paper's Listing 1 instantiation.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} ({} dataflow, input dim {}, hidden dim {})",
+            self.name,
+            self.dataflow,
+            self.input_dim(),
+            self.hidden_dim()
+        )?;
+        if let Some(enc) = &self.encoder {
+            writeln!(f, "  encoder: {}x{}", enc.in_dim(), enc.out_dim())?;
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            writeln!(
+                f,
+                "  layer {i}: phi={:?} w={:?} agg={} gamma={:?}",
+                layer.phi(),
+                layer.weighting(),
+                layer.agg(),
+                layer.gamma()
+            )?;
+        }
+        if let Some(r) = &self.readout {
+            writeln!(
+                f,
+                "  readout: {:?} pooling + head {}->{}",
+                r.pooling(),
+                r.head().in_dim(),
+                r.head().out_dim()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggregatorKind, Combine, EdgeWeighting, MessageTransform, NodeTransform};
+    use flowgnn_tensor::Activation;
+
+    fn layer(in_dim: usize, out_dim: usize) -> GnnLayer {
+        GnnLayer::new(
+            in_dim,
+            out_dim,
+            MessageTransform::WeightedCopy,
+            EdgeWeighting::One,
+            AggregatorKind::Sum,
+            NodeTransform::Linear {
+                layer: Linear::seeded(in_dim, out_dim, Activation::Relu, 9),
+                combine: Combine::MessageOnly,
+            },
+        )
+    }
+
+    #[test]
+    fn custom_model_validates_chain() {
+        let m = GnnModel::custom(
+            "two-layer",
+            Dataflow::NtToMp,
+            Some(Linear::seeded(5, 8, Activation::Identity, 0)),
+            vec![layer(8, 8), layer(8, 4)],
+            None,
+        );
+        assert_eq!(m.input_dim(), 5);
+        assert_eq!(m.hidden_dim(), 8);
+        assert_eq!(m.kind(), ModelKind::Custom);
+        assert!(!m.needs_dgn_field());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed next layer")]
+    fn mismatched_layers_panic() {
+        GnnModel::custom(
+            "bad",
+            Dataflow::NtToMp,
+            None,
+            vec![layer(8, 8), layer(4, 4)],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "encoder output dim")]
+    fn mismatched_encoder_panics() {
+        GnnModel::custom(
+            "bad",
+            Dataflow::NtToMp,
+            Some(Linear::seeded(5, 7, Activation::Identity, 0)),
+            vec![layer(8, 8)],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_panics() {
+        GnnModel::custom("empty", Dataflow::NtToMp, None, vec![], None);
+    }
+
+    #[test]
+    fn macs_grow_with_graph_size() {
+        let m = GnnModel::custom("m", Dataflow::NtToMp, None, vec![layer(8, 8)], None);
+        assert!(m.macs_per_graph(100, 500) > m.macs_per_graph(10, 50));
+    }
+
+    #[test]
+    fn paper_models_list_has_six() {
+        assert_eq!(ModelKind::PAPER_MODELS.len(), 6);
+        assert_eq!(ModelKind::GinVn.name(), "GIN+VN");
+    }
+
+    #[test]
+    fn display_summarises_the_pipeline() {
+        let s = GnnModel::gin(9, Some(3), 0).to_string();
+        assert!(s.contains("GIN"));
+        assert!(s.contains("encoder: 9x100"));
+        assert!(s.contains("layer 4"));
+        assert!(s.contains("readout"));
+    }
+}

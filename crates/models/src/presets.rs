@@ -1,0 +1,495 @@
+//! The six paper models with their Sec. VI-A configurations.
+//!
+//! | Model  | Layers | Hidden dim | Head |
+//! |--------|--------|------------|------|
+//! | GCN    | 5      | 100        | mean pool + linear |
+//! | GIN    | 5      | 100        | mean pool + linear |
+//! | GIN+VN | 5      | 100        | mean pool + linear |
+//! | GAT    | 5      | 4 heads × 16 | mean pool + linear |
+//! | PNA    | 4      | 80         | mean pool + MLP (40, 20, 1) |
+//! | DGN    | 4      | 100        | mean pool + MLP (50, 25, 1) |
+//!
+//! Each constructor takes the dataset's raw feature dimensions and a seed;
+//! all weights come from one deterministic stream per model, so the
+//! reference executor and the cycle-level simulator load identical
+//! parameters.
+
+use flowgnn_tensor::{Activation, Linear, Mlp, WeightInit};
+
+use crate::{
+    AggregatorKind, Combine, Dataflow, EdgeWeighting, GnnLayer, GnnModel, MessageTransform,
+    ModelKind, NodeTransform, Pooling, Readout,
+};
+
+impl GnnModel {
+    /// The paper's GCN: 5 layers, dimension 100, symmetric normalisation,
+    /// global mean pooling and a linear output head.
+    pub fn gcn(input_dim: usize, seed: u64) -> Self {
+        Self::gcn_with(input_dim, 100, 5, true, seed)
+    }
+
+    /// A configurable GCN (used for the Table VIII comparison config:
+    /// 2 layers, dimension 16, no readout, mirroring I-GCN/AWB-GCN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn gcn_with(
+        input_dim: usize,
+        hidden: usize,
+        layers: usize,
+        graph_head: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(layers > 0, "a model needs at least one layer");
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let layer_stack = (0..layers)
+            .map(|_| {
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::WeightedCopy,
+                    EdgeWeighting::GcnNorm,
+                    AggregatorKind::Sum,
+                    NodeTransform::Linear {
+                        layer: Linear::from_init(hidden, hidden, Activation::Relu, &mut init),
+                        combine: Combine::GcnSelfLoop,
+                    },
+                )
+            })
+            .collect();
+        let readout = graph_head.then(|| {
+            Readout::new(
+                Pooling::Mean,
+                Mlp::from_init(&[hidden, 1], Activation::Relu, &mut init),
+            )
+        });
+        let model = Self {
+            name: "GCN".into(),
+            kind: ModelKind::Gcn,
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout,
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// The paper's GIN (Eq. 1): 5 layers, dimension 100, edge embeddings
+    /// via a learned bond projection, 2-layer MLPs, mean pooling + linear
+    /// head. `edge_dim` is `None` for datasets without edge features.
+    pub fn gin(input_dim: usize, edge_dim: Option<usize>, seed: u64) -> Self {
+        Self::gin_inner(input_dim, edge_dim, seed, false)
+    }
+
+    /// GIN with a virtual node connected to all other nodes (Sec. IV).
+    pub fn gin_vn(input_dim: usize, edge_dim: Option<usize>, seed: u64) -> Self {
+        Self::gin_inner(input_dim, edge_dim, seed, true)
+    }
+
+    fn gin_inner(input_dim: usize, edge_dim: Option<usize>, seed: u64, vn: bool) -> Self {
+        let hidden = 100;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let layer_stack = (0..5)
+            .map(|_| {
+                let eps = init.scalar(0.0, 0.2);
+                let edge_proj = edge_dim.map(|d| {
+                    Linear::from_init(d, hidden, Activation::Identity, &mut init)
+                });
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::ReluAddEdge { edge_proj },
+                    EdgeWeighting::One,
+                    AggregatorKind::Sum,
+                    NodeTransform::Mlp {
+                        mlp: Mlp::from_init(
+                            &[hidden, 2 * hidden, hidden],
+                            Activation::Relu,
+                            &mut init,
+                        ),
+                        combine: Combine::SelfPlusEps(eps),
+                    },
+                )
+            })
+            .collect();
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: if vn { "GIN+VN".into() } else { "GIN".into() },
+            kind: if vn { ModelKind::GinVn } else { ModelKind::Gin },
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: vn,
+        };
+        model.validate();
+        model
+    }
+
+    /// The paper's GAT: 5 layers, 4 heads of 16 features (hidden 64),
+    /// MP-to-NT dataflow, mean pooling + linear head.
+    pub fn gat(input_dim: usize, seed: u64) -> Self {
+        let (heads, head_dim) = (4, 16);
+        let hidden = heads * head_dim;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let layer_stack = (0..5)
+            .map(|_| {
+                let pre = Linear::from_init(hidden, hidden, Activation::Identity, &mut init);
+                let a_src = init.features(hidden);
+                let a_dst = init.features(hidden);
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::GatAttention {
+                        heads,
+                        head_dim,
+                        a_src,
+                        a_dst,
+                    },
+                    EdgeWeighting::One,
+                    AggregatorKind::Sum,
+                    NodeTransform::GatNormalize { heads, head_dim },
+                )
+                .with_pre(pre)
+            })
+            .collect();
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: "GAT".into(),
+            kind: ModelKind::Gat,
+            dataflow: Dataflow::MpToNt,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// The paper's PNA: 4 layers, dimension 80, four aggregators × three
+    /// degree scalers (Eq. 3), mean pooling + MLP-ReLU head (40, 20, 1).
+    pub fn pna(input_dim: usize, edge_dim: Option<usize>, seed: u64) -> Self {
+        let hidden = 80;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let agg_dim = AggregatorKind::Pna.out_dim(hidden);
+        let layer_stack = (0..4)
+            .map(|_| {
+                let edge_proj = edge_dim.map(|d| {
+                    Linear::from_init(d, hidden, Activation::Identity, &mut init)
+                });
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::ReluAddEdge { edge_proj },
+                    EdgeWeighting::One,
+                    AggregatorKind::Pna,
+                    NodeTransform::Linear {
+                        layer: Linear::from_init(
+                            agg_dim + hidden,
+                            hidden,
+                            Activation::Relu,
+                            &mut init,
+                        ),
+                        combine: Combine::ConcatSelf,
+                    },
+                )
+            })
+            .collect();
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 40, 20, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: "PNA".into(),
+            kind: ModelKind::Pna,
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// The paper's DGN: 4 layers, dimension 100, mean + directional-
+    /// derivative aggregation guided by the Laplacian eigenvector field,
+    /// mean pooling + MLP-ReLU head (50, 25, 1).
+    pub fn dgn(input_dim: usize, seed: u64) -> Self {
+        let hidden = 100;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let layer_stack = (0..4)
+            .map(|_| {
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::DirectionalPair,
+                    EdgeWeighting::Directional,
+                    AggregatorKind::Sum,
+                    NodeTransform::DgnFinish {
+                        layer: Linear::from_init(2 * hidden, hidden, Activation::Relu, &mut init),
+                    },
+                )
+            })
+            .collect();
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 50, 25, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: "DGN".into(),
+            kind: ModelKind::Dgn,
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// GraphSage (mean variant), an "older GNN" the paper serves with
+    /// stock components (Sec. V): mean aggregation of neighbour copies and
+    /// a concat-update `x' = relu(W·[m ‖ x])`. 5 layers, dimension 100,
+    /// mean pooling + linear head.
+    pub fn graphsage(input_dim: usize, seed: u64) -> Self {
+        let hidden = 100;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let layer_stack = (0..5)
+            .map(|_| {
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::WeightedCopy,
+                    EdgeWeighting::One,
+                    AggregatorKind::Mean,
+                    NodeTransform::Linear {
+                        layer: Linear::from_init(2 * hidden, hidden, Activation::Relu, &mut init),
+                        combine: Combine::ConcatSelf,
+                    },
+                )
+            })
+            .collect();
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: "GraphSage".into(),
+            kind: ModelKind::GraphSage,
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// Simplified GCN (SGC): an encoder, `k` pure propagation steps with
+    /// symmetric normalisation and *no* per-layer transformation, and one
+    /// final linear layer — the "GNN family that can be represented as
+    /// SpMM" at its purest. Mean pooling + linear head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn sgc(input_dim: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "SGC needs at least one propagation step");
+        let hidden = 100;
+        let mut init = WeightInit::new(seed);
+        let encoder = Linear::from_init(input_dim, hidden, Activation::Identity, &mut init);
+        let mut layer_stack: Vec<GnnLayer> = (0..k)
+            .map(|_| {
+                GnnLayer::new(
+                    hidden,
+                    hidden,
+                    MessageTransform::WeightedCopy,
+                    EdgeWeighting::GcnNorm,
+                    AggregatorKind::Sum,
+                    NodeTransform::Identity {
+                        combine: Combine::GcnSelfLoop,
+                    },
+                )
+            })
+            .collect();
+        // The single learned transformation, applied after propagation.
+        layer_stack.push(GnnLayer::new(
+            hidden,
+            hidden,
+            MessageTransform::WeightedCopy,
+            EdgeWeighting::GcnNorm,
+            AggregatorKind::Sum,
+            NodeTransform::Linear {
+                layer: Linear::from_init(hidden, hidden, Activation::Identity, &mut init),
+                combine: Combine::GcnSelfLoop,
+            },
+        ));
+        let readout = Readout::new(
+            Pooling::Mean,
+            Mlp::from_init(&[hidden, 1], Activation::Relu, &mut init),
+        );
+        let model = Self {
+            name: "SGC".into(),
+            kind: ModelKind::Sgc,
+            dataflow: Dataflow::NtToMp,
+            encoder: Some(encoder),
+            layers: layer_stack,
+            readout: Some(readout),
+            uses_virtual_node: false,
+        };
+        model.validate();
+        model
+    }
+
+    /// Builds the paper configuration of `kind` for a dataset with the
+    /// given feature dimensions.
+    pub fn preset(kind: ModelKind, input_dim: usize, edge_dim: Option<usize>, seed: u64) -> Self {
+        match kind {
+            ModelKind::Gcn => Self::gcn(input_dim, seed),
+            ModelKind::Gin => Self::gin(input_dim, edge_dim, seed),
+            ModelKind::GinVn => Self::gin_vn(input_dim, edge_dim, seed),
+            ModelKind::Gat => Self::gat(input_dim, seed),
+            ModelKind::Pna => Self::pna(input_dim, edge_dim, seed),
+            ModelKind::Dgn => Self::dgn(input_dim, seed),
+            ModelKind::GraphSage => Self::graphsage(input_dim, seed),
+            ModelKind::Sgc => Self::sgc(input_dim, 2, seed),
+            ModelKind::Custom => panic!("no preset for ModelKind::Custom"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_matches_paper_config() {
+        let m = GnnModel::gcn(9, 0);
+        assert_eq!(m.layers().len(), 5);
+        assert_eq!(m.hidden_dim(), 100);
+        assert!(m.readout().is_some());
+        assert_eq!(m.dataflow(), Dataflow::NtToMp);
+    }
+
+    #[test]
+    fn gin_has_edge_projection_when_edges_exist() {
+        let m = GnnModel::gin(9, Some(3), 0);
+        assert!(matches!(
+            m.layers()[0].phi(),
+            MessageTransform::ReluAddEdge { edge_proj: Some(_) }
+        ));
+        let m2 = GnnModel::gin(9, None, 0);
+        assert!(matches!(
+            m2.layers()[0].phi(),
+            MessageTransform::ReluAddEdge { edge_proj: None }
+        ));
+    }
+
+    #[test]
+    fn gin_vn_flags_virtual_node() {
+        assert!(GnnModel::gin_vn(9, Some(3), 0).uses_virtual_node());
+        assert!(!GnnModel::gin(9, Some(3), 0).uses_virtual_node());
+    }
+
+    #[test]
+    fn gat_uses_gather_dataflow_and_heads() {
+        let m = GnnModel::gat(9, 0);
+        assert_eq!(m.dataflow(), Dataflow::MpToNt);
+        assert_eq!(m.hidden_dim(), 64);
+        assert_eq!(m.layers().len(), 5);
+        assert!(m.layers()[0].pre().is_some());
+    }
+
+    #[test]
+    fn pna_aggregate_is_twelve_blocks() {
+        let m = GnnModel::pna(9, Some(3), 0);
+        assert_eq!(m.layers().len(), 4);
+        assert_eq!(m.layers()[0].agg_dim(), 12 * 80);
+        assert_eq!(m.readout().unwrap().head().layers().len(), 3);
+    }
+
+    #[test]
+    fn dgn_needs_the_field() {
+        let m = GnnModel::dgn(9, 0);
+        assert!(m.needs_dgn_field());
+        assert_eq!(m.layers().len(), 4);
+        assert!(!GnnModel::gcn(9, 0).needs_dgn_field());
+    }
+
+    #[test]
+    fn table_viii_gcn_config() {
+        let m = GnnModel::gcn_with(1433, 16, 2, false, 0);
+        assert_eq!(m.layers().len(), 2);
+        assert_eq!(m.hidden_dim(), 16);
+        assert!(m.readout().is_none());
+        assert_eq!(m.input_dim(), 1433);
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = GnnModel::gin(9, Some(3), 7);
+        let b = GnnModel::gin(9, Some(3), 7);
+        assert_eq!(
+            a.encoder().unwrap().weight().as_slice(),
+            b.encoder().unwrap().weight().as_slice()
+        );
+    }
+
+    #[test]
+    fn preset_dispatch_covers_all_kinds() {
+        for kind in ModelKind::PAPER_MODELS {
+            let m = GnnModel::preset(kind, 9, Some(3), 1);
+            assert_eq!(m.kind(), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no preset")]
+    fn custom_kind_has_no_preset() {
+        GnnModel::preset(ModelKind::Custom, 9, None, 0);
+    }
+
+    #[test]
+    fn graphsage_uses_mean_concat() {
+        let m = GnnModel::graphsage(9, 0);
+        assert_eq!(m.kind(), ModelKind::GraphSage);
+        assert_eq!(m.layers()[0].agg(), AggregatorKind::Mean);
+        assert_eq!(m.layers().len(), 5);
+        // Concat update: γ reads 2×hidden.
+        assert_eq!(m.layers()[0].nt_fc_dims(), vec![(200, 100)]);
+    }
+
+    #[test]
+    fn sgc_propagation_layers_are_identity() {
+        let m = GnnModel::sgc(9, 3, 0);
+        assert_eq!(m.kind(), ModelKind::Sgc);
+        assert_eq!(m.layers().len(), 4); // 3 propagation + 1 transform
+        assert!(m.layers()[0].nt_fc_dims().is_empty());
+        assert_eq!(m.layers()[3].nt_fc_dims(), vec![(100, 100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one propagation")]
+    fn sgc_zero_k_panics() {
+        GnnModel::sgc(9, 0, 0);
+    }
+}

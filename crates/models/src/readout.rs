@@ -1,0 +1,161 @@
+//! Graph-level readout: global pooling plus prediction head.
+
+use flowgnn_tensor::{Matrix, Mlp};
+
+/// Global pooling over node embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pooling {
+    /// Element-wise mean over nodes (the paper's models all use global
+    /// average pooling).
+    Mean,
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl Pooling {
+    /// Pools the first `count` rows of `embeddings`.
+    ///
+    /// `count` lets virtual-node models exclude the artificial node from
+    /// the graph representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > embeddings.rows()`.
+    pub fn apply(self, embeddings: &Matrix, count: usize) -> Vec<f32> {
+        assert!(
+            count <= embeddings.rows(),
+            "pooling over {count} rows but matrix has {}",
+            embeddings.rows()
+        );
+        let dim = embeddings.cols();
+        let mut out = match self {
+            Pooling::Max => vec![f32::NEG_INFINITY; dim],
+            _ => vec![0.0; dim],
+        };
+        if count == 0 {
+            return vec![0.0; dim];
+        }
+        for r in 0..count {
+            let row = embeddings.row(r);
+            match self {
+                Pooling::Mean | Pooling::Sum => {
+                    for (o, v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                Pooling::Max => {
+                    for (o, v) in out.iter_mut().zip(row) {
+                        *o = o.max(*v);
+                    }
+                }
+            }
+        }
+        if self == Pooling::Mean {
+            let inv = 1.0 / count as f32;
+            for o in &mut out {
+                *o *= inv;
+            }
+        }
+        out
+    }
+}
+
+/// Graph-level prediction: pooling followed by an MLP head.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_models::{Pooling, Readout};
+/// use flowgnn_tensor::{Activation, Matrix, Mlp};
+///
+/// let readout = Readout::new(Pooling::Mean, Mlp::seeded(&[4, 1], Activation::Relu, 0));
+/// let embeddings = Matrix::zeros(3, 4);
+/// assert_eq!(readout.apply(&embeddings, 3).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Readout {
+    pooling: Pooling,
+    head: Mlp,
+}
+
+impl Readout {
+    /// Creates a readout from a pooling mode and a head MLP.
+    pub fn new(pooling: Pooling, head: Mlp) -> Self {
+        Self { pooling, head }
+    }
+
+    /// The pooling mode.
+    pub fn pooling(&self) -> Pooling {
+        self.pooling
+    }
+
+    /// The prediction head.
+    pub fn head(&self) -> &Mlp {
+        &self.head
+    }
+
+    /// Pools the first `count` node embeddings and applies the head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedding dimension differs from the head's input.
+    pub fn apply(&self, embeddings: &Matrix, count: usize) -> Vec<f32> {
+        let pooled = self.pooling.apply(embeddings, count);
+        self.head.forward(&pooled)
+    }
+
+    /// Multiply–accumulates per graph (pooling + head).
+    pub fn macs(&self, num_nodes: usize) -> u64 {
+        (num_nodes * self.head.in_dim()) as u64 + self.head.macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_tensor::Activation;
+
+    fn emb() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[100.0, 100.0]])
+    }
+
+    #[test]
+    fn mean_pooling_excludes_tail_rows() {
+        // Pool only the first two rows (e.g. excluding a virtual node).
+        assert_eq!(Pooling::Mean.apply(&emb(), 2), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_and_max_pooling() {
+        assert_eq!(Pooling::Sum.apply(&emb(), 2), vec![4.0, 6.0]);
+        assert_eq!(Pooling::Max.apply(&emb(), 3), vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn empty_pooling_is_zero() {
+        assert_eq!(Pooling::Mean.apply(&emb(), 0), vec![0.0, 0.0]);
+        assert_eq!(Pooling::Max.apply(&emb(), 0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn readout_applies_head() {
+        let head = Mlp::seeded(&[2, 1], Activation::Relu, 7);
+        let r = Readout::new(Pooling::Mean, head.clone());
+        let expected = head.forward(&[2.0, 3.0]);
+        assert_eq!(r.apply(&emb(), 2), expected);
+    }
+
+    #[test]
+    fn macs_scale_with_nodes() {
+        let r = Readout::new(Pooling::Mean, Mlp::seeded(&[8, 1], Activation::Relu, 0));
+        assert!(r.macs(100) > r.macs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling over")]
+    fn count_bounds_checked() {
+        Pooling::Mean.apply(&emb(), 4);
+    }
+}

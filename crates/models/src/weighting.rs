@@ -1,0 +1,117 @@
+//! Per-edge scalar weights computed on the fly.
+
+use flowgnn_graph::NodeId;
+
+use crate::GraphContext;
+
+/// How a layer derives the scalar weight applied to each edge's message.
+///
+/// These are the "anisotropy without attention" mechanisms: GCN's symmetric
+/// normalisation and DGN's directional-derivative coefficients. Both are
+/// computable per edge from streamed quantities (degrees, the eigenvector
+/// field input), so they respect the zero-preprocessing constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeWeighting {
+    /// Weight 1 for every edge.
+    One,
+    /// GCN symmetric normalisation `1 / sqrt((d_u + 1)(d_v + 1))` with the
+    /// +1 accounting for the implicit self-loop.
+    GcnNorm,
+    /// DGN directional-derivative coefficient
+    /// `(φ_u − φ_v) / Σ_k |φ_k − φ_v|` from the eigenvector field.
+    Directional,
+}
+
+impl EdgeWeighting {
+    /// Computes the weight for edge `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EdgeWeighting::Directional`] is used without a DGN field
+    /// in the context, or node ids are out of range.
+    pub fn weight(self, ctx: &GraphContext, u: NodeId, v: NodeId) -> f32 {
+        match self {
+            EdgeWeighting::One => 1.0,
+            EdgeWeighting::GcnNorm => {
+                let du = (ctx.in_degree(u) + 1) as f32;
+                let dv = (ctx.in_degree(v) + 1) as f32;
+                1.0 / (du * dv).sqrt()
+            }
+            EdgeWeighting::Directional => {
+                let field = ctx
+                    .dgn_field()
+                    .expect("directional weighting requires a DGN field in the context");
+                let diff = field.eigvec[u as usize] - field.eigvec[v as usize];
+                let norm = field.norm[v as usize];
+                if norm > 1e-12 {
+                    diff / norm
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_graph::{FeatureSource, Graph};
+    use flowgnn_tensor::Matrix;
+
+    fn two_path() -> Graph {
+        Graph::new(
+            3,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1)],
+            FeatureSource::dense(Matrix::zeros(3, 1)),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_is_one() {
+        let g = two_path();
+        let ctx = GraphContext::new(&g);
+        assert_eq!(EdgeWeighting::One.weight(&ctx, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn gcn_norm_uses_both_degrees() {
+        let g = two_path();
+        let ctx = GraphContext::new(&g);
+        // d_in(0) = 1, d_in(1) = 2 → 1/sqrt(2·3)
+        let w = EdgeWeighting::GcnNorm.weight(&ctx, 0, 1);
+        assert!((w - 1.0 / 6.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric() {
+        let g = two_path();
+        let ctx = GraphContext::new(&g);
+        assert_eq!(
+            EdgeWeighting::GcnNorm.weight(&ctx, 0, 1),
+            EdgeWeighting::GcnNorm.weight(&ctx, 1, 0)
+        );
+    }
+
+    #[test]
+    fn directional_weights_sum_of_abs_is_one() {
+        let g = two_path();
+        let ctx = GraphContext::with_dgn_field(&g);
+        // Node 1 has in-neighbours 0 and 2; |w_01| + |w_21| = 1 by the
+        // normaliser definition (when the field is non-degenerate).
+        let w0 = EdgeWeighting::Directional.weight(&ctx, 0, 1);
+        let w2 = EdgeWeighting::Directional.weight(&ctx, 2, 1);
+        let total = w0.abs() + w2.abs();
+        assert!((total - 1.0).abs() < 1e-5, "total {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a DGN field")]
+    fn directional_without_field_panics() {
+        let g = two_path();
+        let ctx = GraphContext::new(&g);
+        EdgeWeighting::Directional.weight(&ctx, 0, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Q16.16 fixed-point arithmetic — the FPGA's number format.
+//!
+//! The paper's HLS kernels compute in `ap_fixed` types rather than
+//! floating point; this module provides the equivalent: a saturating
+//! Q16.16 value type and a quantised fully-connected layer whose
+//! accumulation happens in integer arithmetic (wide accumulator, single
+//! rounding on output) — exactly the datapath a DSP48 implements. Tests
+//! bound the quantisation error against the float reference.
+
+use crate::{Activation, Linear};
+
+/// A Q16.16 fixed-point number: 16 integer bits (signed), 16 fractional.
+///
+/// Conversions saturate instead of wrapping — the hardware-safe choice.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_tensor::fixed::Q16_16;
+///
+/// let a = Q16_16::from_f32(1.5);
+/// let b = Q16_16::from_f32(-0.25);
+/// assert_eq!((a * b).to_f32(), -0.375);
+/// assert_eq!((a + b).to_f32(), 1.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16_16(i32);
+
+impl Q16_16 {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = 16;
+    /// One, in fixed point.
+    pub const ONE: Q16_16 = Q16_16(1 << Self::FRAC_BITS);
+    /// Zero.
+    pub const ZERO: Q16_16 = Q16_16(0);
+    /// The largest representable value (~32768).
+    pub const MAX: Q16_16 = Q16_16(i32::MAX);
+    /// The most negative representable value (~−32768).
+    pub const MIN: Q16_16 = Q16_16(i32::MIN);
+    /// The smallest positive step (2⁻¹⁶ ≈ 1.5e-5).
+    pub const EPSILON: Q16_16 = Q16_16(1);
+
+    /// Converts from `f32`, saturating out-of-range values and flushing
+    /// NaN to zero.
+    pub fn from_f32(v: f32) -> Self {
+        if v.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = (v as f64 * (1u64 << Self::FRAC_BITS) as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Self::MIN
+        } else {
+            Self(scaled as i32)
+        }
+    }
+
+    /// Converts to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1u64 << Self::FRAC_BITS) as f32
+    }
+
+    /// The raw two's-complement representation.
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Builds from a raw representation.
+    pub fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// Saturating negation.
+    pub fn saturating_neg(self) -> Self {
+        Self(self.0.saturating_neg())
+    }
+}
+
+impl std::ops::Add for Q16_16 {
+    type Output = Q16_16;
+
+    fn add(self, rhs: Q16_16) -> Q16_16 {
+        Q16_16(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Sub for Q16_16 {
+    type Output = Q16_16;
+
+    fn sub(self, rhs: Q16_16) -> Q16_16 {
+        Q16_16(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Mul for Q16_16 {
+    type Output = Q16_16;
+
+    fn mul(self, rhs: Q16_16) -> Q16_16 {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        let shifted = wide >> Self::FRAC_BITS;
+        if shifted > i32::MAX as i64 {
+            Q16_16::MAX
+        } else if shifted < i32::MIN as i64 {
+            Q16_16::MIN
+        } else {
+            Q16_16(shifted as i32)
+        }
+    }
+}
+
+impl std::fmt::Display for Q16_16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// A fully-connected layer quantised to Q16.16 weights with a wide
+/// (Q32.32-equivalent) integer accumulator — the DSP-slice datapath.
+///
+/// Inputs are quantised on entry, accumulation is exact in `i64`, and one
+/// rounding happens on output, so the quantisation error per output is
+/// bounded by `(in_dim + 1) · ε · max|x|` rather than compounding.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_tensor::fixed::QuantizedLinear;
+/// use flowgnn_tensor::{Activation, Linear};
+///
+/// let float = Linear::seeded(16, 8, Activation::Relu, 3);
+/// let quant = QuantizedLinear::from_linear(&float);
+/// let x = vec![0.25; 16];
+/// let (a, b) = (float.forward(&x), quant.forward(&x));
+/// for (u, v) in a.iter().zip(&b) {
+///     assert!((u - v).abs() < 1e-3);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedLinear {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out × in` weights in Q16.16.
+    weight: Vec<Q16_16>,
+    bias: Vec<Q16_16>,
+    activation: Activation,
+}
+
+impl QuantizedLinear {
+    /// Quantises a float layer.
+    pub fn from_linear(layer: &Linear) -> Self {
+        let weight = layer
+            .weight()
+            .as_slice()
+            .iter()
+            .map(|&w| Q16_16::from_f32(w))
+            .collect();
+        let bias = layer.bias().iter().map(|&b| Q16_16::from_f32(b)).collect();
+        Self {
+            in_dim: layer.in_dim(),
+            out_dim: layer.out_dim(),
+            weight,
+            bias,
+            activation: layer.activation(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass: quantise input, integer multiply–accumulate, single
+    /// rounding on output, activation in float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.in_dim,
+            "input length {} does not match layer input dim {}",
+            x.len(),
+            self.in_dim
+        );
+        let xq: Vec<i64> = x.iter().map(|&v| Q16_16::from_f32(v).raw() as i64).collect();
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            // Wide accumulator: products are Q32.32 in i64; no
+            // intermediate rounding.
+            let mut acc: i64 = (self.bias[o].raw() as i64) << Q16_16::FRAC_BITS;
+            let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
+            for (w, xi) in row.iter().zip(&xq) {
+                acc += w.raw() as i64 * xi;
+            }
+            let v = acc as f64 / (1u64 << (2 * Q16_16::FRAC_BITS)) as f64;
+            out.push(self.activation.apply(v as f32));
+        }
+        out
+    }
+
+    /// Upper bound on the absolute quantisation error of one output, for
+    /// inputs bounded by `max_abs_x`.
+    pub fn error_bound(&self, max_abs_x: f32) -> f32 {
+        let eps = Q16_16::EPSILON.to_f32();
+        // Each weight and each input carries ≤ ε/2 of quantisation error;
+        // products contribute ≤ ε·(|x| + |w|)/2 each, plus the bias and
+        // final rounding.
+        (self.in_dim as f32) * eps * (max_abs_x.abs() + 1.0) + 2.0 * eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_exact_for_representable_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, -0.25, 1234.75, -32000.0] {
+            assert_eq!(Q16_16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn conversion_saturates() {
+        assert_eq!(Q16_16::from_f32(1e9), Q16_16::MAX);
+        assert_eq!(Q16_16::from_f32(-1e9), Q16_16::MIN);
+        assert_eq!(Q16_16::from_f32(f32::NAN), Q16_16::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_matches_float_for_small_values() {
+        let a = Q16_16::from_f32(3.5);
+        let b = Q16_16::from_f32(-1.25);
+        assert_eq!((a + b).to_f32(), 2.25);
+        assert_eq!((a - b).to_f32(), 4.75);
+        assert_eq!((a * b).to_f32(), -4.375);
+    }
+
+    #[test]
+    fn addition_saturates_instead_of_wrapping() {
+        let big = Q16_16::from_f32(32000.0);
+        assert_eq!(big + big, Q16_16::MAX);
+        assert_eq!(big.saturating_neg() + big.saturating_neg(), Q16_16::MIN);
+    }
+
+    #[test]
+    fn multiplication_saturates() {
+        let big = Q16_16::from_f32(30000.0);
+        assert_eq!(big * big, Q16_16::MAX);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let v = Q16_16::from_f32(7.125);
+        assert_eq!(v * Q16_16::ONE, v);
+    }
+
+    #[test]
+    fn quantized_layer_tracks_float_layer() {
+        let float = Linear::seeded(64, 32, Activation::Relu, 9);
+        let quant = QuantizedLinear::from_linear(&float);
+        let x: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.11).sin()).collect();
+        let (a, b) = (float.forward(&x), quant.forward(&x));
+        let bound = quant.error_bound(1.0);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() <= bound, "{u} vs {v} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn quantized_activation_is_applied() {
+        let float = Linear::seeded(4, 4, Activation::Relu, 2);
+        let quant = QuantizedLinear::from_linear(&float);
+        let out = quant.forward(&[-5.0, -5.0, -5.0, -5.0]);
+        assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Q16_16::from_f32(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_input_length_panics() {
+        QuantizedLinear::from_linear(&Linear::seeded(4, 2, Activation::Identity, 0))
+            .forward(&[1.0]);
+    }
+}

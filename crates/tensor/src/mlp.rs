@@ -1,0 +1,167 @@
+//! Multi-layer perceptron.
+
+use crate::{Activation, Linear, WeightInit};
+
+/// A multi-layer perceptron: a chain of [`Linear`] layers.
+///
+/// Hidden layers use the configured activation; the final layer is linear
+/// (identity), matching the OGB/PyG reference heads the paper mirrors (e.g.
+/// PNA's MLP-ReLU head of sizes (40, 20, 1), GIN's 2-layer node MLP).
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_tensor::{Mlp, Activation};
+///
+/// let head = Mlp::seeded(&[80, 40, 20, 1], Activation::Relu, 3);
+/// assert_eq!(head.forward(&vec![0.1; 80]).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn new(layers: Vec<Linear>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer output dim {} does not feed next layer input dim {}",
+                pair[0].out_dim(),
+                pair[1].in_dim()
+            );
+        }
+        Self { layers }
+    }
+
+    /// Builds an MLP from a dimension chain, e.g. `[100, 100, 100]` for a
+    /// 2-layer 100→100→100 MLP, with seeded Glorot weights.
+    ///
+    /// Hidden layers use `hidden_activation`; the last layer is identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2`.
+    pub fn seeded(dims: &[usize], hidden_activation: Activation, seed: u64) -> Self {
+        let mut init = WeightInit::new(seed);
+        Self::from_init(dims, hidden_activation, &mut init)
+    }
+
+    /// Like [`Mlp::seeded`] but drawing from an existing initialiser stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2`.
+    pub fn from_init(dims: &[usize], hidden_activation: Activation, init: &mut WeightInit) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let n = dims.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n {
+                    Activation::Identity
+                } else {
+                    hidden_activation
+                };
+                Linear::from_init(dims[i], dims[i + 1], act, init)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The constituent layers, first to last.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Total multiply–accumulates per forward pass.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Linear::macs).sum()
+    }
+
+    /// Forward pass through all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn single_layer_mlp_equals_linear() {
+        let lin = Linear::seeded(6, 3, Activation::Identity, 4);
+        let mlp = Mlp::new(vec![lin.clone()]);
+        let x = vec![0.3; 6];
+        assert_eq!(mlp.forward(&x), lin.forward(&x));
+    }
+
+    #[test]
+    fn hidden_layers_use_activation_final_is_linear() {
+        // One hidden layer that forces a negative value, then identity out.
+        let l1 = Linear::new(Matrix::from_rows(&[&[1.0]]), vec![0.0], Activation::Relu);
+        let l2 = Linear::new(Matrix::from_rows(&[&[2.0]]), vec![-1.0], Activation::Identity);
+        let mlp = Mlp::new(vec![l1, l2]);
+        // relu(-3) = 0; 2*0 - 1 = -1 (a final ReLU would have clamped it).
+        assert_eq!(mlp.forward(&[-3.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn seeded_builds_requested_chain() {
+        let mlp = Mlp::seeded(&[80, 40, 20, 1], Activation::Relu, 0);
+        assert_eq!(mlp.layers().len(), 3);
+        assert_eq!(mlp.in_dim(), 80);
+        assert_eq!(mlp.out_dim(), 1);
+        assert_eq!(mlp.macs(), 80 * 40 + 40 * 20 + 20);
+    }
+
+    #[test]
+    fn last_layer_of_seeded_is_identity() {
+        let mlp = Mlp::seeded(&[4, 4, 4], Activation::Relu, 0);
+        assert_eq!(mlp.layers()[0].activation(), Activation::Relu);
+        assert_eq!(mlp.layers()[1].activation(), Activation::Identity);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed")]
+    fn mismatched_chain_panics() {
+        Mlp::new(vec![
+            Linear::seeded(4, 3, Activation::Relu, 0),
+            Linear::seeded(5, 2, Activation::Relu, 1),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_short_dims_panics() {
+        Mlp::seeded(&[7], Activation::Relu, 0);
+    }
+}

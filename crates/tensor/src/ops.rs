@@ -1,0 +1,231 @@
+//! Free-standing vector operations shared by aggregators and models.
+//!
+//! These mirror the element-wise primitives the accelerator's MP units and
+//! aggregation stages execute. They are plain functions (no trait dispatch)
+//! so the hot simulation loops stay branch-predictable.
+
+/// Adds `src` into `dst` element-wise (`dst += src`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Element-wise maximum into `dst` (`dst = max(dst, src)`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "max_assign length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.max(*s);
+    }
+}
+
+/// Element-wise minimum into `dst` (`dst = min(dst, src)`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn min_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "min_assign length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.min(*s);
+    }
+}
+
+/// Scales every element of `xs` by `k`.
+pub fn scale(xs: &mut [f32], k: f32) {
+    for x in xs {
+        *x *= k;
+    }
+}
+
+/// `dst += k * src` (axpy).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(dst: &mut [f32], k: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += k * s;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise sum of two slices into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// In-place numerically-stable softmax.
+///
+/// An empty slice is left unchanged.
+pub fn softmax(xs: &mut [f32]) {
+    let Some(max) = xs.iter().copied().reduce(f32::max) else {
+        return;
+    };
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Concatenates slices into one vector.
+pub fn concat(parts: &[&[f32]]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Mean of the rows in `rows` (each of length `dim`); zeros if `rows` is
+/// empty.
+pub fn mean_of_rows<'a, I>(rows: I, dim: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = vec![0.0; dim];
+    let mut n = 0usize;
+    for row in rows {
+        add_assign(&mut acc, row);
+        n += 1;
+    }
+    if n > 0 {
+        scale(&mut acc, 1.0 / n as f32);
+    }
+    acc
+}
+
+/// L2 norm.
+pub fn norm(xs: &[f32]) -> f32 {
+    dot(xs, xs).sqrt()
+}
+
+/// Maximum absolute element-wise difference between two slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums() {
+        let mut d = vec![1.0, 2.0];
+        add_assign(&mut d, &[3.0, 4.0]);
+        assert_eq!(d, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_min_assign() {
+        let mut mx = vec![1.0, 5.0];
+        max_assign(&mut mx, &[3.0, 2.0]);
+        assert_eq!(mx, vec![3.0, 5.0]);
+        let mut mn = vec![1.0, 5.0];
+        min_assign(&mut mn, &[3.0, 2.0]);
+        assert_eq!(mn, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let mut d = vec![1.0, 1.0];
+        axpy(&mut d, 2.0, &[1.0, -1.0]);
+        assert_eq!(d, vec![3.0, -1.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = [1.0, 2.0, 3.0];
+        softmax(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[0] < xs[1] && xs[1] < xs[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1000.0, 1001.0];
+        softmax(&mut a);
+        let mut b = [0.0, 1.0];
+        softmax(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut xs: [f32; 0] = [];
+        softmax(&mut xs);
+    }
+
+    #[test]
+    fn mean_of_rows_averages() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 2.0], &[3.0, 4.0]];
+        assert_eq!(mean_of_rows(rows, 2), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_no_rows_is_zero() {
+        let rows: Vec<&[f32]> = vec![];
+        assert_eq!(mean_of_rows(rows, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        assert_eq!(concat(&[&[1.0], &[2.0, 3.0]]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_gap() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 0.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

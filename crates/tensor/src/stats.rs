@@ -1,0 +1,134 @@
+//! Streaming first/second moments, used by PNA's std-dev aggregator.
+
+/// Streaming per-dimension mean and standard deviation.
+///
+/// PNA aggregates neighbour messages with mean *and* standard deviation
+/// (Eq. 3 in the paper). The accelerator computes these on the fly with a
+/// single pass, accumulating sums and sums of squares; this type is that
+/// accumulator, shared by the reference model and the simulator so both
+/// produce bit-identical results.
+///
+/// # Example
+///
+/// ```
+/// use flowgnn_tensor::RunningMoments;
+///
+/// let mut m = RunningMoments::new(2);
+/// m.push(&[1.0, 10.0]);
+/// m.push(&[3.0, 10.0]);
+/// assert_eq!(m.mean(), vec![2.0, 10.0]);
+/// assert_eq!(m.std(), vec![1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningMoments {
+    sum: Vec<f32>,
+    sum_sq: Vec<f32>,
+    count: usize,
+}
+
+impl RunningMoments {
+    /// Creates an accumulator for `dim`-dimensional samples.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            sum: vec![0.0; dim],
+            sum_sq: vec![0.0; dim],
+            count: 0,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the accumulator dimension.
+    pub fn push(&mut self, x: &[f32]) {
+        assert_eq!(x.len(), self.sum.len(), "sample dimension mismatch");
+        for ((s, q), v) in self.sum.iter_mut().zip(&mut self.sum_sq).zip(x) {
+            *s += v;
+            *q += v * v;
+        }
+        self.count += 1;
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample dimension.
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Per-dimension mean; zeros if no samples were pushed.
+    pub fn mean(&self) -> Vec<f32> {
+        if self.count == 0 {
+            return vec![0.0; self.sum.len()];
+        }
+        let inv = 1.0 / self.count as f32;
+        self.sum.iter().map(|s| s * inv).collect()
+    }
+
+    /// Per-dimension population standard deviation (`sqrt(E[x²] − E[x]²)`,
+    /// clamped at zero against rounding); zeros if no samples were pushed.
+    pub fn std(&self) -> Vec<f32> {
+        if self.count == 0 {
+            return vec![0.0; self.sum.len()];
+        }
+        let inv = 1.0 / self.count as f32;
+        self.sum
+            .iter()
+            .zip(&self.sum_sq)
+            .map(|(s, q)| {
+                let mean = s * inv;
+                (q * inv - mean * mean).max(0.0).sqrt()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = RunningMoments::new(3);
+        assert_eq!(m.mean(), vec![0.0; 3]);
+        assert_eq!(m.std(), vec![0.0; 3]);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let mut m = RunningMoments::new(2);
+        m.push(&[5.0, -1.0]);
+        assert_eq!(m.mean(), vec![5.0, -1.0]);
+        assert_eq!(m.std(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let mut m = RunningMoments::new(1);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(&[v]);
+        }
+        assert_eq!(m.mean(), vec![5.0]);
+        assert_eq!(m.std(), vec![2.0]);
+    }
+
+    #[test]
+    fn std_never_negative_under_rounding() {
+        let mut m = RunningMoments::new(1);
+        for _ in 0..1000 {
+            m.push(&[1e-3]);
+        }
+        assert!(m.std()[0] >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        RunningMoments::new(2).push(&[1.0]);
+    }
+}

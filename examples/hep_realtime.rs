@@ -1,0 +1,66 @@
+//! Real-time high-energy-physics inference — the paper's motivating
+//! use case (Sec. I): collision events arrive as point clouds, are built
+//! into kNN graphs (EdgeConv, k = 16), and must be classified within a
+//! hard latency budget so trigger buffers never overflow.
+//!
+//! ```text
+//! cargo run --release --example hep_realtime
+//! ```
+
+use flowgnn::graph::datasets::{DatasetKind, DatasetSpec};
+use flowgnn::models::ModelKind;
+use flowgnn::{Accelerator, ArchConfig, ExecutionMode, GnnModel};
+
+/// The latency budget per event (a generous trigger-level budget; the
+/// point is that every event must meet it, not just the average).
+const BUDGET_MS: f64 = 0.5;
+
+fn main() {
+    let spec = DatasetSpec::standard(DatasetKind::Hep);
+    println!(
+        "HEP stream: {} events, ~{:.0} particles each, kNN k=16 (EdgeConv)\n",
+        spec.paper_stats().graphs,
+        spec.paper_stats().mean_nodes,
+    );
+
+    // Real-time constraint: timing-only mode measures the architecture at
+    // full speed; functional equivalence is covered in tests.
+    let config = ArchConfig::default().with_execution(ExecutionMode::TimingOnly);
+    let events = 200;
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "model", "mean (ms)", "worst (ms)", "events/s", "in budget"
+    );
+    for kind in ModelKind::PAPER_MODELS {
+        let model = GnnModel::preset(kind, spec.node_feat_dim(), spec.edge_feat_dim(), 1);
+        let acc = Accelerator::new(model, config);
+
+        // Stream events one by one and track the worst case: a real-time
+        // system lives and dies by its tail latency.
+        let mut worst = 0.0f64;
+        let mut total = 0.0;
+        let mut stream = spec.stream().take_prefix(events);
+        while let Some(event) = stream.next() {
+            let ms = acc.run(&event).latency_ms();
+            worst = worst.max(ms);
+            total += ms;
+        }
+        let mean = total / events as f64;
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>12.0} {:>10}",
+            kind.name(),
+            mean,
+            worst,
+            events as f64 / (total / 1e3),
+            if worst <= BUDGET_MS { "yes" } else { "NO" },
+        );
+    }
+
+    println!(
+        "\nEvery event is processed on arrival (batch size 1) with zero \
+         preprocessing — batching would delay early events past the trigger \
+         deadline, which is why the paper calls batch-1 the only fair \
+         real-time comparison."
+    );
+}

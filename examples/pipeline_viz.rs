@@ -1,0 +1,51 @@
+//! Visualise the paper's Fig. 4: per-cycle NT/MP activity under each
+//! pipeline strategy, rendered from the actual simulation trace.
+//!
+//! `#` busy · `>` stalled on backpressure · `.` starved · space idle
+//!
+//! ```text
+//! cargo run --release --example pipeline_viz
+//! ```
+
+use flowgnn::graph::generators::{GraphGenerator, MoleculeLike};
+use flowgnn::{Accelerator, ArchConfig, ExecutionMode, GnnModel, PipelineStrategy};
+
+fn main() {
+    let graph = MoleculeLike::new(12.0, 5).generate(0);
+    let model = GnnModel::gcn(9, 11);
+    println!(
+        "GCN on a {}-node / {}-edge molecule; one region shown per strategy\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!("legend: '#' busy   '>' backpressure stall   '.' input starvation   ' ' idle\n");
+
+    for strategy in PipelineStrategy::ABLATION_ORDER {
+        let config = ArchConfig::default()
+            .with_parallelism(2, 4, 2, 2)
+            .with_strategy(strategy)
+            .with_execution(ExecutionMode::TimingOnly)
+            .with_trace();
+        let report = Accelerator::new(model.clone(), config).run(&graph);
+        let trace = report.trace.expect("trace enabled");
+
+        println!(
+            "=== {} — {} cycles total, {:.0}% of lane-cycles busy ===",
+            strategy,
+            report.total_cycles,
+            trace.busy_fraction() * 100.0
+        );
+        // Show one representative middle region (layer 2's gamma+scatter):
+        // the same work under four schedules.
+        let region = &trace.regions[2];
+        print!("{}", region.render(100));
+        println!();
+    }
+
+    println!(
+        "Reading the lanes top to bottom mirrors Fig. 4: the non-pipelined\n\
+         schedule serialises NT before MP; the fixed pipeline overlaps them in\n\
+         lockstep with bubbles; the queue-decoupled baseline shrinks the\n\
+         bubbles; FlowGNN's multi-unit flit streaming fills the lanes."
+    );
+}

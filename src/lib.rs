@@ -1,0 +1,50 @@
+//! FlowGNN-RS — a dataflow architecture for real-time, workload-agnostic
+//! GNN inference.
+//!
+//! This is the facade crate of the FlowGNN-RS workspace, a Rust
+//! reproduction of *"FlowGNN: A Dataflow Architecture for Real-Time
+//! Workload-Agnostic Graph Neural Network Inference"* (HPCA 2023). It
+//! re-exports the per-subsystem crates:
+//!
+//! - [`graph`] — COO graph streams, on-the-fly CSR/CSC, dataset generators;
+//! - [`tensor`] — dense linear algebra (matrices, linear layers, MLPs);
+//! - [`desim`] — cycle-level simulation substrate (FIFOs, meters);
+//! - [`models`] — the message-passing programming model and the six paper
+//!   models (GCN, GIN, GIN+VN, GAT, PNA, DGN);
+//! - [`core`] — the dataflow architecture itself: NT/MP units, the
+//!   multicast adapter, four pipeline strategies, resource and energy
+//!   models;
+//! - [`baselines`] — calibrated CPU/GPU cost models, I-GCN islandization,
+//!   AWB-GCN.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flowgnn::{Accelerator, ArchConfig, GnnModel};
+//! use flowgnn::graph::datasets::{DatasetKind, DatasetSpec};
+//!
+//! // Deploy the paper's GIN (5 layers, dim 100, edge embeddings)...
+//! let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+//! let model = GnnModel::gin(spec.node_feat_dim(), spec.edge_feat_dim(), 42);
+//! let acc = Accelerator::new(model, ArchConfig::default());
+//!
+//! // ...and stream graphs through at batch size 1, zero preprocessing.
+//! let report = acc.run_stream(spec.stream(), 10);
+//! assert!(report.latency.mean_ms > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flowgnn_baselines as baselines;
+pub use flowgnn_core as core;
+pub use flowgnn_desim as desim;
+pub use flowgnn_graph as graph;
+pub use flowgnn_models as models;
+pub use flowgnn_tensor as tensor;
+
+pub use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode, PipelineStrategy, RunReport};
+pub use flowgnn_graph::{Graph, GraphStream};
+pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};

@@ -1,0 +1,162 @@
+//! Cross-crate property tests: the architectural invariants the paper's
+//! claims rest on, checked over randomised graphs and configurations.
+
+use flowgnn::core::{bank_workloads, imbalance_percent};
+use flowgnn::graph::generators::{ErdosRenyi, GraphGenerator};
+use flowgnn::models::reference;
+use flowgnn::{Accelerator, ArchConfig, ExecutionMode, GnnModel, PipelineStrategy};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        prop_oneof![
+            Just(PipelineStrategy::NonPipelined),
+            Just(PipelineStrategy::FixedPipeline),
+            Just(PipelineStrategy::BaselineDataflow),
+            Just(PipelineStrategy::FlowGnn),
+        ],
+    )
+        .prop_map(|(pn, pe, pa, ps, strategy)| {
+            ArchConfig::default()
+                .with_strategy(strategy)
+                .with_parallelism(pn, pe, pa, ps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator's functional output equals the reference executor's
+    /// for random graphs and random architecture configurations.
+    #[test]
+    fn simulator_matches_reference_everywhere(
+        n in 2usize..25,
+        p in 0.05f64..0.5,
+        seed in 0u64..500,
+        config in arch_strategy(),
+    ) {
+        let graph = ErdosRenyi::new(n, p, seed).node_feat_dim(9).generate(0);
+        let model = GnnModel::gcn_with(9, 16, 2, true, seed);
+        let acc = Accelerator::new(model.clone(), config);
+        let sim = acc.run(&graph);
+        let reference = reference::run(&model, &graph);
+        let a = sim.output.unwrap().graph_output.unwrap();
+        let b = reference.graph_output.unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!((x - y).abs() / scale < 2e-3, "{x} vs {y} under {config:?}");
+        }
+    }
+
+    /// Timing is independent of whether arithmetic runs: the cost model is
+    /// purely structural.
+    #[test]
+    fn timing_only_equals_full_cycles(
+        n in 2usize..20,
+        p in 0.05f64..0.5,
+        seed in 0u64..200,
+        config in arch_strategy(),
+    ) {
+        let graph = ErdosRenyi::new(n, p, seed).node_feat_dim(9).generate(0);
+        let model = GnnModel::gcn_with(9, 16, 2, true, seed);
+        let full = Accelerator::new(model.clone(), config).run(&graph);
+        let timing = Accelerator::new(
+            model,
+            config.with_execution(ExecutionMode::TimingOnly),
+        )
+        .run(&graph);
+        prop_assert_eq!(full.total_cycles, timing.total_cycles);
+    }
+
+    /// Bank workloads always partition the edge set, and the imbalance
+    /// metric is a percentage.
+    #[test]
+    fn bank_partition_invariants(
+        n in 2usize..60,
+        p in 0.02f64..0.4,
+        seed in 0u64..500,
+        p_edge in 1usize..16,
+    ) {
+        let graph = ErdosRenyi::new(n, p, seed).generate(0);
+        let w = bank_workloads(&graph, p_edge);
+        prop_assert_eq!(w.iter().sum::<u64>(), graph.num_edges() as u64);
+        let pct = imbalance_percent(&w);
+        prop_assert!((0.0..=100.0).contains(&pct));
+    }
+
+    /// The FlowGNN strategy never loses to the baseline dataflow at equal
+    /// per-unit parallelism (it strictly generalises it).
+    #[test]
+    fn flowgnn_dominates_baseline_dataflow(
+        n in 3usize..20,
+        p in 0.1f64..0.5,
+        seed in 0u64..200,
+    ) {
+        let graph = ErdosRenyi::new(n, p, seed).node_feat_dim(9).generate(0);
+        let model = GnnModel::gcn_with(9, 16, 2, true, seed);
+        let baseline = Accelerator::new(
+            model.clone(),
+            ArchConfig::default()
+                .with_strategy(PipelineStrategy::BaselineDataflow)
+                .with_parallelism(1, 1, 2, 2),
+        )
+        .run(&graph);
+        let flowgnn = Accelerator::new(
+            model,
+            ArchConfig::default()
+                .with_strategy(PipelineStrategy::FlowGnn)
+                .with_parallelism(2, 4, 2, 2),
+        )
+        .run(&graph);
+        prop_assert!(
+            flowgnn.total_cycles <= baseline.total_cycles,
+            "FlowGNN {} vs baseline {}",
+            flowgnn.total_cycles,
+            baseline.total_cycles
+        );
+    }
+
+    /// Graph-structure permutations of the node ids leave the *functional*
+    /// prediction invariant (workload-agnosticism sanity: the architecture
+    /// may schedule differently, the answer may not change).
+    #[test]
+    fn node_relabeling_preserves_prediction(
+        n in 3usize..15,
+        p in 0.2f64..0.6,
+        seed in 0u64..100,
+    ) {
+        use flowgnn::graph::{FeatureSource, Graph};
+        let g = ErdosRenyi::new(n, p, seed).node_feat_dim(9).generate(0);
+        // Reverse-relabel nodes: v → n-1-v.
+        let n_id = g.num_nodes() as u32;
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| (n_id - 1 - u, n_id - 1 - v))
+            .collect();
+        let feats = g.node_features().materialize();
+        let mut rev_rows: Vec<&[f32]> = (0..g.num_nodes()).map(|v| feats.row(v)).collect();
+        rev_rows.reverse();
+        let rev_feats = flowgnn::tensor::Matrix::from_rows(&rev_rows);
+        let permuted = Graph::new(
+            g.num_nodes(),
+            edges,
+            FeatureSource::dense(rev_feats),
+            None,
+        )
+        .unwrap();
+
+        let model = GnnModel::gcn_with(9, 16, 2, true, seed);
+        let acc = Accelerator::new(model, ArchConfig::default());
+        let a = acc.run(&g).output.unwrap().graph_output.unwrap();
+        let b = acc.run(&permuted).output.unwrap().graph_output.unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!((x - y).abs() / scale < 2e-3, "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Workload-agnosticism across structurally diverse graph families:
+//! one compiled accelerator must handle meshes, small worlds, power-law
+//! graphs, point clouds, molecules, and drifting (churned) structures —
+//! correctly and with no per-workload reconfiguration.
+
+use flowgnn::core::{bank_workloads, imbalance_percent};
+use flowgnn::graph::generators::{
+    ChungLu, ErdosRenyi, GraphGenerator, GridMesh, KnnPointCloud, MoleculeLike, Perturbed,
+    SmallWorld,
+};
+use flowgnn::graph::Graph;
+use flowgnn::models::reference;
+use flowgnn::{Accelerator, ArchConfig, GnnModel};
+
+fn zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("molecule", MoleculeLike::new(18.0, 1).node_feat_dim(9).generate(0)),
+        (
+            "point-cloud",
+            KnnPointCloud::new(24.0, 6, 2).node_feat_dim(9).generate(0),
+        ),
+        ("grid-mesh", GridMesh::new(5, 6, 3).node_feat_dim(9).generate(0)),
+        (
+            "small-world",
+            SmallWorld::new(30, 4, 0.15, 4).node_feat_dim(9).generate(0),
+        ),
+        ("power-law", ChungLu::new(40, 160, 9, 5).generate(0)),
+        ("random", ErdosRenyi::new(25, 0.15, 6).node_feat_dim(9).generate(0)),
+    ]
+}
+
+#[test]
+fn one_kernel_handles_every_family_correctly() {
+    let model = GnnModel::gcn(9, 21);
+    let acc = Accelerator::new(model.clone(), ArchConfig::default());
+    for (name, g) in zoo() {
+        let sim = acc.run(&g);
+        let reference = reference::run(&model, &g);
+        let a = sim.output.unwrap().graph_output.unwrap();
+        let b = reference.graph_output.unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!((x - y).abs() / scale < 2e-3, "{name}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn latency_tracks_structure_not_family() {
+    // Same kernel; latency should scale with work (nodes + edges), not
+    // with which generator produced the graph.
+    let model = GnnModel::gcn(9, 21);
+    let acc = Accelerator::new(model, ArchConfig::default());
+    let mut points: Vec<(f64, u64)> = Vec::new();
+    for (_, g) in zoo() {
+        let work = (g.num_nodes() + g.num_edges()) as f64;
+        let cycles = acc.run(&g).total_cycles;
+        points.push((work, cycles));
+    }
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Cycles must grow (weakly) with work across families, within slack
+    // for per-region constants.
+    let first = points.first().unwrap().1 as f64;
+    let last = points.last().unwrap().1 as f64;
+    assert!(last > first, "no growth across a 10x work range: {points:?}");
+}
+
+#[test]
+fn drifting_structures_stream_through_unchanged_kernel() {
+    // The Perturbed stream models "dynamically changing graph structures":
+    // each arrival is a rewired variant. The same accelerator instance
+    // must process every variant, and its latency must stay within a tight
+    // band (the structure drifts, the workload size does not).
+    let model = GnnModel::gin(9, Some(3), 8);
+    let acc = Accelerator::new(model, ArchConfig::default());
+    let stream = Perturbed::new(MoleculeLike::new(20.0, 9), 0.25, 17);
+    let mut cycles = Vec::new();
+    for i in 0..10 {
+        let g = stream.generate(i);
+        cycles.push(acc.run(&g).total_cycles);
+    }
+    let min = *cycles.iter().min().unwrap() as f64;
+    let max = *cycles.iter().max().unwrap() as f64;
+    assert!(
+        max / min < 1.3,
+        "latency drifted {min}..{max} across rewired variants"
+    );
+}
+
+#[test]
+fn mesh_banking_is_near_perfectly_balanced() {
+    // Regular meshes interleave perfectly across destination banks —
+    // the favourable extreme of the Table VII imbalance spectrum.
+    let mesh = GridMesh::new(16, 16, 0).generate(0);
+    let pct = imbalance_percent(&bank_workloads(&mesh, 4));
+    assert!(pct < 2.0, "mesh imbalance {pct}%");
+
+    let powerlaw = ChungLu::new(256, mesh.num_edges(), 8, 1).generate(0);
+    let pl_pct = imbalance_percent(&bank_workloads(&powerlaw, 4));
+    assert!(
+        pct <= pl_pct,
+        "mesh ({pct}%) should balance at least as well as power-law ({pl_pct}%)"
+    );
+}
