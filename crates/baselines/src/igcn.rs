@@ -56,9 +56,7 @@ impl Islandization {
         let threshold = (avg * Self::HUB_DEGREE_FACTOR).max(1.0) as u32;
 
         let is_hub: Vec<bool> = in_deg.iter().map(|&d| d > threshold).collect();
-        let hubs: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&v| is_hub[v as usize])
-            .collect();
+        let hubs: Vec<NodeId> = (0..n as NodeId).filter(|&v| is_hub[v as usize]).collect();
 
         // Island construction: BFS over non-hub nodes (treating edges as
         // undirected), bounded island size.
@@ -180,8 +178,7 @@ impl IGcnModel {
             "redundancy {redundancy} outside [0, 1]"
         );
         let keep = 1.0 - redundancy;
-        let macs =
-            workload.combination_macs() + (workload.aggregation_macs() as f64 * keep) as u64;
+        let macs = workload.combination_macs() + (workload.aggregation_macs() as f64 * keep) as u64;
         let bytes = (workload.message_bytes() as f64 * keep) as u64;
         self.array.latency_us(macs, bytes)
     }
@@ -202,13 +199,7 @@ mod tests {
         for v in 1..10 {
             edges.push((v, 0));
         }
-        Graph::new(
-            10,
-            edges,
-            FeatureSource::dense(Matrix::zeros(10, 2)),
-            None,
-        )
-        .unwrap()
+        Graph::new(10, edges, FeatureSource::dense(Matrix::zeros(10, 2)), None).unwrap()
     }
 
     #[test]

@@ -183,7 +183,6 @@ mod tests {
         ];
         for (kind, want) in targets {
             let (n, e) = HEP;
-            let n = if kind == ModelKind::GinVn { n } else { n };
             let got = CpuModel::latency_ms_for_shape(&preset(kind), n, e);
             let ratio = got / want;
             assert!(

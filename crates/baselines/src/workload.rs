@@ -43,8 +43,7 @@ impl GcnWorkload {
     /// Panics if `layers == 0`.
     pub fn from_graph(graph: &Graph, hidden: usize, layers: usize) -> Self {
         assert!(layers > 0, "a GCN needs at least one layer");
-        let nnz =
-            (graph.node_features().expected_nnz_per_row() * graph.num_nodes() as f64) as u64;
+        let nnz = (graph.node_features().expected_nnz_per_row() * graph.num_nodes() as f64) as u64;
         Self {
             nodes: graph.num_nodes() as u64,
             edges: graph.num_edges() as u64,
@@ -120,13 +119,20 @@ mod tests {
         let w = GcnWorkload::from_graph(&g, 16, 2);
         let expected_nnz = (2708.0 * 1433.0 * 0.0127) as u64;
         let ratio = w.feature_nnz as f64 / expected_nnz as f64;
-        assert!((0.9..=1.1).contains(&ratio), "nnz {} vs {expected_nnz}", w.feature_nnz);
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "nnz {} vs {expected_nnz}",
+            w.feature_nnz
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one layer")]
     fn zero_layers_panics() {
-        let g = DatasetSpec::standard(DatasetKind::Cora).stream().next().unwrap();
+        let g = DatasetSpec::standard(DatasetKind::Cora)
+            .stream()
+            .next()
+            .unwrap();
         GcnWorkload::from_graph(&g, 16, 0);
     }
 }

@@ -1,14 +1,14 @@
 //! Fig. 7 bench: one batch sweep (GPU model) plus one FlowGNN run on a
 //! MolHIV graph.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flowgnn_baselines::GpuModel;
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::GnnModel;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::MolHiv);
     let graph = spec.stream().next().expect("non-empty");
     let model = GnnModel::gin(spec.node_feat_dim(), spec.edge_feat_dim(), 7);
@@ -39,5 +39,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

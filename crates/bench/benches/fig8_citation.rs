@@ -1,11 +1,11 @@
 //! Fig. 8 bench: FlowGNN cycle simulation on the Cora citation graph.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::{GnnModel, ModelKind};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::Cora);
     let graph = spec.stream().next().expect("single graph");
     let config = ArchConfig::default().with_execution(ExecutionMode::TimingOnly);
@@ -31,5 +31,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

@@ -1,12 +1,12 @@
 //! Fig. 9 bench: one MolHIV graph through each pipeline strategy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode, PipelineStrategy};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::GnnModel;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::MolHiv);
     let graph = spec.stream().next().expect("non-empty");
     let model = GnnModel::gcn(spec.node_feat_dim(), 11);
@@ -30,5 +30,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

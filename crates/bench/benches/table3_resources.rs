@@ -1,10 +1,10 @@
 //! Table III bench: resource estimation for every paper model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_core::{ArchConfig, ResourceEstimate};
 use flowgnn_models::{GnnModel, ModelKind};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let config = ArchConfig::default();
     let mut group = c.benchmark_group("table3_resources");
     for kind in ModelKind::PAPER_MODELS {
@@ -19,5 +19,7 @@ fn bench(c: &mut Criterion) {
     println!("\n{}", flowgnn_bench::experiments::table3().table());
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

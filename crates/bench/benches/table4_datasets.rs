@@ -1,10 +1,10 @@
 //! Table IV bench: dataset generation throughput per dataset family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let mut group = c.benchmark_group("table4_datasets");
     for kind in [DatasetKind::MolHiv, DatasetKind::Hep, DatasetKind::Cora] {
         let spec = DatasetSpec::standard(kind);
@@ -23,5 +23,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

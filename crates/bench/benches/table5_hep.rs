@@ -1,12 +1,12 @@
 //! Table V bench: FlowGNN cycle simulation of one HEP event per model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::{GnnModel, ModelKind};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::Hep);
     let graph = spec.stream().next().expect("non-empty");
     let config = ArchConfig::default().with_execution(ExecutionMode::TimingOnly);
@@ -25,5 +25,7 @@ fn bench(c: &mut Criterion) {
     println!("\n{}", t.table());
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

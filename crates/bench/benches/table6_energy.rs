@@ -1,11 +1,11 @@
 //! Table VI bench: energy-efficiency computation per model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_core::{ArchConfig, EnergyModel, ResourceEstimate};
 use flowgnn_models::{GnnModel, ModelKind};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let config = ArchConfig::default();
     let mut group = c.benchmark_group("table6_energy");
     for kind in ModelKind::PAPER_MODELS {
@@ -25,5 +25,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

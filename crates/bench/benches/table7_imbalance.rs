@@ -1,18 +1,16 @@
 //! Table VII bench: workload-imbalance measurement across bank counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_bench::SampleSize;
 use flowgnn_core::stream_imbalance_percent;
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::MolHiv);
     let mut group = c.benchmark_group("table7_imbalance");
     for p_edge in [4usize, 16, 64] {
         group.bench_function(format!("p_edge_{p_edge}"), |b| {
-            b.iter(|| {
-                stream_imbalance_percent(spec.stream().take_prefix(20), p_edge)
-            })
+            b.iter(|| stream_imbalance_percent(spec.stream().take_prefix(20), p_edge))
         });
     }
     group.finish();
@@ -23,5 +21,7 @@ fn bench(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

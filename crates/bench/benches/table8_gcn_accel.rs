@@ -1,10 +1,10 @@
 //! Table VIII bench: islandization and accelerator models on Cora.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flowgnn_baselines::{AwbGcnModel, GcnWorkload, IGcnModel, Islandization};
+use flowgnn_bench::microbench::Microbench;
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Microbench) {
     let spec = DatasetSpec::standard(DatasetKind::Cora);
     let graph = spec.stream().next().expect("single graph");
     let workload = GcnWorkload::from_graph(&graph, 16, 2);
@@ -23,5 +23,7 @@ fn bench(c: &mut Criterion) {
     println!("\n{}", flowgnn_bench::experiments::table8(false).table());
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

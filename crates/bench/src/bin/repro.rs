@@ -3,26 +3,50 @@
 //! Usage:
 //!
 //! ```text
-//! repro [experiment ...] [--quick|--full] [--csv DIR]
+//! repro [experiment ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
-//!              fig6 fig7 fig8 fig9 fig10 queues utilization all
+//!              fig6 fig7 fig8 fig9 fig10 queues utilization
+//!              throughput all
 //!              (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
 //! --csv DIR    additionally write each table as DIR/<name>.csv
+//! --jobs N     worker threads for the parallel sweeps (default: all cores)
+//! --filter S   run only experiments whose name contains the substring S
 //! ```
 
 use std::path::PathBuf;
 
-use flowgnn_bench::{experiments, SampleSize, TextTable};
+use flowgnn_bench::{experiments, throughput, SampleSize, TextTable};
 use flowgnn_graph::datasets::DatasetKind;
+
+const ALL_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table7",
+    "table8",
+    "queues",
+    "utilization",
+    "banking",
+    "scorecard",
+    "throughput",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sample = SampleSize::Standard;
     let mut full = false;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut filter: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -39,9 +63,24 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => flowgnn_bench::par::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--filter" => match iter.next() {
+                Some(s) => filter = Some(s.clone()),
+                None => {
+                    eprintln!("--filter needs a substring argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [table1|table3|table4|table5|table6|table7|table8|fig6|fig7|fig8|fig9|fig10|queues|utilization|banking|scorecard|all ...] [--quick|--full] [--csv DIR]"
+                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]",
+                    ALL_EXPERIMENTS.join("|")
                 );
                 return;
             }
@@ -49,13 +88,14 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = [
-            "table1", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "table7", "table8", "queues", "utilization", "banking", "scorecard",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(f) = &filter {
+        wanted.retain(|w| w.contains(f.as_str()));
+        if wanted.is_empty() {
+            eprintln!("--filter {f} matches no experiments (see --help)");
+            std::process::exit(2);
+        }
     }
 
     if let Some(dir) = &csv_dir {
@@ -81,7 +121,11 @@ fn main() {
         match w.as_str() {
             "table1" | "table2" => emit("table1_coverage", &experiments::coverage().table(), None),
             "table3" => emit("table3_resources", &experiments::table3().table(), None),
-            "table4" => emit("table4_datasets", &experiments::table4(sample).table(), None),
+            "table4" => emit(
+                "table4_datasets",
+                &experiments::table4(sample).table(),
+                None,
+            ),
             "table5" => {
                 let t = experiments::table5(sample);
                 emit(
@@ -91,7 +135,11 @@ fn main() {
                 );
             }
             "table6" => emit("table6_energy", &experiments::table6(sample).table(), None),
-            "fig6" => emit("fig6_virtual_node", &experiments::fig6(sample).table(), None),
+            "fig6" => emit(
+                "fig6_virtual_node",
+                &experiments::fig6(sample).table(),
+                None,
+            ),
             "fig7" => {
                 emit(
                     "fig7_molhiv",
@@ -105,7 +153,11 @@ fn main() {
                 );
             }
             "fig8" => {
-                emit("fig8_cora", &experiments::fig8(DatasetKind::Cora).table(), None);
+                emit(
+                    "fig8_cora",
+                    &experiments::fig8(DatasetKind::Cora).table(),
+                    None,
+                );
                 emit(
                     "fig8_citeseer",
                     &experiments::fig8(DatasetKind::CiteSeer).table(),
@@ -125,11 +177,16 @@ fn main() {
                     )),
                 );
             }
-            "table7" => emit("table7_imbalance", &experiments::table7(sample).table(), None),
+            "table7" => emit(
+                "table7_imbalance",
+                &experiments::table7(sample).table(),
+                None,
+            ),
             "table8" => {
                 let t = experiments::table8(full);
-                let note = (!t.full_scale)
-                    .then(|| "(Reddit at default preset scale; pass --full for 114.6M edges)".into());
+                let note = (!t.full_scale).then(|| {
+                    "(Reddit at default preset scale; pass --full for 114.6M edges)".into()
+                });
                 emit("table8_gcn_accelerators", &t.table(), note);
             }
             "queues" => {
@@ -152,6 +209,17 @@ fn main() {
                 None,
             ),
             "scorecard" => emit("scorecard", &experiments::scorecard(sample).table(), None),
+            "throughput" => {
+                let report = throughput::measure(sample);
+                print!("{}", report.table());
+                println!();
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_sim_throughput.json");
+                    if let Err(e) = std::fs::write(&path, report.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
     }

@@ -83,8 +83,14 @@ pub fn fig9(sample: SampleSize) -> Fig9 {
             .with_parallelism(2, 4, pa, ps)
     };
     let ladder: Vec<(String, ArchConfig)> = vec![
-        ("non-pipelined".into(), serial(PipelineStrategy::NonPipelined)),
-        ("fixed-pipeline".into(), serial(PipelineStrategy::FixedPipeline)),
+        (
+            "non-pipelined".into(),
+            serial(PipelineStrategy::NonPipelined),
+        ),
+        (
+            "fixed-pipeline".into(),
+            serial(PipelineStrategy::FixedPipeline),
+        ),
         (
             "baseline dataflow".into(),
             serial(PipelineStrategy::BaselineDataflow),
@@ -94,10 +100,14 @@ pub fn fig9(sample: SampleSize) -> Fig9 {
         ("FlowGNN-2-2".into(), flowgnn(2, 2)),
     ];
 
-    let mut steps = Vec::with_capacity(ladder.len());
+    // Ladder points are independent simulations; only the step-gain
+    // derivation is sequential, so measure in parallel and fold after.
+    let measured = crate::par_map(ladder, None, |(label, config)| {
+        (label, mean_gcn_latency_ms(config, &spec, graphs))
+    });
+    let mut steps = Vec::with_capacity(measured.len());
     let mut prev: Option<f64> = None;
-    for (label, config) in ladder {
-        let ms = mean_gcn_latency_ms(config, &spec, graphs);
+    for (label, ms) in measured {
         steps.push(Fig9Step {
             label,
             latency_ms: ms,
@@ -155,7 +165,14 @@ impl Fig10 {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Fig. 10: DSE over (P_node, P_edge, P_apply, P_scatter), GCN on MolHIV",
-            &["P_node", "P_edge", "P_apply", "P_scatter", "Latency (ms)", "Speedup"],
+            &[
+                "P_node",
+                "P_edge",
+                "P_apply",
+                "P_scatter",
+                "Latency (ms)",
+                "Speedup",
+            ],
         );
         for p in &self.points {
             t.row_owned(vec![
@@ -182,26 +199,31 @@ pub fn fig10(sample: SampleSize) -> Fig10 {
         &spec,
         graphs,
     );
-    let mut points = Vec::with_capacity(108);
+    let mut grid = Vec::with_capacity(108);
     for &p_apply in &[1usize, 2, 4] {
         for &p_scatter in &[1usize, 2, 4, 8] {
             for &p_node in &[1usize, 2, 4] {
                 for &p_edge in &[1usize, 2, 4] {
-                    let cfg = ArchConfig::default()
-                        .with_parallelism(p_node, p_edge, p_apply, p_scatter);
-                    let ms = mean_gcn_latency_ms(cfg, &spec, graphs);
-                    points.push(DsePoint {
-                        p_node,
-                        p_edge,
-                        p_apply,
-                        p_scatter,
-                        latency_ms: ms,
-                        speedup: base / ms,
-                    });
+                    grid.push((p_node, p_edge, p_apply, p_scatter));
                 }
             }
         }
     }
+    // The DSE grid is the repro's hottest loop: 108 independent sweeps of
+    // the same sample. `par_map` keeps the output in grid order, so the
+    // table and CSV are identical to a sequential run.
+    let points = crate::par_map(grid, None, |(p_node, p_edge, p_apply, p_scatter)| {
+        let cfg = ArchConfig::default().with_parallelism(p_node, p_edge, p_apply, p_scatter);
+        let ms = mean_gcn_latency_ms(cfg, &spec, graphs);
+        DsePoint {
+            p_node,
+            p_edge,
+            p_apply,
+            p_scatter,
+            latency_ms: ms,
+            speedup: base / ms,
+        }
+    });
     Fig10 { points }
 }
 
@@ -229,7 +251,11 @@ mod tests {
     fn fig9_even_nonpipelined_beats_gpu() {
         // Paper: the non-pipelined scheme is already 4.91× faster than GPU.
         let f = fig9(SampleSize::Quick);
-        assert!(f.steps[0].speedup_vs_gpu > 1.0, "{}", f.steps[0].speedup_vs_gpu);
+        assert!(
+            f.steps[0].speedup_vs_gpu > 1.0,
+            "{}",
+            f.steps[0].speedup_vs_gpu
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! the corresponding component actually exists in the assembled model (the
 //! test suite asserts the expected matrix).
 
-use flowgnn_models::{
-    AggregatorKind, Dataflow, GnnModel, MessageTransform, ModelKind,
-};
+use flowgnn_models::{AggregatorKind, Dataflow, GnnModel, MessageTransform, ModelKind};
 
 use crate::TextTable;
 

@@ -35,7 +35,12 @@ impl Table4 {
                 format!("{} ({})", r.measured.graphs, r.paper.graphs),
                 format!("{:.1} ({:.1})", r.measured.mean_nodes, r.paper.mean_nodes),
                 format!("{:.1} ({:.1})", r.measured.mean_edges, r.paper.mean_edges),
-                if r.measured.edge_features { "yes" } else { "no" }.to_string(),
+                if r.measured.edge_features {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
         }
         t
@@ -46,18 +51,17 @@ impl Table4 {
 /// published statistics. Single-graph datasets are measured at their
 /// default scale (Reddit scaled; see `DatasetSpec::full_scale`).
 pub fn table4(sample: SampleSize) -> Table4 {
-    let rows = DatasetKind::ALL
-        .iter()
-        .map(|&kind| {
-            let spec = DatasetSpec::standard(kind);
-            let n = sample.resolve(kind.paper_stats().graphs);
-            Table4Row {
-                kind,
-                paper: kind.paper_stats(),
-                measured: spec.measured_stats(n),
-            }
-        })
-        .collect();
+    // Measuring a dataset means generating its graph stream — the seven
+    // datasets are independent, so fan them out.
+    let rows = crate::par_map(DatasetKind::ALL.to_vec(), None, |kind| {
+        let spec = DatasetSpec::standard(kind);
+        let n = sample.resolve(kind.paper_stats().graphs);
+        Table4Row {
+            kind,
+            paper: kind.paper_stats(),
+            measured: spec.measured_stats(n),
+        }
+    });
     Table4 { rows }
 }
 
@@ -94,7 +98,11 @@ mod tests {
     #[test]
     fn edge_feature_flags_match() {
         for r in table4(SampleSize::Quick).rows {
-            assert_eq!(r.measured.edge_features, r.paper.edge_features, "{}", r.kind);
+            assert_eq!(
+                r.measured.edge_features, r.paper.edge_features,
+                "{}",
+                r.kind
+            );
         }
     }
 }

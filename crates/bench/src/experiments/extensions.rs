@@ -83,14 +83,13 @@ pub fn queue_sweep(sample: SampleSize) -> QueueSweep {
         let acc = Accelerator::new(model.clone(), config);
         acc.run_stream(spec.stream(), graphs).latency.mean_ms
     };
-    let points = [1usize, 2, 4, 8, 16, 32, 64]
-        .iter()
-        .map(|&capacity| QueuePoint {
+    let points = crate::par_map(vec![1usize, 2, 4, 8, 16, 32, 64], None, |capacity| {
+        QueuePoint {
             capacity,
             matched_ms: mean(capacity, 8, 8),
             bursty_ms: mean(capacity, 8, 2),
-        })
-        .collect();
+        }
+    });
     QueueSweep { points }
 }
 
@@ -143,9 +142,10 @@ pub fn utilization_ladder(sample: SampleSize) -> UtilizationLadder {
     let spec = DatasetSpec::standard(DatasetKind::MolHiv);
     let graphs = sample.resolve(spec.paper_stats().graphs);
     let model = GnnModel::gcn(spec.node_feat_dim(), 11);
-    let rows = PipelineStrategy::ABLATION_ORDER
-        .iter()
-        .map(|&strategy| {
+    let rows = crate::par_map(
+        PipelineStrategy::ABLATION_ORDER.to_vec(),
+        None,
+        |strategy| {
             let config = ArchConfig::default()
                 .with_parallelism(1, 1, 2, 2)
                 .with_strategy(strategy)
@@ -155,9 +155,9 @@ pub fn utilization_ladder(sample: SampleSize) -> UtilizationLadder {
             let mut total_ms = 0.0;
             let mut util = 0.0;
             let mut stall = 0.0;
-            let mut stream = spec.stream().take_prefix(graphs);
+            let stream = spec.stream().take_prefix(graphs);
             let mut count = 0;
-            while let Some(g) = stream.next() {
+            for g in stream {
                 let report = acc.run(&g);
                 total_ms += report.latency_ms();
                 util += report.compute_utilization(units);
@@ -170,8 +170,8 @@ pub fn utilization_ladder(sample: SampleSize) -> UtilizationLadder {
                 utilization: util / count as f64,
                 stall_fraction: stall / count as f64,
             }
-        })
-        .collect();
+        },
+    );
     UtilizationLadder { rows }
 }
 
@@ -201,7 +201,12 @@ impl BankingStudy {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Extension: gather banking for MP-to-NT models (GAT on MolHIV)",
-            &["P_edge", "Destination (ms)", "Source+barrier (ms)", "dest. advantage"],
+            &[
+                "P_edge",
+                "Destination (ms)",
+                "Source+barrier (ms)",
+                "dest. advantage",
+            ],
         );
         for p in &self.points {
             t.row_owned(vec![

@@ -7,9 +7,7 @@
 //! preset's default scale unless `full` is set.
 
 use flowgnn_baselines::{AwbGcnModel, GcnWorkload, IGcnModel, Islandization};
-use flowgnn_core::{
-    Accelerator, ArchConfig, EnergyModel, ExecutionMode, ResourceEstimate,
-};
+use flowgnn_core::{Accelerator, ArchConfig, EnergyModel, ExecutionMode, ResourceEstimate};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::GnnModel;
 
@@ -86,7 +84,11 @@ impl Table8 {
             ],
         );
         for r in &self.rows {
-            let entries = [("AWB-GCN", r.awb), ("I-GCN", r.igcn), ("FlowGNN", r.flowgnn)];
+            let entries = [
+                ("AWB-GCN", r.awb),
+                ("I-GCN", r.igcn),
+                ("FlowGNN", r.flowgnn),
+            ];
             for (name, e) in entries {
                 let vs = if name == "FlowGNN" {
                     fmt_x(r.flowgnn_vs_igcn())

@@ -19,11 +19,7 @@ pub struct Table7 {
 impl Table7 {
     /// Largest imbalance across the whole table.
     pub fn max_imbalance(&self) -> f64 {
-        self.values
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.values.iter().flatten().copied().fold(0.0, f64::max)
     }
 
     /// Renders the table.
@@ -50,24 +46,21 @@ impl Table7 {
 pub fn table7(sample: SampleSize) -> Table7 {
     let p_edges = vec![2usize, 4, 8, 16, 32, 64];
     let datasets: Vec<DatasetKind> = DatasetKind::ALL.to_vec();
-    // per_dataset[j][i] = imbalance at p_edges[i] on datasets[j]
-    let per_dataset: Vec<Vec<f64>> = datasets
-        .iter()
-        .map(|&kind| {
-            let spec = DatasetSpec::standard(kind);
-            let n = sample.resolve(kind.paper_stats().graphs);
-            let mut totals: Vec<Vec<u64>> =
-                p_edges.iter().map(|&p| vec![0u64; p]).collect();
-            for g in spec.stream().take_prefix(n) {
-                for (i, &p) in p_edges.iter().enumerate() {
-                    for (t, w) in totals[i].iter_mut().zip(bank_workloads(&g, p)) {
-                        *t += w;
-                    }
+    // per_dataset[j][i] = imbalance at p_edges[i] on datasets[j]; each
+    // dataset regenerates and scans its own stream, so fan them out.
+    let per_dataset: Vec<Vec<f64>> = crate::par_map(datasets.clone(), None, |kind| {
+        let spec = DatasetSpec::standard(kind);
+        let n = sample.resolve(kind.paper_stats().graphs);
+        let mut totals: Vec<Vec<u64>> = p_edges.iter().map(|&p| vec![0u64; p]).collect();
+        for g in spec.stream().take_prefix(n) {
+            for (i, &p) in p_edges.iter().enumerate() {
+                for (t, w) in totals[i].iter_mut().zip(bank_workloads(&g, p)) {
+                    *t += w;
                 }
             }
-            totals.iter().map(|t| imbalance_percent(t)).collect()
-        })
-        .collect();
+        }
+        totals.iter().map(|t| imbalance_percent(t)).collect()
+    });
     let values = (0..p_edges.len())
         .map(|i| per_dataset.iter().map(|d| d[i]).collect())
         .collect();

@@ -23,12 +23,12 @@ fn batch1_triple(
     graphs: usize,
 ) -> (f64, f64, f64) {
     let acc = Accelerator::new(model.clone(), timing_config());
-    let mut stream = spec.stream().take_prefix(graphs);
+    let stream = spec.stream().take_prefix(graphs);
     let mut fg = 0.0;
     let mut cpu = 0.0;
     let mut gpu = 0.0;
     let mut count = 0usize;
-    while let Some(g) = stream.next() {
+    for g in stream {
         fg += acc.run(&g).latency_ms();
         cpu += CpuModel::latency_ms(model, &g);
         gpu += GpuModel::latency_per_graph_ms(model, g.num_nodes(), g.num_edges(), 1);
@@ -115,18 +115,15 @@ impl Table5 {
 pub fn table5(sample: SampleSize) -> Table5 {
     let spec = DatasetSpec::standard(DatasetKind::Hep);
     let graphs = sample.resolve(spec.paper_stats().graphs);
-    let rows = paper_models(&spec, 7)
-        .into_iter()
-        .map(|model| {
-            let (fg, cpu, gpu) = batch1_triple(&model, &spec, graphs);
-            Table5Row {
-                kind: model.kind(),
-                cpu_ms: cpu,
-                gpu_ms: gpu,
-                flowgnn_ms: fg,
-            }
-        })
-        .collect();
+    let rows = crate::par_map(paper_models(&spec, 7), None, |model| {
+        let (fg, cpu, gpu) = batch1_triple(&model, &spec, graphs);
+        Table5Row {
+            kind: model.kind(),
+            cpu_ms: cpu,
+            gpu_ms: gpu,
+            flowgnn_ms: fg,
+        }
+    });
     Table5 { rows, graphs }
 }
 
@@ -204,22 +201,19 @@ pub fn fig7(dataset: DatasetKind, sample: SampleSize) -> Fig7 {
     let graphs = sample.resolve(spec.paper_stats().graphs);
     let stats = spec.paper_stats();
     let (n, e) = (stats.mean_nodes as usize, stats.mean_edges as usize);
-    let series = paper_models(&spec, 13)
-        .into_iter()
-        .map(|model| {
-            let (fg, cpu, _) = batch1_triple(&model, &spec, graphs);
-            let gpu_ms_by_batch = GpuModel::BATCH_SIZES
-                .iter()
-                .map(|&b| (b, GpuModel::latency_per_graph_ms(&model, n, e, b)))
-                .collect();
-            BatchSweep {
-                kind: model.kind(),
-                cpu_ms: cpu,
-                gpu_ms_by_batch,
-                flowgnn_ms: fg,
-            }
-        })
-        .collect();
+    let series = crate::par_map(paper_models(&spec, 13), None, |model| {
+        let (fg, cpu, _) = batch1_triple(&model, &spec, graphs);
+        let gpu_ms_by_batch = GpuModel::BATCH_SIZES
+            .iter()
+            .map(|&b| (b, GpuModel::latency_per_graph_ms(&model, n, e, b)))
+            .collect();
+        BatchSweep {
+            kind: model.kind(),
+            cpu_ms: cpu,
+            gpu_ms_by_batch,
+            flowgnn_ms: fg,
+        }
+    });
     Fig7 { dataset, series }
 }
 
@@ -280,24 +274,16 @@ pub fn fig8(dataset: DatasetKind) -> Fig8 {
     );
     let spec = DatasetSpec::standard(dataset);
     let graph = spec.stream().next().expect("single-graph dataset");
-    let rows = paper_models(&spec, 29)
-        .into_iter()
-        .map(|model| {
-            let acc = Accelerator::new(model.clone(), timing_config());
-            let fg = acc.run(&graph).latency_ms();
-            Fig8Row {
-                kind: model.kind(),
-                cpu_ms: CpuModel::latency_ms(&model, &graph),
-                gpu_ms: GpuModel::latency_per_graph_ms(
-                    &model,
-                    graph.num_nodes(),
-                    graph.num_edges(),
-                    1,
-                ),
-                flowgnn_ms: fg,
-            }
-        })
-        .collect();
+    let rows = crate::par_map(paper_models(&spec, 29), None, |model| {
+        let acc = Accelerator::new(model.clone(), timing_config());
+        let fg = acc.run(&graph).latency_ms();
+        Fig8Row {
+            kind: model.kind(),
+            cpu_ms: CpuModel::latency_ms(&model, &graph),
+            gpu_ms: GpuModel::latency_per_graph_ms(&model, graph.num_nodes(), graph.num_edges(), 1),
+            flowgnn_ms: fg,
+        }
+    });
     Fig8 { dataset, rows }
 }
 
@@ -328,14 +314,23 @@ mod tests {
         let t = table5(SampleSize::Quick);
         let dgn = t.rows.iter().find(|r| r.kind == ModelKind::Dgn).unwrap();
         for r in &t.rows {
-            assert!(r.speedup_vs_gpu() > 5.0, "{}: {}", r.kind, r.speedup_vs_gpu());
+            assert!(
+                r.speedup_vs_gpu() > 5.0,
+                "{}: {}",
+                r.kind,
+                r.speedup_vs_gpu()
+            );
         }
         let max = t
             .rows
             .iter()
             .map(|r| r.speedup_vs_gpu())
             .fold(0.0, f64::max);
-        assert_eq!(max, dgn.speedup_vs_gpu(), "DGN should show the largest speedup");
+        assert_eq!(
+            max,
+            dgn.speedup_vs_gpu(),
+            "DGN should show the largest speedup"
+        );
     }
 
     #[test]

@@ -14,20 +14,20 @@ mod virtual_node;
 
 pub use ablation::{fig10, fig9, DsePoint, Fig10, Fig9, Fig9Step};
 pub use coverage::{coverage, inspect, CoverageMatrix, FeatureMatrixRow, STOCK_MODELS};
+pub use datasets::{table4, Table4, Table4Row};
+pub use energy::{table6, Table6, Table6Row, PAPER_TABLE6};
 pub use extensions::{
     gather_banking, queue_sweep, utilization_ladder, BankingPoint, BankingStudy, QueuePoint,
     QueueSweep, UtilizationLadder, UtilizationRow,
 };
-pub use scorecard::{scorecard, Claim, Scorecard};
-pub use virtual_node::{fig6, Fig6, Fig6Row};
-pub use datasets::{table4, Table4, Table4Row};
-pub use energy::{table6, Table6, Table6Row, PAPER_TABLE6};
 pub use gcn_accel::{table8, table8_config, Table8, Table8Row, PAPER_TABLE8};
 pub use imbalance::{table7, Table7};
 pub use latency::{
     fig7, fig8, table5, BatchSweep, Fig7, Fig8, Fig8Row, Table5, Table5Row, PAPER_TABLE5,
 };
 pub use resources::{table3, Table3, Table3Row, PAPER_TABLE3};
+pub use scorecard::{scorecard, Claim, Scorecard};
+pub use virtual_node::{fig6, Fig6, Fig6Row};
 
 use flowgnn_graph::datasets::DatasetSpec;
 use flowgnn_models::{GnnModel, ModelKind};

@@ -157,8 +157,14 @@ pub fn scorecard(sample: SampleSize) -> Scorecard {
         let gat = f.series.iter().find(|s| s.kind == ModelKind::Gat).unwrap();
         let dgn = f.series.iter().find(|s| s.kind == ModelKind::Dgn).unwrap();
         let gin_crosses = gin.gpu_ms_by_batch.last().unwrap().1 < gin.flowgnn_ms;
-        let gat_never = gat.gpu_ms_by_batch.iter().all(|&(_, ms)| ms > gat.flowgnn_ms);
-        let dgn_never = dgn.gpu_ms_by_batch.iter().all(|&(_, ms)| ms > dgn.flowgnn_ms);
+        let gat_never = gat
+            .gpu_ms_by_batch
+            .iter()
+            .all(|&(_, ms)| ms > gat.flowgnn_ms);
+        let dgn_never = dgn
+            .gpu_ms_by_batch
+            .iter()
+            .all(|&(_, ms)| ms > dgn.flowgnn_ms);
         claims.push(Claim {
             source: "Fig. 7",
             statement: "GPU catches up at large batch for isotropic models; never for GAT/DGN",

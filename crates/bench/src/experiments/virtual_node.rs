@@ -51,7 +51,14 @@ impl Fig6 {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Fig. 6 (quantified): virtual-node overhead per pipeline strategy (GIN on MolHIV)",
-            &["Strategy", "GIN (ms)", "+1 VN (ms)", "overhead", "+4 VN (ms)", "overhead"],
+            &[
+                "Strategy",
+                "GIN (ms)",
+                "+1 VN (ms)",
+                "overhead",
+                "+4 VN (ms)",
+                "overhead",
+            ],
         );
         for r in &self.rows {
             t.row_owned(vec![
@@ -81,9 +88,9 @@ pub fn fig6(sample: SampleSize) -> Fig6 {
             .with_execution(ExecutionMode::TimingOnly);
         let acc = Accelerator::new(model.clone(), config);
         let mut total = 0.0;
-        let mut stream = spec.stream().take_prefix(graphs);
+        let stream = spec.stream().take_prefix(graphs);
         let mut count = 0;
-        while let Some(mut g) = stream.next() {
+        for mut g in stream {
             if extra_vns > 0 {
                 g.add_virtual_nodes(extra_vns);
             }

@@ -3,7 +3,7 @@
 //!
 //! Each experiment lives in [`experiments`] as a function returning
 //! structured rows plus a paper-style text rendering, so the same code
-//! backs the `repro` binary, the Criterion benches, and the integration
+//! backs the `repro` binary, the `Microbench` benches, and the integration
 //! tests. The experiment ↔ module mapping is the per-experiment index in
 //! DESIGN.md:
 //!
@@ -24,8 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
+pub mod par;
 mod table;
+pub mod throughput;
 
+pub use par::par_map;
 pub use table::TextTable;
 
 /// How many graphs an experiment samples from a streamed dataset.

@@ -1,0 +1,188 @@
+//! Minimal wall-clock micro-benchmark harness (std-only).
+//!
+//! The `[[bench]]` targets in this crate run with `harness = false` and
+//! use this module instead of an external benchmarking framework, so
+//! `cargo bench` works in fully offline builds. The API mirrors the
+//! subset of `criterion` the benches used (`bench_function`,
+//! `benchmark_group`, `Bencher::iter`), keeping the bench sources
+//! framework-shaped.
+//!
+//! Methodology: each benchmark warms up for ~`WARMUP` of wall time, then
+//! runs timed batches until ~`MEASURE` of wall time has accumulated, and
+//! reports the mean and best (minimum) per-iteration time.
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(250);
+
+/// Runs the closure under timing; handed to `bench_function` callbacks.
+pub struct Bencher {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records per-iteration statistics.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up (and discover a batch size that lasts >= ~1ms so timer
+        // overhead stays negligible for very fast bodies).
+        let warm_start = Instant::now();
+        let mut calls_per_batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..calls_per_batch {
+                std::hint::black_box(f());
+            }
+            let batch = t.elapsed();
+            if warm_start.elapsed() >= WARMUP {
+                if batch < Duration::from_millis(1) && calls_per_batch < (1 << 20) {
+                    calls_per_batch *= 2;
+                    continue;
+                }
+                break;
+            }
+            if batch < Duration::from_micros(100) && calls_per_batch < (1 << 20) {
+                calls_per_batch *= 2;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = f64::INFINITY;
+        while total < MEASURE {
+            let t = Instant::now();
+            for _ in 0..calls_per_batch {
+                std::hint::black_box(f());
+            }
+            let batch = t.elapsed();
+            best = best.min(batch.as_nanos() as f64 / calls_per_batch as f64);
+            total += batch;
+            iters += calls_per_batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.best_ns = best;
+        self.iters = iters;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// One timed result, as reported by [`Microbench::results`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully-qualified benchmark id (`group/name` or bare `name`).
+    pub id: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Best (minimum) observed per-iteration time, in nanoseconds.
+    pub best_ns: f64,
+    /// Total timed iterations.
+    pub iters: u64,
+}
+
+/// The top-level harness: a drop-in stand-in for `criterion::Criterion`
+/// in this crate's benches.
+#[derive(Default)]
+pub struct Microbench {
+    results: Vec<BenchResult>,
+}
+
+impl Microbench {
+    /// Creates a harness; tolerates (and ignores) the arguments cargo
+    /// passes to `harness = false` bench binaries.
+    pub fn from_env() -> Self {
+        Self::default()
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            best_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<40} mean {:>12}   best {:>12}   ({} iters)",
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.best_ns),
+            b.iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns: b.mean_ns,
+            best_ns: b.best_ns,
+            iters: b.iters,
+        });
+    }
+
+    /// Times a single benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        self.run_one(name.into(), &mut f);
+    }
+
+    /// Opens a named group; names are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            harness: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// All results recorded so far (used by the throughput emitter).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchGroup<'a> {
+    harness: &'a mut Microbench,
+    prefix: String,
+}
+
+impl BenchGroup<'_> {
+    /// Accepted for criterion-compatibility; the harness is time-budgeted
+    /// rather than sample-counted, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.prefix, name.into());
+        self.harness.run_one(id, &mut f);
+    }
+
+    /// Ends the group (no-op; results are flushed eagerly).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_results_with_group_prefixes() {
+        let mut c = Microbench::from_env();
+        c.bench_function("bare", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+        let ids: Vec<_> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["bare", "grp/inner"]);
+        assert!(c.results().iter().all(|r| r.iters > 0 && r.mean_ns > 0.0));
+    }
+}

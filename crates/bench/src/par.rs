@@ -1,0 +1,167 @@
+//! Dependency-free parallel sweep executor.
+//!
+//! The repro harness evaluates the same simulator at 100+ independent
+//! configuration points (Fig. 10's 108-point DSE, Table IV/VII dataset
+//! loops, batch sweeps). [`par_map`] fans those points out over
+//! `std::thread::scope` workers with atomic self-scheduling: each worker
+//! repeatedly claims the next unclaimed index, so long-running points
+//! (large graphs, deep configs) don't serialize behind a static
+//! partition. Results are written into index-ordered slots, making the
+//! output order — and therefore every table/CSV built from it —
+//! identical to the sequential run, regardless of thread count or
+//! scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global worker-count override set from the `repro --jobs N` flag.
+///
+/// `0` (the initial value) means "not set": use the machine's available
+/// parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`par_map`] when the caller passes
+/// `None` (the repro binary wires `--jobs N` here). `1` forces
+/// sequential execution; `0` restores the default (machine parallelism).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] will use for `jobs = None`.
+pub fn effective_jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// output.
+///
+/// `jobs = None` uses the global setting ([`set_jobs`], defaulting to
+/// the machine's available parallelism); `Some(n)` overrides it for this
+/// call. With one worker (or one item) everything runs on the calling
+/// thread — no threads are spawned, so single-job runs behave exactly
+/// like a plain `.map().collect()`.
+///
+/// Work distribution is dynamic (atomic next-index counter), so uneven
+/// per-item cost — the norm for cycle simulations — still saturates all
+/// workers. `f` must be `Sync` and is shared by reference; per-item
+/// state belongs in the item or the result.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller once
+/// all workers have stopped.
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = jobs
+        .unwrap_or_else(effective_jobs)
+        .max(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    // Hand items to workers through per-item Mutex<Option<T>> slots: the
+    // atomic counter guarantees each index is claimed exactly once, the
+    // mutex lets workers take ownership of T through a shared reference.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = work[i].lock().unwrap().take().expect("claimed twice");
+                    let r = f(item);
+                    *out[i].lock().unwrap() = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = par_map(items.clone(), Some(8), |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 7, 64] {
+            assert_eq!(par_map(items.clone(), Some(jobs), |x| x * x + 1), expect);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        assert_eq!(
+            par_map(Vec::<u32>::new(), Some(4), |x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(par_map(vec![5], Some(4), |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_dynamically() {
+        // Front-loaded heavy items: a static split would stall one worker.
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i < 4 { 1_000_000 } else { 10 })
+            .collect();
+        let sums = par_map(items.clone(), Some(4), |n| (0..n).sum::<u64>());
+        assert_eq!(sums.len(), 64);
+        assert_eq!(sums[63], (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(vec![1, 2, 3], Some(2), |x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn jobs_override_roundtrip() {
+        set_jobs(3);
+        assert_eq!(effective_jobs(), 3);
+        set_jobs(0);
+        assert!(effective_jobs() >= 1);
+    }
+}

@@ -43,7 +43,8 @@ impl TextTable {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends one row of owned strings.

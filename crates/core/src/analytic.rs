@@ -27,7 +27,10 @@ use crate::regions::lower;
 /// queues); strategies from the ablation need the exact engine.
 pub fn analytic_cycles(model: &GnnModel, graph: &Graph, config: &ArchConfig) -> Cycle {
     let (n, e) = if model.uses_virtual_node() {
-        (graph.num_nodes() + 1, graph.num_edges() + 2 * graph.num_nodes())
+        (
+            graph.num_nodes() + 1,
+            graph.num_edges() + 2 * graph.num_nodes(),
+        )
     } else {
         (graph.num_nodes(), graph.num_edges())
     };
@@ -144,8 +147,16 @@ mod tests {
     fn analytic_improves_with_parallelism() {
         let model = GnnModel::gcn(9, 1);
         let g = MoleculeLike::new(30.0, 0).generate(0);
-        let slow = analytic_cycles(&model, &g, &ArchConfig::default().with_parallelism(1, 1, 1, 1));
-        let fast = analytic_cycles(&model, &g, &ArchConfig::default().with_parallelism(4, 4, 8, 8));
+        let slow = analytic_cycles(
+            &model,
+            &g,
+            &ArchConfig::default().with_parallelism(1, 1, 1, 1),
+        );
+        let fast = analytic_cycles(
+            &model,
+            &g,
+            &ArchConfig::default().with_parallelism(4, 4, 8, 8),
+        );
         assert!(fast < slow);
     }
 }

@@ -77,6 +77,35 @@ pub enum ExecutionMode {
     TimingOnly,
 }
 
+/// How the dataflow simulation loop advances time.
+///
+/// Both modes are cycle-exact and produce byte-identical [`crate::RunReport`]s;
+/// the reference mode exists as the oracle for differential tests and as a
+/// debugging fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Event-horizon fast-forward: when every unit's next state change is
+    /// provably more than one cycle away, the engine advances all
+    /// counters and meters by the minimum horizon in one step instead of
+    /// ticking idle cycles one by one. Cycle-exact by construction — every
+    /// cycle on which any unit's state can change is still executed by
+    /// the ordinary per-cycle code.
+    #[default]
+    FastForward,
+    /// Naive per-cycle stepping: every cycle runs every unit.
+    Reference,
+}
+
+impl EngineMode {
+    /// Display name used in reports and the throughput benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::FastForward => "fast-forward",
+            EngineMode::Reference => "reference",
+        }
+    }
+}
+
 /// The architecture configuration (Sec. III-D).
 ///
 /// The four parallelisation parameters are exactly the paper's:
@@ -119,6 +148,8 @@ pub struct ArchConfig {
     pub trace: bool,
     /// Edge partitioning for gather-dataflow regions.
     pub gather_banking: GatherBanking,
+    /// Simulation-loop time-advance mode (fast-forward vs. per-cycle).
+    pub engine: EngineMode,
 }
 
 impl Default for ArchConfig {
@@ -135,6 +166,7 @@ impl Default for ArchConfig {
             region_overhead: 8,
             trace: false,
             gather_banking: GatherBanking::Destination,
+            engine: EngineMode::FastForward,
         }
     }
 }
@@ -184,6 +216,12 @@ impl ArchConfig {
     /// Sets the gather-region banking scheme.
     pub fn with_gather_banking(mut self, banking: GatherBanking) -> Self {
         self.gather_banking = banking;
+        self
+    }
+
+    /// Sets the simulation-loop engine mode.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -267,7 +305,10 @@ mod tests {
             PipelineStrategy::ABLATION_ORDER[0],
             PipelineStrategy::NonPipelined
         );
-        assert_eq!(PipelineStrategy::ABLATION_ORDER[3], PipelineStrategy::FlowGnn);
+        assert_eq!(
+            PipelineStrategy::ABLATION_ORDER[3],
+            PipelineStrategy::FlowGnn
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl EnergyModel {
 ///
 /// Panics if either argument is not positive.
 pub fn graphs_per_kj(latency_s: f64, watts: f64) -> f64 {
-    assert!(latency_s > 0.0 && watts > 0.0, "latency and power must be positive");
+    assert!(
+        latency_s > 0.0 && watts > 0.0,
+        "latency and power must be positive"
+    );
     1.0 / (latency_s * watts * 1e-3)
 }
 

@@ -13,9 +13,54 @@ use flowgnn_models::reference::ReferenceOutput;
 use flowgnn_models::{AggState, Dataflow, GnnModel, GraphContext, MessageCtx, NodeCtx};
 use flowgnn_tensor::Matrix;
 
-use crate::config::{ArchConfig, ExecutionMode, PipelineStrategy};
+use crate::config::{ArchConfig, EngineMode, ExecutionMode, PipelineStrategy};
 use crate::regions::{lower, BankedEdges, NtOp, Region};
 use crate::trace::{LaneSymbol, RegionTrace, Trace};
+
+use std::borrow::Cow;
+
+/// A graph pre-processed for one [`Accelerator`]: the virtual node added
+/// (if the model needs one) and the per-graph index structures — graph
+/// context, destination-banked edges, and the CSC adjacency for gather
+/// models — built exactly once.
+///
+/// [`Accelerator::run`] builds one of these internally per call; callers
+/// that run the *same* graph repeatedly (DSE sweeps, batch experiments)
+/// or stream many graphs (via [`Accelerator::run_stream`]) use
+/// [`Accelerator::prepare`] / [`Accelerator::prepare_owned`] +
+/// [`Accelerator::run_prepared`] so nothing is cloned or re-indexed per
+/// run.
+#[derive(Debug, Clone)]
+pub struct PreparedGraph<'g> {
+    g: Cow<'g, Graph>,
+    pool_nodes: usize,
+    ctx: GraphContext,
+    banked: BankedEdges,
+    csc: Option<Adjacency>,
+}
+
+impl PreparedGraph<'_> {
+    /// The (possibly virtual-node-augmented) graph that will be simulated.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+}
+
+/// Reusable simulation buffers, carried across regions and across graphs
+/// in a stream so the per-run allocation cost is amortised away.
+///
+/// A fresh default `SimScratch` is always valid; reusing one across runs
+/// (of any graph, any accelerator) is equally valid — every run fully
+/// re-initialises the state it reads.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    x_cur: Vec<Vec<f32>>,
+    x_next: Vec<Vec<f32>>,
+    prev_states: Vec<Option<AggState>>,
+    next_states: Vec<Option<AggState>>,
+    msg_buf: Vec<f32>,
+    out_buf: Vec<f32>,
+}
 
 /// Timing and (optionally) functional results of running one graph.
 #[derive(Debug, Clone)]
@@ -127,19 +172,71 @@ impl Accelerator {
     ///
     /// Panics if the graph's feature dimensions do not match the model.
     pub fn run(&self, graph: &Graph) -> RunReport {
-        let mut owned;
-        let (g, pool_nodes) = if self.model.uses_virtual_node() {
-            owned = graph.clone();
-            owned.add_virtual_node();
-            (&owned, graph.num_nodes())
-        } else {
-            (graph, graph.num_nodes())
-        };
-        self.run_prepared(g, pool_nodes)
+        self.run_prepared(&self.prepare(graph), &mut SimScratch::default())
     }
 
-    /// Runs an already-prepared graph (virtual node added, if needed).
-    fn run_prepared(&self, g: &Graph, pool_nodes: usize) -> RunReport {
+    /// Prepares `graph` for repeated runs on this accelerator: adds the
+    /// virtual node if the model uses one (cloning the graph only in that
+    /// case) and builds the per-graph index structures once.
+    pub fn prepare<'g>(&self, graph: &'g Graph) -> PreparedGraph<'g> {
+        let pool_nodes = graph.num_nodes();
+        if self.model.uses_virtual_node() {
+            let mut owned = graph.clone();
+            owned.add_virtual_node();
+            self.finish_prepare(Cow::Owned(owned), pool_nodes)
+        } else {
+            self.finish_prepare(Cow::Borrowed(graph), pool_nodes)
+        }
+    }
+
+    /// Like [`Accelerator::prepare`] but takes ownership, so virtual-node
+    /// models augment the graph in place with **zero** clones. This is the
+    /// path the stream runners use: a 10k-graph stream performs 10k
+    /// in-place preparations, not 10k graph clones.
+    pub fn prepare_owned(&self, mut graph: Graph) -> PreparedGraph<'static> {
+        let pool_nodes = graph.num_nodes();
+        if self.model.uses_virtual_node() {
+            graph.add_virtual_node();
+        }
+        self.finish_prepare(Cow::Owned(graph), pool_nodes)
+    }
+
+    fn finish_prepare<'g>(&self, g: Cow<'g, Graph>, pool_nodes: usize) -> PreparedGraph<'g> {
+        let ctx = if self.model.needs_dgn_field() {
+            GraphContext::with_dgn_field(&g)
+        } else {
+            GraphContext::new(&g)
+        };
+        let banked = BankedEdges::new(&g, self.config.effective_p_edge());
+        let csc = if self.model.dataflow() == Dataflow::MpToNt {
+            Some(Adjacency::in_edges(&g))
+        } else {
+            None
+        };
+        PreparedGraph {
+            g,
+            pool_nodes,
+            ctx,
+            banked,
+            csc,
+        }
+    }
+
+    /// Runs one prepared graph, reusing `scratch`'s buffers across the
+    /// run (and, when the caller loops, across runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's feature dimensions do not match the model.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedGraph<'_>,
+        scratch: &mut SimScratch,
+    ) -> RunReport {
+        let g: &Graph = &prepared.g;
+        let pool_nodes = prepared.pool_nodes;
+        let banked = &prepared.banked;
+        let csc = &prepared.csc;
         let functional = self.config.execution == ExecutionMode::Full;
         if functional {
             assert_eq!(
@@ -151,20 +248,8 @@ impl Accelerator {
             );
         }
         let n = g.num_nodes();
-        let ctx = if self.model.needs_dgn_field() {
-            GraphContext::with_dgn_field(g)
-        } else {
-            GraphContext::new(g)
-        };
-        let p_edge = self.config.effective_p_edge();
-        let banked = BankedEdges::new(g, p_edge);
-        let csc = if self.model.dataflow() == Dataflow::MpToNt {
-            Some(Adjacency::in_edges(g))
-        } else {
-            None
-        };
 
-        let mut exec = ExecState::new(g, ctx, functional);
+        let mut exec = ExecState::new(g, &prepared.ctx, functional, scratch);
         let mut region_cycles = Vec::with_capacity(self.regions.len());
         let mut totals = RegionStats::default();
         let mut trace = self.config.trace.then(Trace::default);
@@ -173,8 +258,7 @@ impl Accelerator {
             let mut region_trace = trace.as_ref().map(|_| {
                 let p_node = self.config.effective_p_node();
                 let p_edge = self.config.effective_p_edge();
-                let mut names: Vec<String> =
-                    (0..p_node).map(|i| format!("NT{i}")).collect();
+                let mut names: Vec<String> = (0..p_node).map(|i| format!("NT{i}")).collect();
                 if region.scatter_layer.is_some() || region.gather_layer.is_some() {
                     names.extend((0..p_edge).map(|k| format!("MP{k}")));
                 }
@@ -189,7 +273,7 @@ impl Accelerator {
                     region_trace.as_mut(),
                 )
             } else {
-                self.simulate_scatter_region(region, g, &banked, &mut exec, region_trace.as_mut())
+                self.simulate_scatter_region(region, g, banked, &mut exec, region_trace.as_mut())
             };
             if let (Some(trace), Some(rt)) = (trace.as_mut(), region_trace) {
                 trace.regions.push(rt);
@@ -225,6 +309,7 @@ impl Accelerator {
         } else {
             None
         };
+        exec.finish(scratch);
 
         RunReport {
             total_cycles,
@@ -246,13 +331,12 @@ impl Accelerator {
     /// are transferred.
     fn load_cycles(&self, g: &Graph) -> Cycle {
         let nnz = (g.node_features().expected_nnz_per_row() * g.num_nodes() as f64) as u64;
-        let feat_words = if g.node_features().expected_nnz_per_row()
-            < g.node_feature_dim() as f64 * 0.5
-        {
-            2 * nnz + g.num_nodes() as u64
-        } else {
-            (g.num_nodes() * g.node_feature_dim()) as u64
-        };
+        let feat_words =
+            if g.node_features().expected_nnz_per_row() < g.node_feature_dim() as f64 * 0.5 {
+                2 * nnz + g.num_nodes() as u64
+            } else {
+                (g.num_nodes() * g.node_feature_dim()) as u64
+            };
         let edge_words = (g.num_edges() * 2) as u64;
         let ef_words = g
             .edge_feature_dim()
@@ -318,8 +402,7 @@ impl Accelerator {
 
     /// MP cycles per edge in a scatter/gather region for `layer`.
     fn chunks_per_edge(&self, layer: usize) -> u64 {
-        (self.model.layers()[layer].message_dim() as u64)
-            .div_ceil(self.config.p_scatter as u64)
+        (self.model.layers()[layer].message_dim() as u64).div_ceil(self.config.p_scatter as u64)
     }
 
     // ----- scatter-style regions (NT→MP and NT-only) --------------------
@@ -485,26 +568,110 @@ impl Accelerator {
             .map(|_| Fifo::new(self.config.queue_capacity))
             .collect();
 
-        let mut nts: Vec<NtUnit> = (0..p_node)
-            .map(|i| NtUnit::new(i, n, p_node))
-            .collect();
+        let mut nts: Vec<NtUnit> = (0..p_node).map(|i| NtUnit::new(i, n, p_node)).collect();
         let mut mps: Vec<MpUnit> = (0..p_edge).map(MpUnit::new).collect();
         let intake = (self.config.p_apply / self.config.p_scatter).max(1);
 
         let mut cycle: Cycle = 0;
         let mut stats = RegionStats::default();
         let max_cycles = self.runaway_limit(g);
+        let fast_forward = self.config.engine == EngineMode::FastForward && trace.is_none();
+        let payload = region.payload_dim;
 
         let mut cycle_syms: Vec<LaneSymbol> = Vec::new();
+        let mut nt_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_node);
+        let mut mp_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_edge);
+        let (mut ff_skip, mut ff_penalty) = (0u64, 0u64);
         loop {
+            // Event-horizon fast-forward: when every unit's next event
+            // (queue push/pop, node finalise, job transition) is provably
+            // at least `delta` cycles away, advance all counters, meters,
+            // and per-unit deterministic work by `delta` at once; the
+            // first cycle on which anything cross-unit *can* happen still
+            // runs through the unmodified per-cycle code below, so the
+            // engine stays cycle-exact (see DESIGN.md, "fast-forward
+            // invariant").
+            if fast_forward && ff_skip == 0 {
+                nt_hz.clear();
+                mp_hz.clear();
+                // Scanning costs one pass over the units; when any unit
+                // already has an event this cycle (horizon 0) the scan is
+                // wasted, so bail out early and back off exponentially —
+                // skipping attempts never affects exactness, it only
+                // trades scan overhead against missed spans.
+                let mut delta = HORIZON_INF;
+                if let Some(chunks) = chunks {
+                    for mp in &mps {
+                        let hz = mp.pure_horizon(
+                            &queues,
+                            p_edge,
+                            flits_total,
+                            chunks,
+                            node_granularity,
+                            banked,
+                        );
+                        delta = delta.min(hz.0);
+                        if delta == 0 {
+                            break;
+                        }
+                        mp_hz.push(hz);
+                    }
+                }
+                if delta > 0 {
+                    for nt in &nts {
+                        let hz = nt.pure_horizon(
+                            &queues,
+                            p_edge,
+                            flits_total,
+                            payload,
+                            self.config.p_apply,
+                        );
+                        delta = delta.min(hz.0);
+                        if delta == 0 {
+                            break;
+                        }
+                        nt_hz.push(hz);
+                    }
+                }
+                // Never jump past the runaway tripwire: a deadlocked (all-
+                // infinite) region lands just below the limit, then the
+                // per-cycle step trips the same panic the reference
+                // engine would reach.
+                delta = delta.min((max_cycles - 1).saturating_sub(cycle));
+                if delta == 0 {
+                    ff_penalty = (ff_penalty * 2).clamp(1, FF_BACKOFF_MAX);
+                    ff_skip = ff_penalty;
+                } else {
+                    ff_penalty = 0;
+                    if let (Some(layer), Some(chunks)) = (scatter, chunks) {
+                        for (mp, &(_, class)) in mps.iter_mut().zip(&mp_hz) {
+                            mp.fast_forward(
+                                delta,
+                                class,
+                                chunks,
+                                banked,
+                                &self.model,
+                                layer,
+                                exec,
+                                &mut stats,
+                            );
+                        }
+                    }
+                    for (nt, &(_, class)) in nts.iter_mut().zip(&nt_hz) {
+                        nt.fast_forward(delta, class, self.config.p_apply, payload, &mut stats);
+                    }
+                    cycle += delta;
+                }
+            } else {
+                ff_skip = ff_skip.saturating_sub(1);
+            }
+
             let mut all_idle = true;
             cycle_syms.clear();
             let mut mp_syms: Vec<LaneSymbol> = Vec::new();
 
             // MP units first: they pop committed flits.
-            if scatter.is_some() {
-                let layer = scatter.expect("checked");
-                let chunks = chunks.expect("checked");
+            if let (Some(layer), Some(chunks)) = (scatter, chunks) {
                 for mp in mps.iter_mut() {
                     let outcome = mp.step(
                         &mut queues,
@@ -593,7 +760,12 @@ impl Accelerator {
                 for nt in &nts {
                     eprintln!(
                         "NT{}: next={}/{} acc={:?} out={:?} finished={}",
-                        nt.index, nt.next, nt.nodes.len(), nt.acc, nt.out, nt.finished_nodes
+                        nt.index,
+                        nt.next,
+                        nt.nodes.len(),
+                        nt.acc,
+                        nt.out,
+                        nt.finished_nodes
                     );
                 }
                 for (i, mp) in mps.iter().enumerate() {
@@ -695,6 +867,7 @@ impl Accelerator {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn gather_sequential(
         &self,
         region: &Region,
@@ -719,8 +892,7 @@ impl Accelerator {
             exec.nt_finalize(&self.model, region, v);
         }
 
-        let mp_time =
-            |v: NodeId| -> u64 { csc.degree(v) as u64 * chunks + 1 };
+        let mp_time = |v: NodeId| -> u64 { csc.degree(v) as u64 * chunks + 1 };
         let mp_total: u64 = (0..n as NodeId).map(mp_time).sum();
         let nt_total = n as u64 * nt_time;
         let cycles = if lockstep {
@@ -742,8 +914,16 @@ impl Accelerator {
                     let step = mp_time(v).max(carried_nt);
                     for c in 0..step {
                         rt.push_cycle(&[
-                            if c < carried_nt { LaneSymbol::Busy } else { LaneSymbol::Idle },
-                            if c < mp_time(v) { LaneSymbol::Busy } else { LaneSymbol::Idle },
+                            if c < carried_nt {
+                                LaneSymbol::Busy
+                            } else {
+                                LaneSymbol::Idle
+                            },
+                            if c < mp_time(v) {
+                                LaneSymbol::Busy
+                            } else {
+                                LaneSymbol::Idle
+                            },
                         ]);
                     }
                     carried_nt = nt_time;
@@ -800,9 +980,41 @@ impl Accelerator {
             next: usize,
             remaining: u64,
         }
+        impl GatherMp {
+            /// Pure-cycle horizon (see [`NtUnit::pure_horizon`]): cycles
+            /// where only `remaining` counts down, or a frozen stall/idle.
+            fn pure_horizon(
+                &self,
+                index: usize,
+                queues: &[Fifo<NodeId>],
+                p_node: usize,
+            ) -> (u64, PureClass) {
+                if self.next >= self.dests.len() {
+                    return (HORIZON_INF, PureClass::Idle);
+                }
+                match self.remaining {
+                    // Starts (or retries) a destination this cycle.
+                    0 => (0, PureClass::Busy),
+                    1 => {
+                        let v = self.dests[self.next] as usize;
+                        if queues[index * p_node + v % p_node].is_full() {
+                            // The retry loop leaves `remaining == 1` and
+                            // accrues a stall until the queue drains.
+                            (HORIZON_INF, PureClass::StallFull)
+                        } else {
+                            (0, PureClass::Busy) // produces the token
+                        }
+                    }
+                    rem => (rem - 1, PureClass::Busy),
+                }
+            }
+        }
         let mut mps: Vec<GatherMp> = (0..p_edge)
             .map(|k| GatherMp {
-                dests: (0..n).filter(|v| v % p_edge == k).map(|v| v as NodeId).collect(),
+                dests: (0..n)
+                    .filter(|v| v % p_edge == k)
+                    .map(|v| v as NodeId)
+                    .collect(),
                 next: 0,
                 remaining: 0,
             })
@@ -813,6 +1025,30 @@ impl Accelerator {
             rr: usize,
             completed: usize,
             expected: usize,
+        }
+        impl GatherNt {
+            /// Pure-cycle horizon (see [`NtUnit::pure_horizon`]).
+            fn pure_horizon(
+                &self,
+                index: usize,
+                queues: &[Fifo<NodeId>],
+                p_node: usize,
+                p_edge: usize,
+            ) -> (u64, PureClass) {
+                match self.job {
+                    Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
+                    None => {
+                        let any_input = (0..p_edge).any(|k| !queues[k * p_node + index].is_empty());
+                        if any_input {
+                            (0, PureClass::Busy) // pops a token this cycle
+                        } else if self.completed < self.expected {
+                            (HORIZON_INF, PureClass::StallEmpty)
+                        } else {
+                            (HORIZON_INF, PureClass::Idle)
+                        }
+                    }
+                }
+            }
         }
         let mut nts: Vec<GatherNt> = (0..p_node)
             .map(|i| GatherNt {
@@ -827,9 +1063,77 @@ impl Accelerator {
         let mut stats = RegionStats::default();
         let max_cycles = self.runaway_limit(g);
         let nt_time = acc + out;
+        let fast_forward = self.config.engine == EngineMode::FastForward && trace.is_none();
         let mut cycle_syms: Vec<LaneSymbol> = Vec::new();
+        let mut nt_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_node);
+        let mut mp_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_edge);
+        let (mut ff_skip, mut ff_penalty) = (0u64, 0u64);
 
         loop {
+            // Event-horizon fast-forward (see `scatter_dataflow` and
+            // DESIGN.md): advance every counter by the minimum number of
+            // cycles during which no unit can touch a queue or execute;
+            // scans early-exit and back off when events are too frequent.
+            if fast_forward && ff_skip == 0 {
+                nt_hz.clear();
+                mp_hz.clear();
+                let mut delta = HORIZON_INF;
+                for (i, nt) in nts.iter().enumerate() {
+                    let hz = nt.pure_horizon(i, &queues, p_node, p_edge);
+                    delta = delta.min(hz.0);
+                    if delta == 0 {
+                        break;
+                    }
+                    nt_hz.push(hz);
+                }
+                if delta > 0 {
+                    for (k, mp) in mps.iter().enumerate() {
+                        let hz = mp.pure_horizon(k, &queues, p_node);
+                        delta = delta.min(hz.0);
+                        if delta == 0 {
+                            break;
+                        }
+                        mp_hz.push(hz);
+                    }
+                }
+                delta = delta.min((max_cycles - 1).saturating_sub(cycle));
+                if delta == 0 {
+                    ff_penalty = (ff_penalty * 2).clamp(1, FF_BACKOFF_MAX);
+                    ff_skip = ff_penalty;
+                } else {
+                    ff_penalty = 0;
+                    for (nt, &(_, class)) in nts.iter_mut().zip(&nt_hz) {
+                        match class {
+                            PureClass::Busy => {
+                                if let Some((_, rem)) = &mut nt.job {
+                                    *rem -= delta;
+                                }
+                                stats.nt_busy += delta;
+                            }
+                            PureClass::StallEmpty | PureClass::StallFull => {
+                                stats.nt_stall += delta;
+                            }
+                            PureClass::Idle => {}
+                        }
+                    }
+                    for (mp, &(_, class)) in mps.iter_mut().zip(&mp_hz) {
+                        match class {
+                            PureClass::Busy => {
+                                mp.remaining -= delta;
+                                stats.mp_busy += delta;
+                            }
+                            PureClass::StallFull | PureClass::StallEmpty => {
+                                stats.mp_stall += delta;
+                            }
+                            PureClass::Idle => {}
+                        }
+                    }
+                    cycle += delta;
+                }
+            } else {
+                ff_skip = ff_skip.saturating_sub(1);
+            }
+
             cycle_syms.clear();
             // NT units consume aggregate tokens.
             for (i, nt) in nts.iter_mut().enumerate() {
@@ -924,7 +1228,10 @@ impl Accelerator {
             if mps_done && queues_empty && nts_done {
                 break;
             }
-            assert!(cycle < max_cycles, "gather simulation exceeded {max_cycles} cycles");
+            assert!(
+                cycle < max_cycles,
+                "gather simulation exceeded {max_cycles} cycles"
+            );
         }
         stats.cycles = cycle;
         stats
@@ -982,6 +1289,34 @@ enum StepOutcome {
     /// Starved for input (waiting on flits or jobs).
     StallEmpty,
     /// Nothing to do (not yet started or already drained).
+    Idle,
+}
+
+/// Sentinel horizon: the unit's state cannot change until *another* unit
+/// moves (a stalled or drained steady state).
+const HORIZON_INF: u64 = u64::MAX;
+
+/// Upper bound on the fast-forward scan backoff. When the pipeline is
+/// saturated (an event on every cycle) the horizon scan is pure overhead,
+/// so after each failed attempt the engine runs plain per-cycle steps for
+/// an exponentially growing stretch before rescanning. Skipped attempts
+/// never affect exactness — fast-forwarding is opportunistic — they only
+/// bound the scan cost at ~1/32 per cycle in the worst case while still
+/// catching long stall/drain phases quickly.
+const FF_BACKOFF_MAX: u64 = 32;
+
+/// Meter class a unit accrues during a run of *pure* cycles — cycles whose
+/// only effects are one counter decrement and one meter increment, with no
+/// queue traffic, functional execution, or job transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PureClass {
+    /// Counting down an accumulate/output/gather counter.
+    Busy,
+    /// Held by a full downstream queue.
+    StallFull,
+    /// Starved for input.
+    StallEmpty,
+    /// Drained (no meter accrues).
     Idle,
 }
 
@@ -1174,6 +1509,90 @@ impl NtUnit {
             StepOutcome::Idle
         }
     }
+
+    /// How many upcoming cycles this unit is guaranteed to spend purely
+    /// counting (accumulate countdown, backpressured or target-less
+    /// element production) or holding a constant stall/idle state,
+    /// assuming no queue changes — plus the meter class those cycles
+    /// accrue. Any cycle that could push a flit, finalise a node, retire
+    /// an output job, or fetch the next node pins the horizon at zero so
+    /// [`NtUnit::step`] executes it exactly.
+    fn pure_horizon(
+        &self,
+        queues: &[Fifo<Flit>],
+        p_edge: usize,
+        flits_total: usize,
+        payload: usize,
+        p_apply: usize,
+    ) -> (u64, PureClass) {
+        let Some(job) = &self.out else {
+            return match &self.acc {
+                Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
+                None if self.next < self.nodes.len() => (0, PureClass::Busy),
+                None => (HORIZON_INF, PureClass::Idle),
+            };
+        };
+        // A push happens whenever some undelivered target queue has room
+        // (for a no-target NT-only job, `all` is vacuously true).
+        let blocked = job.pushed.iter().zip(&job.targets).all(|(&pushed, &k)| {
+            pushed >= flits_total || queues[qindex(self.index, k, p_edge)].is_full()
+        });
+        if !blocked {
+            return (0, PureClass::Busy);
+        }
+        if job.elems_produced < payload {
+            // Producing into a backpressured (or target-less) output: pure
+            // Busy until the cycle on which production completes, which
+            // can retire the job. The accumulate counter runs alongside
+            // and sits at zero if it finishes first — no constraint.
+            if self.acc.is_none() && self.next < self.nodes.len() {
+                return (0, PureClass::Busy); // fetches a node this cycle
+            }
+            let remaining_elems = (payload - job.elems_produced) as u64;
+            return (
+                remaining_elems.div_ceil(p_apply as u64) - 1,
+                PureClass::Busy,
+            );
+        }
+        // Fully produced, all undelivered targets backpressured: only the
+        // accumulate counter moves.
+        match &self.acc {
+            Some((_, rem)) if *rem >= 1 => (*rem, PureClass::Busy),
+            Some(_) => (HORIZON_INF, PureClass::StallFull),
+            None if self.next < self.nodes.len() => (0, PureClass::Busy),
+            None => (HORIZON_INF, PureClass::StallFull),
+        }
+    }
+
+    /// Advances this unit through `delta` pure cycles at once. `class`
+    /// must come from [`NtUnit::pure_horizon`] and `delta` must not
+    /// exceed the returned horizon.
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        p_apply: usize,
+        payload: usize,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                if let Some(job) = &mut self.out {
+                    if job.elems_produced < payload {
+                        // Horizon guarantees this stays strictly below
+                        // payload, so the retire cycle remains live.
+                        job.elems_produced += delta as usize * p_apply;
+                    }
+                }
+                if let Some((_, rem)) = &mut self.acc {
+                    *rem = rem.saturating_sub(delta);
+                }
+                stats.nt_busy += delta;
+            }
+            PureClass::StallFull | PureClass::StallEmpty => stats.nt_stall += delta,
+            PureClass::Idle => {}
+        }
+    }
 }
 
 /// Queue index for the (NT unit, MP bank) pair.
@@ -1220,8 +1639,7 @@ impl MpUnit {
 
     fn is_drained(&self, queues: &[Fifo<Flit>], p_edge: usize) -> bool {
         self.jobs.is_empty()
-            && (0..queues.len() / p_edge)
-                .all(|nt| queues[nt * p_edge + self.index].is_empty())
+            && (0..queues.len() / p_edge).all(|nt| queues[nt * p_edge + self.index].is_empty())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1243,10 +1661,7 @@ impl MpUnit {
         // youngest job until its embedding is complete, then opens a
         // prefetch job from any non-empty queue.
         for _ in 0..intake {
-            let receiving = self
-                .jobs
-                .back_mut()
-                .filter(|j| j.flits_recv < flits_total);
+            let receiving = self.jobs.back_mut().filter(|j| j.flits_recv < flits_total);
             match receiving {
                 Some(job) => match queues[job.queue].pop() {
                     Some(flit) => {
@@ -1320,13 +1735,119 @@ impl MpUnit {
             StepOutcome::StallEmpty
         }
     }
+
+    /// Pure-cycle horizon for this unit (see [`NtUnit::pure_horizon`]):
+    /// cycles where neither intake nor edge completion can occur and only
+    /// the front job's chunk counter advances — or a frozen stall/idle.
+    fn pure_horizon(
+        &self,
+        queues: &[Fifo<Flit>],
+        p_edge: usize,
+        flits_total: usize,
+        chunks_per_edge: u64,
+        node_granularity: bool,
+        banked: &BankedEdges,
+    ) -> (u64, PureClass) {
+        let p_node = queues.len() / p_edge;
+        let owned_nonempty = (0..p_node).any(|nt| !queues[nt * p_edge + self.index].is_empty());
+        let Some(front) = self.jobs.front() else {
+            return if owned_nonempty {
+                (0, PureClass::Busy) // would open a job this cycle
+            } else {
+                (HORIZON_INF, PureClass::Idle)
+            };
+        };
+        // Intake: any possible pop this cycle pins the horizon at zero.
+        let back = self.jobs.back().expect("front exists");
+        if back.flits_recv < flits_total {
+            if !queues[back.queue].is_empty() {
+                return (0, PureClass::Busy);
+            }
+        } else if self.jobs.len() < Self::MAX_JOBS && owned_nonempty {
+            return (0, PureClass::Busy);
+        }
+        // No intake possible (queues are frozen while every unit is pure),
+        // so only the front job's chunk counter can move.
+        let edges = banked.edges(self.index, front.node);
+        if front.edge_cursor >= edges.len() {
+            return if front.flits_recv == flits_total {
+                (0, PureClass::Busy) // retires the job this cycle
+            } else {
+                (HORIZON_INF, PureClass::StallEmpty)
+            };
+        }
+        let f = front.flits_recv;
+        if f >= flits_total {
+            // The whole embedding has arrived: this job deterministically
+            // chews through its remaining edges with no queue interaction
+            // until the retire cycle. Edge completions inside that span
+            // are per-unit deterministic work (each MP bank folds into a
+            // disjoint destination set), so `fast_forward` replays them in
+            // order; only the cycle that completes the *last* edge stays
+            // live, because it also retires the job.
+            let span = (edges.len() - front.edge_cursor) as u64 * chunks_per_edge - front.chunk;
+            return (span - 1, PureClass::Busy);
+        }
+        if node_granularity {
+            return (HORIZON_INF, PureClass::StallEmpty);
+        }
+        // Flit granularity: chunk c can advance while its proportional
+        // flit share has arrived, i.e. while c + 1 <= f·chunks/flits
+        // (the integer inverse of `required` in `step`). With f below
+        // flits_total, max_reachable stays below chunks_per_edge, so no
+        // edge can complete inside this span.
+        let max_reachable = f as u64 * chunks_per_edge / flits_total as u64;
+        if front.chunk + 1 > max_reachable {
+            (HORIZON_INF, PureClass::StallEmpty)
+        } else {
+            (max_reachable - front.chunk, PureClass::Busy)
+        }
+    }
+
+    /// Advances this unit through `delta` pure cycles at once. `class`
+    /// must come from [`MpUnit::pure_horizon`] and `delta` must not
+    /// exceed the returned horizon.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        chunks_per_edge: u64,
+        banked: &BankedEdges,
+        model: &GnnModel,
+        layer: usize,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                if let Some(job) = self.jobs.front_mut() {
+                    // Replay the per-cycle recurrence in closed form:
+                    // `delta` chunk advances, one edge completing per
+                    // `chunks_per_edge` of them. The horizon guarantees
+                    // the cursor stays short of the final edge.
+                    let edges = banked.edges(self.index, job.node);
+                    let progress = job.chunk + delta;
+                    job.chunk = progress % chunks_per_edge;
+                    for _ in 0..progress / chunks_per_edge {
+                        let (dst, eid) = edges[job.edge_cursor];
+                        exec.mp_process_edge(model, layer, job.node, dst, eid);
+                        job.edge_cursor += 1;
+                    }
+                }
+                stats.mp_busy += delta;
+            }
+            PureClass::StallEmpty | PureClass::StallFull => stats.mp_stall += delta,
+            PureClass::Idle => {}
+        }
+    }
 }
 
 // ----- shared functional execution state ---------------------------------
 
 struct ExecState<'a> {
     graph: &'a Graph,
-    ctx: GraphContext,
+    ctx: &'a GraphContext,
     functional: bool,
     /// Embeddings at region start.
     x_cur: Vec<Vec<f32>>,
@@ -1343,19 +1864,55 @@ struct ExecState<'a> {
 }
 
 impl<'a> ExecState<'a> {
-    fn new(graph: &'a Graph, ctx: GraphContext, functional: bool) -> Self {
+    fn new(
+        graph: &'a Graph,
+        ctx: &'a GraphContext,
+        functional: bool,
+        scratch: &mut SimScratch,
+    ) -> Self {
         let n = graph.num_nodes();
+        let mut x_cur = std::mem::take(&mut scratch.x_cur);
+        let mut x_next = std::mem::take(&mut scratch.x_next);
+        for buf in [&mut x_cur, &mut x_next] {
+            buf.truncate(n);
+            for row in buf.iter_mut() {
+                row.clear();
+            }
+            buf.resize_with(n, Vec::new);
+        }
+        let mut prev_states = std::mem::take(&mut scratch.prev_states);
+        let mut next_states = std::mem::take(&mut scratch.next_states);
+        for buf in [&mut prev_states, &mut next_states] {
+            buf.clear();
+            buf.resize(n, None);
+        }
         Self {
             graph,
             ctx,
             functional,
-            x_cur: vec![Vec::new(); n],
-            x_next: vec![Vec::new(); n],
-            prev_states: vec![None; n],
-            next_states: vec![None; n],
-            msg_buf: Vec::new(),
-            out_buf: Vec::new(),
+            x_cur,
+            x_next,
+            prev_states,
+            next_states,
+            msg_buf: std::mem::take(&mut scratch.msg_buf),
+            out_buf: std::mem::take(&mut scratch.out_buf),
         }
+    }
+
+    /// Hands the buffers back to `scratch` so the next run reuses them.
+    fn finish(self, scratch: &mut SimScratch) {
+        scratch.x_cur = self.x_cur;
+        scratch.x_next = self.x_next;
+        scratch.prev_states = self.prev_states;
+        scratch.next_states = self.next_states;
+        scratch.msg_buf = self.msg_buf;
+        scratch.out_buf = self.out_buf;
+    }
+
+    /// Copies `src` into `row`, reusing `row`'s existing capacity.
+    fn write_row(row: &mut Vec<f32>, src: &[f32]) {
+        row.clear();
+        row.extend_from_slice(src);
     }
 
     fn node_ctx(&self, v: NodeId) -> NodeCtx {
@@ -1378,7 +1935,7 @@ impl<'a> ExecState<'a> {
                 match model.encoder() {
                     Some(enc) => {
                         enc.forward_into(&raw, &mut self.out_buf);
-                        self.x_next[vi] = self.out_buf.clone();
+                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
                     }
                     None => self.x_next[vi] = raw,
                 }
@@ -1392,16 +1949,19 @@ impl<'a> ExecState<'a> {
                 layer
                     .gamma()
                     .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                self.x_next[vi] = self.out_buf.clone();
+                Self::write_row(&mut self.x_next[vi], &self.out_buf);
             }
             NtOp::Project(l) => {
                 let layer = &model.layers()[l];
                 match layer.pre() {
                     Some(pre) => {
                         pre.forward_into(&self.x_cur[vi], &mut self.out_buf);
-                        self.x_next[vi] = self.out_buf.clone();
+                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
                     }
-                    None => self.x_next[vi] = self.x_cur[vi].clone(),
+                    None => {
+                        let (cur, next) = (&self.x_cur, &mut self.x_next);
+                        Self::write_row(&mut next[vi], &cur[vi]);
+                    }
                 }
             }
             NtOp::Normalize(l) => {
@@ -1413,19 +1973,26 @@ impl<'a> ExecState<'a> {
                 layer
                     .gamma()
                     .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                self.x_next[vi] = self.out_buf.clone();
+                Self::write_row(&mut self.x_next[vi], &self.out_buf);
             }
         }
     }
 
     /// MP completion of one edge `src → dst` in a scatter region: compute
     /// φ on the *new* embedding and fold into the destination's aggregate.
-    fn mp_process_edge(&mut self, model: &GnnModel, layer: usize, src: NodeId, dst: NodeId, eid: u32) {
+    fn mp_process_edge(
+        &mut self,
+        model: &GnnModel,
+        layer: usize,
+        src: NodeId,
+        dst: NodeId,
+        eid: u32,
+    ) {
         if !self.functional {
             return;
         }
         let l = &model.layers()[layer];
-        let weight = l.weighting().weight(&self.ctx, src, dst);
+        let weight = l.weighting().weight(self.ctx, src, dst);
         let mctx = MessageCtx {
             x_src: &self.x_next[src as usize],
             x_dst: None,
@@ -1433,8 +2000,8 @@ impl<'a> ExecState<'a> {
             edge_weight: weight,
         };
         l.phi().apply(&mctx, &mut self.msg_buf);
-        let state = self.next_states[dst as usize]
-            .get_or_insert_with(|| l.agg().init(l.message_dim()));
+        let state =
+            self.next_states[dst as usize].get_or_insert_with(|| l.agg().init(l.message_dim()));
         l.agg().push(state, &self.msg_buf);
     }
 
@@ -1447,7 +2014,7 @@ impl<'a> ExecState<'a> {
         let l = &model.layers()[layer];
         let mut state = l.agg().init(l.message_dim());
         for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
-            let weight = l.weighting().weight(&self.ctx, u, v);
+            let weight = l.weighting().weight(self.ctx, u, v);
             let mctx = MessageCtx {
                 x_src: &self.x_cur[u as usize],
                 x_dst: Some(&self.x_cur[v as usize]),
@@ -1522,10 +2089,8 @@ mod tests {
         let model = GnnModel::gcn(9, 7);
         let mut outs = Vec::new();
         for strategy in PipelineStrategy::ABLATION_ORDER {
-            let acc = Accelerator::new(
-                model.clone(),
-                ArchConfig::default().with_strategy(strategy),
-            );
+            let acc =
+                Accelerator::new(model.clone(), ArchConfig::default().with_strategy(strategy));
             outs.push(acc.run(&g));
         }
         for pair in outs.windows(2) {
@@ -1598,11 +2163,8 @@ mod tests {
             ArchConfig::default().with_parallelism(1, 1, 1, 1),
         )
         .run(&g);
-        let fast = Accelerator::new(
-            model,
-            ArchConfig::default().with_parallelism(4, 4, 4, 8),
-        )
-        .run(&g);
+        let fast =
+            Accelerator::new(model, ArchConfig::default().with_parallelism(4, 4, 4, 8)).run(&g);
         assert!(fast.total_cycles < slow.total_cycles);
     }
 

@@ -59,9 +59,9 @@ mod stream;
 mod trace;
 
 pub use analytic::analytic_cycles;
-pub use config::{ArchConfig, ExecutionMode, GatherBanking, PipelineStrategy};
+pub use config::{ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy};
 pub use energy::{graphs_per_kj, EnergyModel, FPGA_STATIC_WATTS};
-pub use engine::{Accelerator, RunReport};
+pub use engine::{Accelerator, PreparedGraph, RunReport, SimScratch};
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
 pub use stream::{LatencyStats, StreamReport};

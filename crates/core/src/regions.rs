@@ -75,7 +75,11 @@ pub(crate) fn lower(model: &GnnModel) -> Vec<Region> {
                 gather_layer: None,
             });
             for (l, layer) in layers.iter().enumerate() {
-                let scatter_layer = if l + 1 < layers.len() { Some(l + 1) } else { None };
+                let scatter_layer = if l + 1 < layers.len() {
+                    Some(l + 1)
+                } else {
+                    None
+                };
                 regions.push(Region {
                     nt_op: NtOp::Gamma(l),
                     nt_fc: layer.nt_fc_dims(),

@@ -103,9 +103,12 @@ impl ResourceEstimate {
             })
             .max()
             .unwrap_or(0);
-        let emb_dim = regions.iter().map(|r| r.payload_dim as u64).max().unwrap_or(0);
-        let words =
-            2 * Self::BUFFER_NODES * agg_state_dim + 2 * Self::BUFFER_NODES * emb_dim / 2;
+        let emb_dim = regions
+            .iter()
+            .map(|r| r.payload_dim as u64)
+            .max()
+            .unwrap_or(0);
+        let words = 2 * Self::BUFFER_NODES * agg_state_dim + 2 * Self::BUFFER_NODES * emb_dim / 2;
         let queue_words = (pn * pe * config.queue_capacity as u64 * ps).max(1);
         let bram = (words + queue_words).div_ceil(1024);
 
@@ -185,9 +188,11 @@ mod tests {
         ];
         for &(kind, dsp, lut, bram) in paper {
             let r = estimate(kind);
-            for (got, want, what) in
-                [(r.dsp, dsp, "dsp"), (r.lut, lut, "lut"), (r.bram, bram, "bram")]
-            {
+            for (got, want, what) in [
+                (r.dsp, dsp, "dsp"),
+                (r.lut, lut, "lut"),
+                (r.bram, bram, "bram"),
+            ] {
                 let ratio = got as f64 / want as f64;
                 assert!(
                     (0.3..=3.0).contains(&ratio),
@@ -200,10 +205,14 @@ mod tests {
     #[test]
     fn more_parallelism_costs_more() {
         let model = GnnModel::gcn(9, 0);
-        let small =
-            ResourceEstimate::for_model(&model, &ArchConfig::default().with_parallelism(1, 1, 1, 1));
-        let big =
-            ResourceEstimate::for_model(&model, &ArchConfig::default().with_parallelism(4, 8, 8, 8));
+        let small = ResourceEstimate::for_model(
+            &model,
+            &ArchConfig::default().with_parallelism(1, 1, 1, 1),
+        );
+        let big = ResourceEstimate::for_model(
+            &model,
+            &ArchConfig::default().with_parallelism(4, 8, 8, 8),
+        );
         assert!(big.dsp > small.dsp);
         assert!(big.lut > small.lut);
     }

@@ -3,7 +3,7 @@
 use flowgnn_desim::{cycles_to_ms, Cycle};
 use flowgnn_graph::GraphStream;
 
-use crate::engine::Accelerator;
+use crate::engine::{Accelerator, SimScratch};
 
 /// Latency statistics over a stream of graphs (all in milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,8 +63,10 @@ impl Accelerator {
         let mut total: Cycle = 0;
         let mut min_ms = f64::INFINITY;
         let mut max_ms: f64 = 0.0;
+        let mut scratch = SimScratch::default();
         for g in stream {
-            let report = self.run(&g);
+            let prepared = self.prepare_owned(g);
+            let report = self.run_prepared(&prepared, &mut scratch);
             total += report.total_cycles;
             let ms = report.latency_ms();
             min_ms = min_ms.min(ms);
@@ -105,8 +107,10 @@ impl Accelerator {
         let mut load_end: Cycle = 0;
         let mut compute_end: Cycle = 0;
         let mut prev_compute_end: Cycle = 0;
+        let mut scratch = SimScratch::default();
         for g in stream {
-            let report = self.run(&g);
+            let prepared = self.prepare_owned(g);
+            let report = self.run_prepared(&prepared, &mut scratch);
             let load = report.load_cycles;
             let compute = report.total_cycles - report.load_cycles;
             // Load i starts when the port is free and the i−2 buffer is.

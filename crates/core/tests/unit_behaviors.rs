@@ -8,13 +8,7 @@ use flowgnn_models::GnnModel;
 use flowgnn_tensor::Matrix;
 
 fn graph(n: usize, edges: Vec<(NodeId, NodeId)>) -> Graph {
-    Graph::new(
-        n,
-        edges,
-        FeatureSource::dense(Matrix::zeros(n, 9)),
-        None,
-    )
-    .unwrap()
+    Graph::new(n, edges, FeatureSource::dense(Matrix::zeros(n, 9)), None).unwrap()
 }
 
 fn timing(p: (usize, usize, usize, usize)) -> ArchConfig {
@@ -55,7 +49,10 @@ fn cross_multicast_hubs_do_not_deadlock() {
 /// correctness at the capacity floor).
 #[test]
 fn capacity_one_queues_complete_all_strategies() {
-    let g = graph(10, (0..9).map(|i| (i as NodeId, (i + 1) as NodeId)).collect());
+    let g = graph(
+        10,
+        (0..9).map(|i| (i as NodeId, (i + 1) as NodeId)).collect(),
+    );
     let model = GnnModel::gin(9, None, 5);
     for strategy in PipelineStrategy::ABLATION_ORDER {
         let cfg = ArchConfig::default()
@@ -76,7 +73,9 @@ fn dataflow_overlap_approaches_the_max_bound() {
     let n = 200;
     let g = graph(
         n,
-        (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect(),
+        (0..n - 1)
+            .map(|i| (i as NodeId, (i + 1) as NodeId))
+            .collect(),
     );
     let model = GnnModel::gcn(9, 3);
     let flow = Accelerator::new(model.clone(), timing((1, 1, 8, 8)))
@@ -138,7 +137,10 @@ fn edgeless_graphs_cost_only_node_transforms() {
             .with_trace();
         let report = Accelerator::new(model.clone(), cfg).run(&g);
         assert!(report.total_cycles > 0);
-        assert_eq!(report.mp_busy_cycles, 0, "{strategy}: MP did work with no edges");
+        assert_eq!(
+            report.mp_busy_cycles, 0,
+            "{strategy}: MP did work with no edges"
+        );
     }
 }
 

@@ -85,7 +85,10 @@ impl<T> Fifo<T> {
     /// Panics if the FIFO is full; producers must check
     /// [`Fifo::is_full`] first (that check *is* the backpressure signal).
     pub fn push(&mut self, item: T) {
-        assert!(!self.is_full(), "push into full FIFO (missing backpressure check)");
+        assert!(
+            !self.is_full(),
+            "push into full FIFO (missing backpressure check)"
+        );
         self.staged.push(item);
         self.total_pushed += 1;
         self.max_occupancy = self.max_occupancy.max(self.len());

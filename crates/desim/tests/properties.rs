@@ -1,8 +1,10 @@
-//! Property tests for the simulation substrate: conservation, ordering,
-//! and capacity invariants of the registered FIFOs.
+//! Randomized tests for the simulation substrate: conservation, ordering,
+//! and capacity invariants of the registered FIFOs, checked over
+//! deterministic pseudo-random operation schedules (seeded in-tree PRNG,
+//! so every run exercises the same cases).
 
 use flowgnn_desim::{Fifo, FifoPool};
-use proptest::prelude::*;
+use flowgnn_rng::Rng;
 
 /// A random schedule of FIFO operations.
 #[derive(Debug, Clone)]
@@ -12,22 +14,25 @@ enum Op {
     Commit,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..1000).prop_map(Op::Push),
-            Just(Op::Pop),
-            Just(Op::Commit),
-        ],
-        1..200,
-    )
+fn random_schedule(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.gen_range(1usize..200);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => Op::Push(rng.gen_range(0u32..1000)),
+            1 => Op::Pop,
+            _ => Op::Commit,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Everything pushed is popped exactly once, in order, regardless of
-    /// the interleaving of pushes, pops, and commits.
-    #[test]
-    fn conservation_and_fifo_order(schedule in ops(), cap in 1usize..16) {
+/// Everything pushed is popped exactly once, in order, regardless of the
+/// interleaving of pushes, pops, and commits.
+#[test]
+fn conservation_and_fifo_order() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0001);
+    for _ in 0..256 {
+        let cap = rng.gen_range(1usize..16);
+        let schedule = random_schedule(&mut rng);
         let mut q = Fifo::new(cap);
         let mut pushed = Vec::new();
         let mut popped = Vec::new();
@@ -51,15 +56,18 @@ proptest! {
         while let Some(v) = q.pop() {
             popped.push(v);
         }
-        prop_assert_eq!(pushed, popped);
+        assert_eq!(pushed, popped);
     }
+}
 
-    /// Occupancy never exceeds capacity, and the high-water mark is
-    /// consistent.
-    #[test]
-    fn capacity_is_never_exceeded(schedule in ops(), cap in 1usize..16) {
+/// Occupancy never exceeds capacity, and the high-water mark is consistent.
+#[test]
+fn capacity_is_never_exceeded() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0002);
+    for _ in 0..256 {
+        let cap = rng.gen_range(1usize..16);
         let mut q = Fifo::new(cap);
-        for op in schedule {
+        for op in random_schedule(&mut rng) {
             match op {
                 Op::Push(v) => {
                     let _ = q.try_push(v);
@@ -69,31 +77,41 @@ proptest! {
                 }
                 Op::Commit => q.commit(),
             }
-            prop_assert!(q.len() <= cap);
-            prop_assert!(q.max_occupancy() <= cap);
+            assert!(q.len() <= cap);
+            assert!(q.max_occupancy() <= cap);
         }
     }
+}
 
-    /// Items staged in one cycle are never poppable in the same cycle
-    /// (registered-FIFO semantics).
-    #[test]
-    fn no_same_cycle_passthrough(values in proptest::collection::vec(0u32..100, 1..10)) {
+/// Items staged in one cycle are never poppable in the same cycle
+/// (registered-FIFO semantics).
+#[test]
+fn no_same_cycle_passthrough() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0003);
+    for _ in 0..64 {
+        let values: Vec<u32> = (0..rng.gen_range(1usize..10))
+            .map(|_| rng.gen_range(0u32..100))
+            .collect();
         let mut q = Fifo::new(16);
         for &v in &values {
             q.push(v);
-            prop_assert_eq!(q.pop(), None);
+            assert_eq!(q.pop(), None);
         }
         q.commit();
         for &v in &values {
-            prop_assert_eq!(q.pop(), Some(v));
+            assert_eq!(q.pop(), Some(v));
         }
     }
+}
 
-    /// Push/pop counters reconcile with occupancy.
-    #[test]
-    fn counters_reconcile(schedule in ops(), cap in 1usize..16) {
+/// Push/pop counters reconcile with occupancy.
+#[test]
+fn counters_reconcile() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0004);
+    for _ in 0..256 {
+        let cap = rng.gen_range(1usize..16);
         let mut q = Fifo::new(cap);
-        for op in schedule {
+        for op in random_schedule(&mut rng) {
             match op {
                 Op::Push(v) => {
                     let _ = q.try_push(v);
@@ -104,14 +122,18 @@ proptest! {
                 Op::Commit => q.commit(),
             }
         }
-        prop_assert_eq!(q.total_pushed(), q.total_popped() + q.len() as u64);
+        assert_eq!(q.total_pushed(), q.total_popped() + q.len() as u64);
     }
+}
 
-    /// Pool-wide commit preserves per-queue independence.
-    #[test]
-    fn pool_queues_are_independent(
-        pushes in proptest::collection::vec((0usize..4, 0u32..100), 1..50),
-    ) {
+/// Pool-wide commit preserves per-queue independence.
+#[test]
+fn pool_queues_are_independent() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0005);
+    for _ in 0..64 {
+        let pushes: Vec<(usize, u32)> = (0..rng.gen_range(1usize..50))
+            .map(|_| (rng.gen_range(0usize..4), rng.gen_range(0u32..100)))
+            .collect();
         let mut pool = FifoPool::new();
         let ids: Vec<_> = (0..4).map(|_| pool.alloc(64)).collect();
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); 4];
@@ -125,8 +147,8 @@ proptest! {
             while let Some(v) = pool[*id].pop() {
                 got.push(v);
             }
-            prop_assert_eq!(&got, &expected[q]);
+            assert_eq!(&got, &expected[q]);
         }
-        prop_assert!(pool.all_empty());
+        assert!(pool.all_empty());
     }
 }

@@ -338,16 +338,32 @@ mod tests {
     fn molhiv_stats_track_table_iv() {
         let stats = DatasetSpec::standard(DatasetKind::MolHiv).measured_stats(200);
         assert_eq!(stats.graphs, 4113);
-        assert!((stats.mean_nodes - 25.3).abs() < 2.0, "{}", stats.mean_nodes);
-        assert!((stats.mean_edges - 55.6).abs() < 6.0, "{}", stats.mean_edges);
+        assert!(
+            (stats.mean_nodes - 25.3).abs() < 2.0,
+            "{}",
+            stats.mean_nodes
+        );
+        assert!(
+            (stats.mean_edges - 55.6).abs() < 6.0,
+            "{}",
+            stats.mean_edges
+        );
         assert!(stats.edge_features);
     }
 
     #[test]
     fn hep_stats_track_table_iv() {
         let stats = DatasetSpec::standard(DatasetKind::Hep).measured_stats(100);
-        assert!((stats.mean_nodes - 49.1).abs() < 2.5, "{}", stats.mean_nodes);
-        assert!((stats.mean_edges - 785.3).abs() < 45.0, "{}", stats.mean_edges);
+        assert!(
+            (stats.mean_nodes - 49.1).abs() < 2.5,
+            "{}",
+            stats.mean_nodes
+        );
+        assert!(
+            (stats.mean_edges - 785.3).abs() < 45.0,
+            "{}",
+            stats.mean_edges
+        );
     }
 
     #[test]
@@ -374,10 +390,7 @@ mod tests {
     #[test]
     fn full_scale_restores_published_counts() {
         let spec = DatasetSpec::standard(DatasetKind::Reddit).full_scale();
-        assert_eq!(
-            spec.scaled_counts(),
-            (232_965, 114_615_892)
-        );
+        assert_eq!(spec.scaled_counts(), (232_965, 114_615_892));
     }
 
     #[test]
@@ -388,9 +401,18 @@ mod tests {
 
     #[test]
     fn feature_dims_match_real_datasets() {
-        assert_eq!(DatasetSpec::standard(DatasetKind::Cora).node_feat_dim(), 1433);
-        assert_eq!(DatasetSpec::standard(DatasetKind::MolHiv).edge_feat_dim(), Some(3));
-        assert_eq!(DatasetSpec::standard(DatasetKind::PubMed).edge_feat_dim(), None);
+        assert_eq!(
+            DatasetSpec::standard(DatasetKind::Cora).node_feat_dim(),
+            1433
+        );
+        assert_eq!(
+            DatasetSpec::standard(DatasetKind::MolHiv).edge_feat_dim(),
+            Some(3)
+        );
+        assert_eq!(
+            DatasetSpec::standard(DatasetKind::PubMed).edge_feat_dim(),
+            None
+        );
     }
 
     #[test]
@@ -401,7 +423,10 @@ mod tests {
 
     #[test]
     fn citation_features_are_sparse() {
-        let g = DatasetSpec::standard(DatasetKind::Cora).stream().next().unwrap();
+        let g = DatasetSpec::standard(DatasetKind::Cora)
+            .stream()
+            .next()
+            .unwrap();
         let expected = 1433.0 * 0.0127;
         assert!((g.node_features().expected_nnz_per_row() - expected).abs() < 1.0);
     }

@@ -1,8 +1,7 @@
 //! Node feature storage: dense or procedurally generated.
 
+use flowgnn_rng::Rng;
 use flowgnn_tensor::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Per-node feature storage.
 ///
@@ -94,8 +93,9 @@ impl FeatureSource {
     pub fn dim(&self) -> usize {
         match self {
             FeatureSource::Dense(m) => m.cols(),
-            FeatureSource::Procedural { dim, .. }
-            | FeatureSource::SparseProcedural { dim, .. } => *dim,
+            FeatureSource::Procedural { dim, .. } | FeatureSource::SparseProcedural { dim, .. } => {
+                *dim
+            }
         }
     }
 
@@ -109,7 +109,8 @@ impl FeatureSource {
             FeatureSource::Dense(m) => m.row(i).to_vec(),
             FeatureSource::Procedural { rows, dim, seed } => {
                 assert!(i < *rows, "feature row {i} out of bounds ({rows} rows)");
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+                let mut rng =
+                    Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
                 (0..*dim).map(|_| rng.gen_range(-1.0..=1.0)).collect()
             }
             FeatureSource::SparseProcedural {
@@ -119,7 +120,8 @@ impl FeatureSource {
                 seed,
             } => {
                 assert!(i < *rows, "feature row {i} out of bounds ({rows} rows)");
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+                let mut rng =
+                    Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
                 (0..*dim)
                     .map(|_| if rng.gen_bool(*density) { 1.0 } else { 0.0 })
                     .collect()
@@ -186,14 +188,14 @@ impl FeatureSource {
             FeatureSource::Dense(m) => {
                 let (rows, cols) = (m.rows(), m.cols());
                 let mut data = std::mem::replace(m, Matrix::zeros(0, 0)).into_vec();
-                data.extend(std::iter::repeat(0.0).take(cols));
+                data.extend(std::iter::repeat_n(0.0, cols));
                 Matrix::from_vec(rows + 1, cols, data)
             }
             FeatureSource::Procedural { .. } | FeatureSource::SparseProcedural { .. } => {
                 let mut m = self.materialize().into_vec();
                 let dim = self.dim();
                 let rows = self.rows();
-                m.extend(std::iter::repeat(0.0).take(dim));
+                m.extend(std::iter::repeat_n(0.0, dim));
                 Matrix::from_vec(rows + 1, dim, m)
             }
         };

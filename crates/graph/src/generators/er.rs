@@ -1,7 +1,6 @@
 //! Erdős–Rényi random graphs (test workloads).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{FeatureSource, Graph, NodeId};
@@ -64,7 +63,7 @@ impl ErdosRenyi {
 
 impl GraphGenerator for ErdosRenyi {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         let n = self.num_nodes;
         let mut edges = Vec::new();
         for u in 0..n as NodeId {
@@ -118,7 +117,10 @@ mod tests {
         let g = ErdosRenyi::new(100, 0.1, 1).generate(0);
         let expected = 100.0 * 99.0 * 0.1;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.3, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.3,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

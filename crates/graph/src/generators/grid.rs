@@ -1,7 +1,6 @@
 //! 2-D grid meshes (LIDAR/segmentation-style spatial workloads).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{FeatureSource, Graph, NodeId};
@@ -68,7 +67,7 @@ impl GridMesh {
 
 impl GraphGenerator for GridMesh {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         let n = self.rows * self.cols;
         let mut edges = Vec::with_capacity(4 * n);
         for r in 0..self.rows {

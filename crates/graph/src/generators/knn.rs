@@ -1,7 +1,6 @@
 //! kNN point-cloud generator (HEP EdgeConv stand-in).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{FeatureSource, Graph, NodeId};
@@ -74,12 +73,15 @@ impl KnnPointCloud {
 
 impl GraphGenerator for KnnPointCloud {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         let lo = (self.mean_points * 0.8).round().max(2.0) as usize;
         let hi = (self.mean_points * 1.2).round() as usize;
         let n = rng.gen_range(lo..=hi.max(lo));
 
-        // Particle positions in the (η, φ) plane.
+        // Particle positions in the (η, φ) plane. The φ bound is the
+        // literal 3.14, not f32::consts::PI: the golden graphs are pinned
+        // to this exact RNG range.
+        #[allow(clippy::approx_constant)]
         let pts: Vec<(f32, f32)> = (0..n)
             .map(|_| (rng.gen_range(-2.5..=2.5f32), rng.gen_range(-3.14..=3.14f32)))
             .collect();
@@ -105,12 +107,7 @@ impl GraphGenerator for KnnPointCloud {
                 // EdgeConv: node i gathers from neighbour j.
                 edges.push((j as NodeId, i as NodeId));
                 let (dx, dy) = (pts[j].0 - pts[i].0, pts[j].1 - pts[i].1);
-                edge_feat.extend_from_slice(&[
-                    dx,
-                    dy,
-                    d2.sqrt(),
-                    energies[j] / energies[i],
-                ]);
+                edge_feat.extend_from_slice(&[dx, dy, d2.sqrt(), energies[j] / energies[i]]);
             }
         }
 

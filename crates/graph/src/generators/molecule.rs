@@ -1,7 +1,6 @@
 //! Molecule-like small-graph generator (MolHIV / MolPCBA stand-in).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{FeatureSource, Graph, NodeId};
@@ -90,7 +89,7 @@ impl MoleculeLike {
 
 impl GraphGenerator for MoleculeLike {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         // Node count uniform in [0.5·mean, 1.5·mean]: mean preserved,
         // molecule sizes vary like the OGB distribution does.
         let lo = (self.mean_nodes * 0.5).round().max(Self::MIN_NODES as f64) as usize;
@@ -133,7 +132,10 @@ impl GraphGenerator for MoleculeLike {
                 continue;
             }
             let (a, b) = (u.min(v) as NodeId, u.max(v) as NodeId);
-            if bonds.iter().any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b)) {
+            if bonds
+                .iter()
+                .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b))
+            {
                 continue;
             }
             degree[u] += 1;
@@ -180,7 +182,7 @@ impl GraphGenerator for MoleculeLike {
 }
 
 /// Draws from a Poisson distribution via inversion (small means only).
-fn sample_poisson(rng: &mut SmallRng, mean: f64) -> usize {
+fn sample_poisson(rng: &mut Rng, mean: f64) -> usize {
     if mean <= 0.0 {
         return 0;
     }
@@ -273,7 +275,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_close() {
-        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let n = 2000;
         let total: usize = (0..n).map(|_| sample_poisson(&mut rng, 2.5)).sum();
         let mean = total as f64 / n as f64;

@@ -1,7 +1,6 @@
 //! Edge-churn streams: a base graph whose structure drifts per arrival.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{Graph, NodeId};
@@ -64,7 +63,7 @@ impl<G: GraphGenerator> GraphGenerator for Perturbed<G> {
         if n < 2 || self.churn == 0.0 {
             return base;
         }
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index) ^ 0xC0DE);
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index) ^ 0xC0DE);
         let mut edges = base.edges().to_vec();
         for e in edges.iter_mut() {
             if rng.gen_bool(self.churn) {

@@ -1,7 +1,6 @@
 //! Chung-Lu power-law graph generator (citation/social graph stand-in).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 use std::collections::HashSet;
 
 use super::{mix_seed, GraphGenerator};
@@ -102,7 +101,7 @@ impl ChungLu {
         cum
     }
 
-    fn sample_node(cum: &[f64], rng: &mut SmallRng) -> NodeId {
+    fn sample_node(cum: &[f64], rng: &mut Rng) -> NodeId {
         let total = *cum.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
         cum.partition_point(|&c| c <= x) as NodeId
@@ -111,7 +110,7 @@ impl ChungLu {
 
 impl GraphGenerator for ChungLu {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         let cum = self.cumulative_weights();
         let dedup = self.num_edges <= Self::DEDUP_LIMIT;
         let mut seen: HashSet<(NodeId, NodeId)> = if dedup {
@@ -120,10 +119,7 @@ impl GraphGenerator for ChungLu {
             HashSet::new()
         };
         let mut edges = Vec::with_capacity(self.num_edges);
-        let max_attempts = self
-            .num_edges
-            .saturating_mul(50)
-            .max(1000);
+        let max_attempts = self.num_edges.saturating_mul(50).max(1000);
         let mut attempts = 0usize;
         while edges.len() < self.num_edges && attempts < max_attempts {
             attempts += 1;
@@ -207,7 +203,10 @@ mod tests {
         let degs = g.in_degrees();
         let max = *degs.iter().max().unwrap() as f64;
         let mean = 10000.0 / 2000.0;
-        assert!(max > mean * 8.0, "max degree {max} not hub-like vs mean {mean}");
+        assert!(
+            max > mean * 8.0,
+            "max degree {max} not hub-like vs mean {mean}"
+        );
     }
 
     #[test]
@@ -251,7 +250,9 @@ mod tests {
 
     #[test]
     fn sparse_features_opt_in() {
-        let g = ChungLu::new(100, 300, 64, 0).feature_density(0.1).generate(0);
+        let g = ChungLu::new(100, 300, 64, 0)
+            .feature_density(0.1)
+            .generate(0);
         assert!(matches!(
             g.node_features(),
             crate::FeatureSource::SparseProcedural { .. }

@@ -1,7 +1,6 @@
 //! Watts–Strogatz small-world graphs.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use super::{mix_seed, GraphGenerator};
 use crate::{FeatureSource, Graph, NodeId};
@@ -43,8 +42,14 @@ impl SmallWorld {
     /// Panics if `k` is zero or odd, `k >= num_nodes`, or `beta` is
     /// outside `[0, 1]`.
     pub fn new(num_nodes: usize, k: usize, beta: f64, seed: u64) -> Self {
-        assert!(k > 0 && k % 2 == 0, "k must be positive and even, got {k}");
-        assert!(k < num_nodes, "k ({k}) must be below the node count ({num_nodes})");
+        assert!(
+            k > 0 && k.is_multiple_of(2),
+            "k must be positive and even, got {k}"
+        );
+        assert!(
+            k < num_nodes,
+            "k ({k}) must be below the node count ({num_nodes})"
+        );
         assert!((0.0..=1.0).contains(&beta), "beta {beta} outside [0, 1]");
         Self {
             num_nodes,
@@ -64,7 +69,7 @@ impl SmallWorld {
 
 impl GraphGenerator for SmallWorld {
     fn generate(&self, index: usize) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(mix_seed(self.seed, index));
+        let mut rng = Rng::seed_from_u64(mix_seed(self.seed, index));
         let n = self.num_nodes;
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * self.k);
         for v in 0..n {

@@ -41,7 +41,11 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::EdgeOutOfBounds { edge, node, num_nodes } => write!(
+            GraphError::EdgeOutOfBounds {
+                edge,
+                node,
+                num_nodes,
+            } => write!(
                 f,
                 "edge {edge} references node {node} but the graph has {num_nodes} nodes"
             ),
@@ -265,7 +269,7 @@ impl Graph {
         if let Some(ef) = self.edge_features.take() {
             let cols = ef.cols();
             let mut data = ef.into_vec();
-            data.extend(std::iter::repeat(0.0).take(new_edges * cols));
+            data.extend(std::iter::repeat_n(0.0, new_edges * cols));
             self.edge_features = Some(flowgnn_tensor::Matrix::from_vec(
                 self.edges.len(),
                 cols,
@@ -319,9 +323,12 @@ mod tests {
 
     #[test]
     fn rejects_wrong_node_feature_rows() {
-        let err = Graph::new(3, vec![], FeatureSource::dense(Matrix::zeros(2, 1)), None)
-            .unwrap_err();
-        assert!(matches!(err, GraphError::NodeFeatureCount { got: 2, want: 3 }));
+        let err =
+            Graph::new(3, vec![], FeatureSource::dense(Matrix::zeros(2, 1)), None).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NodeFeatureCount { got: 2, want: 3 }
+        ));
     }
 
     #[test]
@@ -333,7 +340,10 @@ mod tests {
             Some(Matrix::zeros(3, 4)),
         )
         .unwrap_err();
-        assert!(matches!(err, GraphError::EdgeFeatureCount { got: 3, want: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::EdgeFeatureCount { got: 3, want: 1 }
+        ));
     }
 
     #[test]

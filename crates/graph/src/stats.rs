@@ -157,13 +157,7 @@ mod tests {
         for v in 1..20 {
             edges.push((v, 0));
         }
-        let g = Graph::new(
-            20,
-            edges,
-            FeatureSource::dense(Matrix::zeros(20, 1)),
-            None,
-        )
-        .unwrap();
+        let g = Graph::new(20, edges, FeatureSource::dense(Matrix::zeros(20, 1)), None).unwrap();
         let s = GraphStats::of(&g);
         assert_eq!(s.clustering, 0.0);
         assert!(s.hubbiness() > 3.0, "{}", s.hubbiness());

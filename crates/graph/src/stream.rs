@@ -9,10 +9,7 @@ type GeneratorFn = dyn Fn(usize) -> Graph + Send + Sync;
 
 enum Source {
     Stored(Arc<[Graph]>),
-    Generated {
-        len: usize,
-        gen: Arc<GeneratorFn>,
-    },
+    Generated { len: usize, gen: Arc<GeneratorFn> },
 }
 
 impl Clone for Source {
@@ -116,7 +113,11 @@ impl GraphStream {
     ///
     /// Panics if `i >= self.total()`.
     pub fn get(&self, i: usize) -> Graph {
-        assert!(i < self.total(), "graph index {i} out of bounds ({} graphs)", self.total());
+        assert!(
+            i < self.total(),
+            "graph index {i} out of bounds ({} graphs)",
+            self.total()
+        );
         match &self.source {
             Source::Stored(g) => g[i].clone(),
             Source::Generated { gen, .. } => gen(i),
@@ -129,9 +130,7 @@ impl GraphStream {
     pub fn take_prefix(self, n: usize) -> Self {
         let len = self.total().min(n);
         match self.source {
-            Source::Stored(g) => {
-                GraphStream::from_graphs(g.iter().take(len).cloned().collect())
-            }
+            Source::Stored(g) => GraphStream::from_graphs(g.iter().take(len).cloned().collect()),
             Source::Generated { gen, .. } => GraphStream {
                 source: Source::Generated { len, gen },
                 next: 0,

@@ -98,8 +98,7 @@ impl AggregatorKind {
             AggregatorKind::Max => ops::max_assign(&mut state.acc, msg),
             AggregatorKind::Min => ops::min_assign(&mut state.acc, msg),
             AggregatorKind::Pna => {
-                for i in 0..state.dim {
-                    let v = msg[i];
+                for (i, &v) in msg.iter().enumerate().take(state.dim) {
                     state.acc[i] += v;
                     state.sum_sq[i] += v * v;
                     state.max[i] = state.max[i].max(v);
@@ -254,7 +253,7 @@ mod tests {
         assert_eq!(&out[2..4], &[1.0, 0.0]); // std of {2,4}
         assert_eq!(&out[4..6], &[4.0, 0.0]); // max
         assert_eq!(&out[6..8], &[2.0, 0.0]); // min
-        // Amplification block: degree 2 with δ̃ = ln 3 → scaler 1.
+                                             // Amplification block: degree 2 with δ̃ = ln 3 → scaler 1.
         assert!((out[8] - 3.0).abs() < 1e-5);
         // Attenuation block: also scaler ~1 here.
         assert!((out[16] - 3.0).abs() < 1e-5);
@@ -288,8 +287,14 @@ mod tests {
 
     #[test]
     fn sum_is_permutation_invariant_exactly_for_ints() {
-        let fwd = run(AggregatorKind::Sum, &[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        let rev = run(AggregatorKind::Sum, &[&[5.0, 6.0], &[3.0, 4.0], &[1.0, 2.0]]);
+        let fwd = run(
+            AggregatorKind::Sum,
+            &[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]],
+        );
+        let rev = run(
+            AggregatorKind::Sum,
+            &[&[5.0, 6.0], &[3.0, 4.0], &[1.0, 2.0]],
+        );
         assert_eq!(fwd, rev);
     }
 

@@ -121,9 +121,7 @@ fn compute_dgn_field(graph: &Graph) -> DgnField {
     let c = max_deg + 1.0;
 
     // Deterministic non-constant start vector.
-    let mut v: Vec<f32> = (0..n)
-        .map(|i| (i as f32 * 0.7391 + 0.313).sin())
-        .collect();
+    let mut v: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7391 + 0.313).sin()).collect();
     let mut next = vec![0.0f32; n];
     for _ in 0..120 {
         // next = (cI − L) v = (c − D) v + A v
@@ -193,13 +191,7 @@ mod tests {
         for i in 0..n {
             edges.push((i as NodeId, ((i + 1) % n) as NodeId));
         }
-        let g = Graph::new(
-            n,
-            edges,
-            FeatureSource::dense(Matrix::zeros(n, 1)),
-            None,
-        )
-        .unwrap();
+        let g = Graph::new(n, edges, FeatureSource::dense(Matrix::zeros(n, 1)), None).unwrap();
         let ctx = GraphContext::new(&g);
         assert!((ctx.mean_log_degree() - 2.0f32.ln()).abs() < 1e-6);
     }
@@ -225,7 +217,10 @@ mod tests {
     #[test]
     fn dgn_field_is_unit_norm_and_zero_mean() {
         let g = path(9);
-        let f = GraphContext::with_dgn_field(&g).dgn_field().unwrap().clone();
+        let f = GraphContext::with_dgn_field(&g)
+            .dgn_field()
+            .unwrap()
+            .clone();
         let mean: f32 = f.eigvec.iter().sum::<f32>() / 9.0;
         let norm: f32 = f.eigvec.iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!(mean.abs() < 1e-4, "mean {mean}");

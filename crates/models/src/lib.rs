@@ -43,8 +43,8 @@ mod layer;
 mod message;
 mod model;
 pub mod presets;
-pub mod reference;
 mod readout;
+pub mod reference;
 mod transform;
 mod weighting;
 

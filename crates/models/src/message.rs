@@ -23,6 +23,10 @@ pub struct MessageCtx<'a> {
     pub edge_weight: f32,
 }
 
+/// A user-supplied message transformation body: `(ctx, out)` appends the
+/// message for the edge described by `ctx` to `out`.
+pub type CustomMessageFn = Arc<dyn Fn(&MessageCtx<'_>, &mut Vec<f32>) + Send + Sync>;
+
 /// The message transformation φ of one layer.
 ///
 /// This is the component the paper's Listing 1 lets "Alice" swap out
@@ -63,7 +67,7 @@ pub enum MessageTransform {
         /// Output dimension produced by `f`.
         out_dim: usize,
         /// The transformation body.
-        f: Arc<dyn Fn(&MessageCtx<'_>, &mut Vec<f32>) + Send + Sync>,
+        f: CustomMessageFn,
     },
 }
 
@@ -74,7 +78,9 @@ impl MessageTransform {
             MessageTransform::WeightedCopy => src_dim,
             MessageTransform::ReluAddEdge { .. } => src_dim,
             MessageTransform::DirectionalPair => 2 * src_dim + 2,
-            MessageTransform::GatAttention { heads, head_dim, .. } => heads * head_dim + heads,
+            MessageTransform::GatAttention {
+                heads, head_dim, ..
+            } => heads * head_dim + heads,
             MessageTransform::Custom { out_dim, .. } => *out_dim,
         }
     }
@@ -159,9 +165,9 @@ impl MessageTransform {
                 src_dim as u64 + edge_proj.as_ref().map_or(0, Linear::macs)
             }
             MessageTransform::DirectionalPair => 2 * src_dim as u64,
-            MessageTransform::GatAttention { heads, head_dim, .. } => {
-                (heads * (3 * head_dim + 2)) as u64
-            }
+            MessageTransform::GatAttention {
+                heads, head_dim, ..
+            } => (heads * (3 * head_dim + 2)) as u64,
             MessageTransform::Custom { out_dim, .. } => *out_dim as u64,
         }
     }
@@ -181,7 +187,9 @@ impl std::fmt::Debug for MessageTransform {
                 ))
             ),
             MessageTransform::DirectionalPair => write!(f, "DirectionalPair"),
-            MessageTransform::GatAttention { heads, head_dim, .. } => {
+            MessageTransform::GatAttention {
+                heads, head_dim, ..
+            } => {
                 write!(f, "GatAttention({heads} heads x {head_dim})")
             }
             MessageTransform::Custom { out_dim, .. } => write!(f, "Custom(out_dim={out_dim})"),

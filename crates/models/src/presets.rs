@@ -97,9 +97,8 @@ impl GnnModel {
         let layer_stack = (0..5)
             .map(|_| {
                 let eps = init.scalar(0.0, 0.2);
-                let edge_proj = edge_dim.map(|d| {
-                    Linear::from_init(d, hidden, Activation::Identity, &mut init)
-                });
+                let edge_proj =
+                    edge_dim.map(|d| Linear::from_init(d, hidden, Activation::Identity, &mut init));
                 GnnLayer::new(
                     hidden,
                     hidden,
@@ -188,9 +187,8 @@ impl GnnModel {
         let agg_dim = AggregatorKind::Pna.out_dim(hidden);
         let layer_stack = (0..4)
             .map(|_| {
-                let edge_proj = edge_dim.map(|d| {
-                    Linear::from_init(d, hidden, Activation::Identity, &mut init)
-                });
+                let edge_proj =
+                    edge_dim.map(|d| Linear::from_init(d, hidden, Activation::Identity, &mut init));
                 GnnLayer::new(
                     hidden,
                     hidden,

@@ -182,7 +182,11 @@ mod tests {
             let model = GnnModel::preset(kind, 9, Some(3), 11);
             let out = run(&model, &g);
             assert!(
-                out.graph_output.as_ref().unwrap().iter().all(|v| v.is_finite()),
+                out.graph_output
+                    .as_ref()
+                    .unwrap()
+                    .iter()
+                    .all(|v| v.is_finite()),
                 "{kind} produced non-finite output"
             );
         }
@@ -225,10 +229,7 @@ mod tests {
         let g1 = ErdosRenyi::new(10, 0.2, 4).node_feat_dim(9).generate(0);
         let g2 = ErdosRenyi::new(10, 0.8, 4).node_feat_dim(9).generate(0);
         let model = GnnModel::gcn(9, 1);
-        assert_ne!(
-            run(&model, &g1).graph_output,
-            run(&model, &g2).graph_output
-        );
+        assert_ne!(run(&model, &g1).graph_output, run(&model, &g2).graph_output);
     }
 
     #[test]

@@ -64,6 +64,10 @@ impl Combine {
     }
 }
 
+/// A user-supplied node transformation body: `(x, m, node, out)` appends
+/// the node's new embedding to `out`.
+pub type CustomNodeFn = Arc<dyn Fn(&[f32], &[f32], &NodeCtx, &mut Vec<f32>) + Send + Sync>;
+
 /// The node transformation γ of one layer (Listing 1, line 12).
 #[derive(Clone)]
 pub enum NodeTransform {
@@ -106,7 +110,7 @@ pub enum NodeTransform {
         /// Output embedding dimension.
         out_dim: usize,
         /// The transformation body.
-        f: Arc<dyn Fn(&[f32], &[f32], &NodeCtx, &mut Vec<f32>) + Send + Sync>,
+        f: CustomNodeFn,
     },
 }
 
@@ -169,8 +173,8 @@ impl NodeTransform {
                 let sum_w = m[2 * dim + 1];
                 let mut combined = Vec::with_capacity(2 * dim);
                 let inv = if count > 0.0 { 1.0 / count } else { 0.0 };
-                for i in 0..dim {
-                    combined.push(m[i] * inv);
+                for &v in &m[..dim] {
+                    combined.push(v * inv);
                 }
                 for i in 0..dim {
                     combined.push((m[dim + i] - sum_w * x[i]).abs());
@@ -333,11 +337,7 @@ mod tests {
     #[test]
     fn dgn_finish_computes_mean_and_abs_derivative() {
         // dim = 1; identity projection.
-        let layer = Linear::new(
-            Matrix::identity(2),
-            vec![0.0, 0.0],
-            Activation::Identity,
-        );
+        let layer = Linear::new(Matrix::identity(2), vec![0.0, 0.0], Activation::Identity);
         let nt = NodeTransform::DgnFinish { layer };
         // m = [sum_x = 6, sum_wx = 4, count = 2, sum_w = 3]; x = 1
         let mut out = Vec::new();

@@ -189,7 +189,10 @@ impl QuantizedLinear {
             x.len(),
             self.in_dim
         );
-        let xq: Vec<i64> = x.iter().map(|&v| Q16_16::from_f32(v).raw() as i64).collect();
+        let xq: Vec<i64> = x
+            .iter()
+            .map(|&v| Q16_16::from_f32(v).raw() as i64)
+            .collect();
         let mut out = Vec::with_capacity(self.out_dim);
         for o in 0..self.out_dim {
             // Wide accumulator: products are Q32.32 in i64; no

@@ -1,7 +1,6 @@
 //! Deterministic weight initialisation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flowgnn_rng::Rng;
 
 use crate::Matrix;
 
@@ -27,14 +26,14 @@ use crate::Matrix;
 /// ```
 #[derive(Debug, Clone)]
 pub struct WeightInit {
-    rng: SmallRng,
+    rng: Rng,
 }
 
 impl WeightInit {
     /// Creates an initialiser from a seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 

@@ -198,11 +198,7 @@ mod tests {
 
     #[test]
     fn activation_is_applied() {
-        let layer = Linear::new(
-            Matrix::from_rows(&[&[1.0]]),
-            vec![0.0],
-            Activation::Relu,
-        );
+        let layer = Linear::new(Matrix::from_rows(&[&[1.0]]), vec![0.0], Activation::Relu);
         assert_eq!(layer.forward(&[-5.0]), vec![0.0]);
     }
 

@@ -60,7 +60,10 @@ impl Mlp {
     ///
     /// Panics if `dims.len() < 2`.
     pub fn from_init(dims: &[usize], hidden_activation: Activation, init: &mut WeightInit) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let n = dims.len() - 1;
         let layers = (0..n)
             .map(|i| {
@@ -128,7 +131,11 @@ mod tests {
     fn hidden_layers_use_activation_final_is_linear() {
         // One hidden layer that forces a negative value, then identity out.
         let l1 = Linear::new(Matrix::from_rows(&[&[1.0]]), vec![0.0], Activation::Relu);
-        let l2 = Linear::new(Matrix::from_rows(&[&[2.0]]), vec![-1.0], Activation::Identity);
+        let l2 = Linear::new(
+            Matrix::from_rows(&[&[2.0]]),
+            vec![-1.0],
+            Activation::Identity,
+        );
         let mlp = Mlp::new(vec![l1, l2]);
         // relu(-3) = 0; 2*0 - 1 = -1 (a final ReLU would have clamped it).
         assert_eq!(mlp.forward(&[-3.0]), vec![-1.0]);

@@ -1,74 +1,111 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized tests for the tensor substrate, driven by the in-tree
+//! deterministic PRNG so every run checks the same cases.
 
+use flowgnn_rng::Rng;
 use flowgnn_tensor::ops;
 use flowgnn_tensor::{Activation, Linear, Matrix, Mlp, RunningMoments, WeightInit};
-use proptest::prelude::*;
 
-fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-10.0f32..10.0, len)
+fn vec_f32(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn matvec_is_linear_in_input(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
-        let m = WeightInit::new(seed).matrix(rows, cols);
+#[test]
+fn matvec_is_linear_in_input() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0001);
+    for _ in 0..128 {
+        let rows = rng.gen_range(1usize..8);
+        let cols = rng.gen_range(1usize..8);
+        let m = WeightInit::new(rng.next_u64() % 1000).matrix(rows, cols);
         let x = vec![1.0; cols];
         let y = vec![0.5; cols];
         let xy: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
         let lhs = m.matvec(&xy);
-        let rhs: Vec<f32> = m.matvec(&x).iter().zip(m.matvec(&y)).map(|(a, b)| a + b).collect();
+        let rhs: Vec<f32> = m
+            .matvec(&x)
+            .iter()
+            .zip(m.matvec(&y))
+            .map(|(a, b)| a + b)
+            .collect();
         for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() < 1e-4);
+            assert!((l - r).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn transpose_round_trip(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
-        let m = WeightInit::new(seed).matrix(rows, cols);
-        prop_assert_eq!(m.transposed().transposed(), m);
+#[test]
+fn transpose_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0002);
+    for _ in 0..128 {
+        let rows = rng.gen_range(1usize..10);
+        let cols = rng.gen_range(1usize..10);
+        let m = WeightInit::new(rng.next_u64() % 1000).matrix(rows, cols);
+        assert_eq!(m.transposed().transposed(), m);
     }
+}
 
-    #[test]
-    fn input_stationary_matches_output_stationary(
-        in_dim in 1usize..12, out_dim in 1usize..12, seed in 0u64..1000,
-    ) {
+#[test]
+fn input_stationary_matches_output_stationary() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0003);
+    for _ in 0..128 {
+        let in_dim = rng.gen_range(1usize..12);
+        let out_dim = rng.gen_range(1usize..12);
+        let seed = rng.next_u64() % 1000;
         let layer = Linear::seeded(in_dim, out_dim, Activation::Identity, seed);
-        let x: Vec<f32> = (0..in_dim).map(|i| ((i * 7 + seed as usize) % 13) as f32 / 6.5 - 1.0).collect();
+        let x: Vec<f32> = (0..in_dim)
+            .map(|i| ((i * 7 + seed as usize) % 13) as f32 / 6.5 - 1.0)
+            .collect();
         let isc = layer.forward(&x);
         let mut osc = layer.weight().matvec(&x);
         for (o, b) in osc.iter_mut().zip(layer.bias()) {
             *o += b;
         }
-        prop_assert!(ops::max_abs_diff(&isc, &osc) < 1e-4);
+        assert!(ops::max_abs_diff(&isc, &osc) < 1e-4);
     }
+}
 
-    #[test]
-    fn relu_is_idempotent(xs in vec_f32(32)) {
+#[test]
+fn relu_is_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0004);
+    for _ in 0..64 {
+        let xs = vec_f32(&mut rng, 32);
         let mut once = xs.clone();
         Activation::Relu.apply_slice(&mut once);
         let mut twice = once.clone();
         Activation::Relu.apply_slice(&mut twice);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn sigmoid_in_unit_interval(xs in vec_f32(32)) {
-        for x in xs {
+#[test]
+fn sigmoid_in_unit_interval() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0005);
+    for _ in 0..64 {
+        for x in vec_f32(&mut rng, 32) {
             let y = Activation::Sigmoid.apply(x);
-            prop_assert!((0.0..=1.0).contains(&y));
+            assert!((0.0..=1.0).contains(&y));
         }
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(mut xs in vec_f32(16)) {
+#[test]
+fn softmax_is_a_distribution() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0006);
+    for _ in 0..64 {
+        let mut xs = vec_f32(&mut rng, 16);
         ops::softmax(&mut xs);
         let sum: f32 = xs.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(xs.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(xs.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
     }
+}
 
-    #[test]
-    fn moments_are_permutation_invariant(rows in proptest::collection::vec(vec_f32(4), 1..20)) {
+#[test]
+fn moments_are_permutation_invariant() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0007);
+    for _ in 0..64 {
+        let rows: Vec<Vec<f32>> = (0..rng.gen_range(1usize..20))
+            .map(|_| vec_f32(&mut rng, 4))
+            .collect();
         let mut fwd = RunningMoments::new(4);
         for r in &rows {
             fwd.push(r);
@@ -77,28 +114,40 @@ proptest! {
         for r in rows.iter().rev() {
             rev.push(r);
         }
-        prop_assert!(ops::max_abs_diff(&fwd.mean(), &rev.mean()) < 1e-4);
-        prop_assert!(ops::max_abs_diff(&fwd.std(), &rev.std()) < 1e-3);
+        assert!(ops::max_abs_diff(&fwd.mean(), &rev.mean()) < 1e-4);
+        assert!(ops::max_abs_diff(&fwd.std(), &rev.std()) < 1e-3);
     }
+}
 
-    #[test]
-    fn mlp_output_dim_is_last_dim(seed in 0u64..100) {
+#[test]
+fn mlp_output_dim_is_last_dim() {
+    for seed in 0u64..32 {
         let mlp = Mlp::seeded(&[8, 6, 4, 2], Activation::Relu, seed);
-        prop_assert_eq!(mlp.forward(&vec![0.1; 8]).len(), 2);
+        assert_eq!(mlp.forward(&[0.1; 8]).len(), 2);
     }
+}
 
-    #[test]
-    fn max_assign_is_commutative(a in vec_f32(8), b in vec_f32(8)) {
+#[test]
+fn max_assign_is_commutative() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0008);
+    for _ in 0..64 {
+        let a = vec_f32(&mut rng, 8);
+        let b = vec_f32(&mut rng, 8);
         let mut ab = a.clone();
         ops::max_assign(&mut ab, &b);
         let mut ba = b.clone();
         ops::max_assign(&mut ba, &a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    #[test]
-    fn dot_is_symmetric(a in vec_f32(16), b in vec_f32(16)) {
-        prop_assert!((ops::dot(&a, &b) - ops::dot(&b, &a)).abs() < 1e-3);
+#[test]
+fn dot_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x7E50_0009);
+    for _ in 0..64 {
+        let a = vec_f32(&mut rng, 16);
+        let b = vec_f32(&mut rng, 16);
+        assert!((ops::dot(&a, &b) - ops::dot(&b, &a)).abs() < 1e-3);
     }
 }
 

@@ -113,8 +113,22 @@ fn main() {
         Dataflow::NtToMp,
         Some(Linear::seeded(9, dim, Activation::Identity, 3)),
         vec![
-            GnnLayer::new(dim, dim, phi.clone(), EdgeWeighting::GcnNorm, AggregatorKind::Mean, gamma.clone()),
-            GnnLayer::new(dim, dim, phi, EdgeWeighting::GcnNorm, AggregatorKind::Mean, gamma),
+            GnnLayer::new(
+                dim,
+                dim,
+                phi.clone(),
+                EdgeWeighting::GcnNorm,
+                AggregatorKind::Mean,
+                gamma.clone(),
+            ),
+            GnnLayer::new(
+                dim,
+                dim,
+                phi,
+                EdgeWeighting::GcnNorm,
+                AggregatorKind::Mean,
+                gamma,
+            ),
         ],
         Some(Readout::new(
             Pooling::Mean,

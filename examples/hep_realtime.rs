@@ -40,8 +40,8 @@ fn main() {
         // system lives and dies by its tail latency.
         let mut worst = 0.0f64;
         let mut total = 0.0;
-        let mut stream = spec.stream().take_prefix(events);
-        while let Some(event) = stream.next() {
+        let stream = spec.stream().take_prefix(events);
+        for event in stream {
             let ms = acc.run(&event).latency_ms();
             worst = worst.max(ms);
             total += ms;

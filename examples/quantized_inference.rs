@@ -11,7 +11,7 @@
 
 use flowgnn::graph::generators::{GraphGenerator, MoleculeLike};
 use flowgnn::models::reference;
-use flowgnn::tensor::fixed::{Q16_16, QuantizedLinear};
+use flowgnn::tensor::fixed::{QuantizedLinear, Q16_16};
 use flowgnn::tensor::{Activation, Linear, Mlp};
 use flowgnn::GnnModel;
 
@@ -37,8 +37,11 @@ fn main() {
 
     // 2. MLP chain: errors accumulate across layers but stay bounded.
     let mlp = Mlp::seeded(&[100, 200, 100], Activation::Relu, 7);
-    let qlayers: Vec<QuantizedLinear> =
-        mlp.layers().iter().map(QuantizedLinear::from_linear).collect();
+    let qlayers: Vec<QuantizedLinear> = mlp
+        .layers()
+        .iter()
+        .map(QuantizedLinear::from_linear)
+        .collect();
     let mut cur = x.clone();
     for q in &qlayers {
         cur = q.forward(&cur);
@@ -62,6 +65,9 @@ fn main() {
         (Q16_16::from_f32(float_pred).to_f32() - float_pred).abs() <= Q16_16::EPSILON.to_f32()
     );
 
-    assert!(max_err < 1e-2 && mlp_err < 1e-1, "quantisation error blew up");
+    assert!(
+        max_err < 1e-2 && mlp_err < 1e-1,
+        "quantisation error blew up"
+    );
     println!("\nFixed-point and float inference agree within Q16.16 precision.");
 }

@@ -39,10 +39,10 @@ fn main() {
     // 4. Stream graphs through — batch size 1, zero preprocessing — and
     //    cross-check the accelerator's output against the reference
     //    executor, exactly as the paper cross-checks the FPGA vs PyTorch.
-    let mut stream = spec.stream().take_prefix(25);
+    let stream = spec.stream().take_prefix(25);
     let mut total_ms = 0.0;
     let mut checked = 0;
-    while let Some(graph) = stream.next() {
+    for graph in stream {
         let report = acc.run(&graph);
         total_ms += report.latency_ms();
 

@@ -45,6 +45,8 @@ pub use flowgnn_graph as graph;
 pub use flowgnn_models as models;
 pub use flowgnn_tensor as tensor;
 
-pub use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode, PipelineStrategy, RunReport};
+pub use flowgnn_core::{
+    Accelerator, ArchConfig, EngineMode, ExecutionMode, PipelineStrategy, RunReport,
+};
 pub use flowgnn_graph::{Graph, GraphStream};
 pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};

@@ -1,0 +1,189 @@
+//! Differential tests for the fast-forward cycle engine.
+//!
+//! [`EngineMode::FastForward`] claims to be cycle-exact *by construction*:
+//! it only skips cycles on which no unit can touch a queue, execute
+//! arithmetic, or change jobs, so every observable of a run must be
+//! **byte-identical** to the retained per-cycle reference mode — cycle
+//! counts, stall/busy meters, and functional outputs alike. This suite
+//! pins that equivalence over the full cross-product of preset models,
+//! workload-zoo graph families, and pipeline strategies. Any divergence,
+//! even one cycle or one ULP, is a bug in the horizon computation.
+
+use flowgnn::graph::generators::{
+    ChungLu, ErdosRenyi, GraphGenerator, GridMesh, KnnPointCloud, MoleculeLike, SmallWorld,
+};
+use flowgnn::graph::Graph;
+use flowgnn::{Accelerator, ArchConfig, EngineMode, GnnModel, PipelineStrategy, RunReport};
+
+fn zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "molecule",
+            MoleculeLike::new(18.0, 1).node_feat_dim(9).generate(0),
+        ),
+        (
+            "point-cloud",
+            KnnPointCloud::new(24.0, 6, 2).node_feat_dim(9).generate(0),
+        ),
+        (
+            "grid-mesh",
+            GridMesh::new(5, 6, 3).node_feat_dim(9).generate(0),
+        ),
+        (
+            "small-world",
+            SmallWorld::new(30, 4, 0.15, 4).node_feat_dim(9).generate(0),
+        ),
+        ("power-law", ChungLu::new(40, 160, 9, 5).generate(0)),
+        (
+            "random",
+            ErdosRenyi::new(25, 0.15, 6).node_feat_dim(9).generate(0),
+        ),
+    ]
+}
+
+fn models() -> Vec<GnnModel> {
+    vec![
+        GnnModel::gcn(9, 11),
+        GnnModel::gin(9, None, 12),
+        GnnModel::gin_vn(9, None, 13),
+        GnnModel::gat(9, 14),
+        GnnModel::pna(9, None, 15),
+        GnnModel::dgn(9, 16),
+    ]
+}
+
+/// Asserts every observable of the two reports is byte-identical.
+fn assert_reports_identical(fast: &RunReport, reference: &RunReport, what: &str) {
+    assert_eq!(
+        fast.total_cycles, reference.total_cycles,
+        "{what}: total_cycles"
+    );
+    assert_eq!(
+        fast.load_cycles, reference.load_cycles,
+        "{what}: load_cycles"
+    );
+    assert_eq!(
+        fast.region_cycles, reference.region_cycles,
+        "{what}: region_cycles"
+    );
+    assert_eq!(
+        fast.readout_cycles, reference.readout_cycles,
+        "{what}: readout_cycles"
+    );
+    assert_eq!(
+        fast.nt_busy_cycles, reference.nt_busy_cycles,
+        "{what}: nt_busy"
+    );
+    assert_eq!(
+        fast.mp_busy_cycles, reference.mp_busy_cycles,
+        "{what}: mp_busy"
+    );
+    assert_eq!(
+        fast.nt_stall_cycles, reference.nt_stall_cycles,
+        "{what}: nt_stall"
+    );
+    assert_eq!(
+        fast.mp_stall_cycles, reference.mp_stall_cycles,
+        "{what}: mp_stall"
+    );
+    let (a, b) = (
+        fast.output.as_ref().unwrap(),
+        reference.output.as_ref().unwrap(),
+    );
+    // Bitwise float equality: fast-forward must not reorder any arithmetic.
+    assert_eq!(
+        a.node_embeddings.as_slice(),
+        b.node_embeddings.as_slice(),
+        "{what}: node embeddings diverge"
+    );
+    assert_eq!(
+        a.graph_output, b.graph_output,
+        "{what}: graph output diverges"
+    );
+}
+
+#[test]
+fn fast_forward_is_cycle_exact_everywhere() {
+    let graphs = zoo();
+    for model in models() {
+        for (family, g) in &graphs {
+            for strategy in PipelineStrategy::ABLATION_ORDER {
+                let fast = Accelerator::new(
+                    model.clone(),
+                    ArchConfig::default()
+                        .with_strategy(strategy)
+                        .with_engine(EngineMode::FastForward),
+                )
+                .run(g);
+                let reference = Accelerator::new(
+                    model.clone(),
+                    ArchConfig::default()
+                        .with_strategy(strategy)
+                        .with_engine(EngineMode::Reference),
+                )
+                .run(g);
+                let what = format!("{} / {family} / {strategy}", model.name());
+                assert_reports_identical(&fast, &reference, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_exact_across_parallelism_corners() {
+    // Queue pressure is where horizon bugs hide: tiny queues force the
+    // StallFull paths, wide units force multi-unit interleavings.
+    let g = MoleculeLike::new(22.0, 7).node_feat_dim(9).generate(3);
+    let model = GnnModel::gin(9, Some(3), 21);
+    for (pn, pe, pa, ps) in [
+        (1, 1, 1, 1),
+        (1, 4, 2, 8),
+        (4, 1, 8, 2),
+        (4, 8, 8, 8),
+        (2, 4, 16, 4),
+    ] {
+        for cap in [1, 2, 16] {
+            let cfg = ArchConfig::default()
+                .with_parallelism(pn, pe, pa, ps)
+                .with_queue_capacity(cap);
+            let fast =
+                Accelerator::new(model.clone(), cfg.with_engine(EngineMode::FastForward)).run(&g);
+            let reference =
+                Accelerator::new(model.clone(), cfg.with_engine(EngineMode::Reference)).run(&g);
+            let what = format!("P=({pn},{pe},{pa},{ps}) cap={cap}");
+            assert_reports_identical(&fast, &reference, &what);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_matches_traced_per_cycle_run() {
+    // Tracing forces the per-cycle path even under FastForward; the
+    // timing must agree with the untraced fast-forwarded run.
+    let g = KnnPointCloud::new(30.0, 5, 9).node_feat_dim(9).generate(1);
+    for model in [GnnModel::gcn(9, 31), GnnModel::gat(9, 32)] {
+        let fast = Accelerator::new(model.clone(), ArchConfig::default()).run(&g);
+        let traced = Accelerator::new(model, ArchConfig::default().with_trace()).run(&g);
+        assert_eq!(fast.total_cycles, traced.total_cycles);
+        assert_eq!(fast.nt_busy_cycles, traced.nt_busy_cycles);
+        assert_eq!(fast.mp_busy_cycles, traced.mp_busy_cycles);
+    }
+}
+
+#[test]
+fn fast_forward_is_exact_on_streams() {
+    // The stream runner reuses one SimScratch across graphs; reuse must
+    // not leak state between runs.
+    let model = GnnModel::gin_vn(9, Some(3), 41);
+    let fast = Accelerator::new(
+        model.clone(),
+        ArchConfig::default().with_engine(EngineMode::FastForward),
+    )
+    .run_stream(MoleculeLike::new(16.0, 11).stream(8), 8);
+    let reference = Accelerator::new(
+        model,
+        ArchConfig::default().with_engine(EngineMode::Reference),
+    )
+    .run_stream(MoleculeLike::new(16.0, 11).stream(8), 8);
+    assert_eq!(fast, reference);
+}

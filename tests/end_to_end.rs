@@ -55,10 +55,8 @@ fn all_strategies_agree_functionally_for_every_model() {
         let model = GnnModel::preset(kind, 9, Some(3), 31);
         let mut outputs: Vec<Vec<f32>> = Vec::new();
         for strategy in PipelineStrategy::ABLATION_ORDER {
-            let acc = Accelerator::new(
-                model.clone(),
-                ArchConfig::default().with_strategy(strategy),
-            );
+            let acc =
+                Accelerator::new(model.clone(), ArchConfig::default().with_strategy(strategy));
             let out = acc.run(&graph);
             outputs.push(out.output.unwrap().graph_output.unwrap());
         }
@@ -112,11 +110,8 @@ fn dense_parallelism_never_slows_a_stream() {
         ArchConfig::default().with_parallelism(1, 1, 1, 1),
     )
     .run_stream(stream(), 8);
-    let fast = Accelerator::new(
-        model,
-        ArchConfig::default().with_parallelism(4, 4, 8, 8),
-    )
-    .run_stream(stream(), 8);
+    let fast = Accelerator::new(model, ArchConfig::default().with_parallelism(4, 4, 8, 8))
+        .run_stream(stream(), 8);
     assert!(fast.total_cycles < slow.total_cycles);
     assert!(fast.latency.mean_ms < slow.latency.mean_ms);
 }

@@ -14,18 +14,27 @@ use flowgnn::{Accelerator, ArchConfig, GnnModel};
 
 fn zoo() -> Vec<(&'static str, Graph)> {
     vec![
-        ("molecule", MoleculeLike::new(18.0, 1).node_feat_dim(9).generate(0)),
+        (
+            "molecule",
+            MoleculeLike::new(18.0, 1).node_feat_dim(9).generate(0),
+        ),
         (
             "point-cloud",
             KnnPointCloud::new(24.0, 6, 2).node_feat_dim(9).generate(0),
         ),
-        ("grid-mesh", GridMesh::new(5, 6, 3).node_feat_dim(9).generate(0)),
+        (
+            "grid-mesh",
+            GridMesh::new(5, 6, 3).node_feat_dim(9).generate(0),
+        ),
         (
             "small-world",
             SmallWorld::new(30, 4, 0.15, 4).node_feat_dim(9).generate(0),
         ),
         ("power-law", ChungLu::new(40, 160, 9, 5).generate(0)),
-        ("random", ErdosRenyi::new(25, 0.15, 6).node_feat_dim(9).generate(0)),
+        (
+            "random",
+            ErdosRenyi::new(25, 0.15, 6).node_feat_dim(9).generate(0),
+        ),
     ]
 }
 
@@ -62,7 +71,10 @@ fn latency_tracks_structure_not_family() {
     // for per-region constants.
     let first = points.first().unwrap().1 as f64;
     let last = points.last().unwrap().1 as f64;
-    assert!(last > first, "no growth across a 10x work range: {points:?}");
+    assert!(
+        last > first,
+        "no growth across a 10x work range: {points:?}"
+    );
 }
 
 #[test]
