@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 
 mod awbgcn;
+mod backends;
 mod igcn;
 mod pe_array;
 mod platform;
 mod workload;
 
 pub use awbgcn::AwbGcnModel;
+pub use backends::{AwbGcnBackend, CpuBackend, GpuBackend, IGcnBackend};
 pub use igcn::{IGcnModel, Islandization};
 pub use pe_array::PeArrayModel;
 pub use platform::{CpuModel, GpuModel};

@@ -150,7 +150,6 @@ pub fn utilization_ladder(sample: SampleSize) -> UtilizationLadder {
                 .with_parallelism(1, 1, 2, 2)
                 .with_strategy(strategy)
                 .with_execution(ExecutionMode::TimingOnly);
-            let units = config.effective_p_node() + config.effective_p_edge();
             let acc = Accelerator::new(model.clone(), config);
             let mut total_ms = 0.0;
             let mut util = 0.0;
@@ -160,8 +159,8 @@ pub fn utilization_ladder(sample: SampleSize) -> UtilizationLadder {
             for g in stream {
                 let report = acc.run(&g);
                 total_ms += report.latency_ms();
-                util += report.compute_utilization(units);
-                stall += report.stall_fraction(units);
+                util += report.utilization();
+                stall += report.stalled_fraction();
                 count += 1;
             }
             UtilizationRow {

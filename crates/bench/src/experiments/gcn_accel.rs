@@ -6,8 +6,8 @@
 //! accelerators use different platforms. Reddit runs at the dataset
 //! preset's default scale unless `full` is set.
 
-use flowgnn_baselines::{AwbGcnModel, GcnWorkload, IGcnModel, Islandization};
-use flowgnn_core::{Accelerator, ArchConfig, EnergyModel, ExecutionMode, ResourceEstimate};
+use flowgnn_baselines::{AwbGcnBackend, IGcnBackend, Islandization};
+use flowgnn_core::{Accelerator, ArchConfig, BackendReport, ExecutionMode, InferenceBackend};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::GnnModel;
 
@@ -34,6 +34,23 @@ pub struct AcceleratorEntry {
     pub normalized_us: f64,
     /// Energy efficiency in graphs/kJ.
     pub graphs_per_kj: f64,
+}
+
+impl AcceleratorEntry {
+    /// Builds an entry from a platform report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report lacks a DSP bill — every Table VIII platform
+    /// reports one.
+    fn from_report(r: BackendReport) -> Self {
+        Self {
+            latency_us: r.latency_us,
+            dsps: r.dsps.expect("Table VIII platforms report a DSP bill"),
+            normalized_us: r.normalized_us.expect("normalised with the DSP bill"),
+            graphs_per_kj: r.graphs_per_kj,
+        }
+    }
 }
 
 /// One dataset's Table VIII row.
@@ -110,6 +127,10 @@ impl Table8 {
     }
 }
 
+/// The comparison workload (Sec. VI-F): 2-layer GCN, hidden dimension 16.
+const HIDDEN: usize = 16;
+const LAYERS: usize = 2;
+
 /// The FlowGNN configuration used for the comparison kernel: a wide but
 /// small-dimension deployment (the paper's 747-DSP GCN kernel).
 pub fn table8_config() -> ArchConfig {
@@ -135,46 +156,28 @@ pub fn table8(full: bool) -> Table8 {
             spec = spec.full_scale();
         }
         let graph = spec.stream().next().expect("single-graph dataset");
-        let workload = GcnWorkload::from_graph(&graph, 16, 2);
 
-        let awb_model = AwbGcnModel::new();
-        let awb_us = awb_model.latency_us(&workload);
-        let awb = AcceleratorEntry {
-            latency_us: awb_us,
-            dsps: awb_model.array().dsps,
-            normalized_us: awb_model.array().dsp_normalized_us(awb_us),
-            graphs_per_kj: awb_model.array().graphs_per_kj(awb_us),
-        };
-
-        let igcn_model = IGcnModel::new();
+        // Islandization is analysed once per graph and shared with the
+        // I-GCN backend (it is the expensive part on Reddit).
         let islandization = Islandization::analyze(&graph);
-        let igcn_us =
-            igcn_model.latency_us_with_redundancy(&workload, islandization.redundant_fraction);
-        let igcn = AcceleratorEntry {
-            latency_us: igcn_us,
-            dsps: igcn_model.array().dsps,
-            normalized_us: igcn_model.array().dsp_normalized_us(igcn_us),
-            graphs_per_kj: igcn_model.array().graphs_per_kj(igcn_us),
-        };
-
-        let model = GnnModel::gcn_with(spec.node_feat_dim(), 16, 2, false, 5);
-        let acc = Accelerator::new(model.clone(), config);
-        let report = acc.run(&graph);
-        let resources = ResourceEstimate::for_model(&model, &config);
-        let energy = EnergyModel::new(resources);
-        let fg_us = report.latency_us();
-        let flowgnn = AcceleratorEntry {
-            latency_us: fg_us,
-            dsps: resources.dsp,
-            normalized_us: fg_us * resources.dsp as f64 / 4096.0,
-            graphs_per_kj: energy.graphs_per_kj(fg_us * 1e-6),
-        };
+        let model = GnnModel::gcn_with(spec.node_feat_dim(), HIDDEN, LAYERS, false, 5);
+        let backends: Vec<Box<dyn InferenceBackend>> = vec![
+            Box::new(AwbGcnBackend::new(HIDDEN, LAYERS)),
+            Box::new(
+                IGcnBackend::new(HIDDEN, LAYERS).with_redundancy(islandization.redundant_fraction),
+            ),
+            Box::new(Accelerator::new(model, config)),
+        ];
+        let entries: Vec<AcceleratorEntry> = backends
+            .iter()
+            .map(|b| AcceleratorEntry::from_report(b.run_graph(&graph)))
+            .collect();
 
         Table8Row {
             dataset: kind,
-            awb,
-            igcn,
-            flowgnn,
+            awb: entries[0],
+            igcn: entries[1],
+            flowgnn: entries[2],
             igcn_redundancy: islandization.redundant_fraction,
         }
     })

@@ -1,9 +1,9 @@
 //! Table V, Fig. 7, Fig. 8: end-to-end latency against CPU and GPU.
 
-use flowgnn_baselines::{CpuModel, GpuModel};
-use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode};
+use flowgnn_baselines::{CpuBackend, GpuBackend, GpuModel};
+use flowgnn_core::{Accelerator, ArchConfig, ExecutionMode, InferenceBackend};
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
-use flowgnn_models::ModelKind;
+use flowgnn_models::{GnnModel, ModelKind};
 
 use super::{fmt_ms, fmt_x, paper_models};
 use crate::{SampleSize, TextTable};
@@ -15,27 +15,27 @@ fn timing_config() -> ArchConfig {
     ArchConfig::default().with_execution(ExecutionMode::TimingOnly)
 }
 
-/// Runs one model over a dataset sample, returning `(flowgnn_ms, cpu_ms,
-/// gpu_ms at batch 1)` — CPU/GPU averaged over the same sampled graphs.
-fn batch1_triple(
-    model: &flowgnn_models::GnnModel,
-    spec: &DatasetSpec,
-    graphs: usize,
-) -> (f64, f64, f64) {
-    let acc = Accelerator::new(model.clone(), timing_config());
-    let stream = spec.stream().take_prefix(graphs);
-    let mut fg = 0.0;
-    let mut cpu = 0.0;
-    let mut gpu = 0.0;
+/// The batch-1 platform row for one model: FlowGNN, CPU, GPU — the column
+/// order of every latency experiment.
+fn batch1_backends(model: &GnnModel) -> Vec<Box<dyn InferenceBackend>> {
+    vec![
+        Box::new(Accelerator::new(model.clone(), timing_config())),
+        Box::new(CpuBackend::new(model.clone())),
+        Box::new(GpuBackend::new(model.clone(), 1)),
+    ]
+}
+
+/// Mean per-graph latency of one platform over a dataset sample, measured
+/// through [`InferenceBackend::run_graph`] so every platform sees the same
+/// graphs under the same batch-1 protocol.
+fn stream_mean_ms(backend: &dyn InferenceBackend, spec: &DatasetSpec, graphs: usize) -> f64 {
+    let mut sum = 0.0;
     let mut count = 0usize;
-    for g in stream {
-        fg += acc.run(&g).latency_ms();
-        cpu += CpuModel::latency_ms(model, &g);
-        gpu += GpuModel::latency_per_graph_ms(model, g.num_nodes(), g.num_edges(), 1);
+    for g in spec.stream().take_prefix(graphs) {
+        sum += backend.run_graph(&g).latency_ms;
         count += 1;
     }
-    let c = count as f64;
-    (fg / c, cpu / c, gpu / c)
+    sum / count as f64
 }
 
 // ----- Table V ------------------------------------------------------------
@@ -116,12 +116,15 @@ pub fn table5(sample: SampleSize) -> Table5 {
     let spec = DatasetSpec::standard(DatasetKind::Hep);
     let graphs = sample.resolve(spec.paper_stats().graphs);
     let rows = crate::par_map(paper_models(&spec, 7), None, |model| {
-        let (fg, cpu, gpu) = batch1_triple(&model, &spec, graphs);
+        let ms: Vec<f64> = batch1_backends(&model)
+            .iter()
+            .map(|b| stream_mean_ms(b.as_ref(), &spec, graphs))
+            .collect();
         Table5Row {
             kind: model.kind(),
-            cpu_ms: cpu,
-            gpu_ms: gpu,
-            flowgnn_ms: fg,
+            cpu_ms: ms[1],
+            gpu_ms: ms[2],
+            flowgnn_ms: ms[0],
         }
     });
     Table5 { rows, graphs }
@@ -202,10 +205,18 @@ pub fn fig7(dataset: DatasetKind, sample: SampleSize) -> Fig7 {
     let stats = spec.paper_stats();
     let (n, e) = (stats.mean_nodes as usize, stats.mean_edges as usize);
     let series = crate::par_map(paper_models(&spec, 13), None, |model| {
-        let (fg, cpu, _) = batch1_triple(&model, &spec, graphs);
+        let backends = batch1_backends(&model);
+        let fg = stream_mean_ms(backends[0].as_ref(), &spec, graphs);
+        let cpu = stream_mean_ms(backends[1].as_ref(), &spec, graphs);
+        // GPU batching amortises the launch overhead over the dataset's
+        // mean shape: one shape-based backend per batch size.
         let gpu_ms_by_batch = GpuModel::BATCH_SIZES
             .iter()
-            .map(|&b| (b, GpuModel::latency_per_graph_ms(&model, n, e, b)))
+            .map(|&b| {
+                let gpu = GpuBackend::new(model.clone(), b);
+                let report = gpu.run_shape(n, e).expect("GPU model is shape-based");
+                (b, report.latency_ms)
+            })
             .collect();
         BatchSweep {
             kind: model.kind(),
@@ -275,13 +286,15 @@ pub fn fig8(dataset: DatasetKind) -> Fig8 {
     let spec = DatasetSpec::standard(dataset);
     let graph = spec.stream().next().expect("single-graph dataset");
     let rows = crate::par_map(paper_models(&spec, 29), None, |model| {
-        let acc = Accelerator::new(model.clone(), timing_config());
-        let fg = acc.run(&graph).latency_ms();
+        let ms: Vec<f64> = batch1_backends(&model)
+            .iter()
+            .map(|b| b.run_graph(&graph).latency_ms)
+            .collect();
         Fig8Row {
             kind: model.kind(),
-            cpu_ms: CpuModel::latency_ms(&model, &graph),
-            gpu_ms: GpuModel::latency_per_graph_ms(&model, graph.num_nodes(), graph.num_edges(), 1),
-            flowgnn_ms: fg,
+            cpu_ms: ms[1],
+            gpu_ms: ms[2],
+            flowgnn_ms: ms[0],
         }
     });
     Fig8 { dataset, rows }

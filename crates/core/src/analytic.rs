@@ -13,12 +13,15 @@
 //! adequate queueing; tests check it tracks the exact engine within a
 //! modest factor on graphs the engine can run.
 
-use flowgnn_desim::Cycle;
+use flowgnn_desim::{cycles_to_ms, cycles_to_us, Cycle};
 use flowgnn_graph::Graph;
 use flowgnn_models::{Dataflow, GnnModel};
 
+use crate::backend::{BackendReport, InferenceBackend};
 use crate::config::ArchConfig;
+use crate::energy::EnergyModel;
 use crate::regions::lower;
+use crate::resource::ResourceEstimate;
 
 /// Estimates end-to-end cycles for `model` on a graph of this shape
 /// without running the cycle-level engine.
@@ -106,6 +109,43 @@ pub fn analytic_cycles(model: &GnnModel, graph: &Graph, config: &ArchConfig) -> 
         Dataflow::NtToMp | Dataflow::MpToNt
     ));
     total
+}
+
+/// The closed-form estimator packaged as an [`InferenceBackend`]: same
+/// deployment inputs as [`crate::Accelerator`] (a model on a
+/// configuration), but each run costs O(regions) arithmetic instead of a
+/// cycle walk — the backend of choice for full-scale Reddit.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    model: GnnModel,
+    config: ArchConfig,
+}
+
+impl AnalyticModel {
+    /// Packages the estimator for `model` on `config`.
+    pub fn new(model: GnnModel, config: ArchConfig) -> Self {
+        Self { model, config }
+    }
+}
+
+impl InferenceBackend for AnalyticModel {
+    fn name(&self) -> &str {
+        "FlowGNN (analytic)"
+    }
+
+    fn run_graph(&self, graph: &Graph) -> BackendReport {
+        let cycles = analytic_cycles(&self.model, graph, &self.config);
+        let resources = ResourceEstimate::for_model(&self.model, &self.config);
+        let energy = EnergyModel::new(resources);
+        let us = cycles_to_us(cycles);
+        BackendReport {
+            latency_ms: cycles_to_ms(cycles),
+            latency_us: us,
+            graphs_per_kj: energy.graphs_per_kj(us * 1e-6),
+            dsps: Some(resources.dsp),
+            normalized_us: Some(us * resources.dsp as f64 / 4096.0),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! A platform-agnostic inference interface.
+//!
+//! The paper's evaluation (Tables V/VI/VIII, Figs. 7/8) compares FlowGNN
+//! against CPU, GPU, I-GCN, and AWB-GCN. [`InferenceBackend`] is the one
+//! interface all of those speak: the cycle-level [`Accelerator`], the
+//! closed-form [`crate::AnalyticModel`], and the baseline platform models
+//! in `flowgnn-baselines` all implement it, so experiment drivers iterate
+//! over `&dyn InferenceBackend` rows instead of matching on platforms.
+
+use flowgnn_graph::{Graph, GraphStream};
+
+use crate::energy::EnergyModel;
+use crate::engine::Accelerator;
+use crate::resource::ResourceEstimate;
+
+/// One platform's result for one workload (a graph, a shape, or a stream).
+///
+/// Latency is stored natively in *both* units — platforms differ in which
+/// unit their timing model is exact in (the cycle engine converts cycles
+/// to each unit independently; the PE-array models are native in µs), and
+/// deriving one from the other would perturb reproductions that are
+/// compared bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendReport {
+    /// Per-graph latency in milliseconds.
+    pub latency_ms: f64,
+    /// Per-graph latency in microseconds.
+    pub latency_us: f64,
+    /// Energy efficiency in graphs per kilojoule (Table VI metric).
+    pub graphs_per_kj: f64,
+    /// DSPs used, for platforms with a resource bill (Table VIII).
+    pub dsps: Option<u64>,
+    /// DSP-normalised latency (µs at a 4096-DSP budget, Table VIII).
+    pub normalized_us: Option<f64>,
+}
+
+impl BackendReport {
+    /// Builds a report from a millisecond latency plus energy efficiency;
+    /// microseconds are derived (`ms × 1e3`).
+    pub fn from_ms(latency_ms: f64, graphs_per_kj: f64) -> Self {
+        Self {
+            latency_ms,
+            latency_us: latency_ms * 1e3,
+            graphs_per_kj,
+            dsps: None,
+            normalized_us: None,
+        }
+    }
+
+    /// Builds a report from a microsecond latency plus energy efficiency;
+    /// milliseconds are derived (`µs / 1e3`).
+    pub fn from_us(latency_us: f64, graphs_per_kj: f64) -> Self {
+        Self {
+            latency_ms: latency_us / 1e3,
+            latency_us,
+            graphs_per_kj,
+            dsps: None,
+            normalized_us: None,
+        }
+    }
+
+    /// Attaches a DSP bill and the DSP-normalised latency (µs × DSPs /
+    /// 4096), the paper's cross-platform normalisation for Table VIII.
+    pub fn with_dsps(mut self, dsps: u64) -> Self {
+        self.dsps = Some(dsps);
+        self.normalized_us = Some(self.latency_us * dsps as f64 / 4096.0);
+        self
+    }
+}
+
+/// A platform that can run GNN inference: the unified interface the
+/// experiment drivers iterate over.
+///
+/// Implementors fall into two classes:
+///
+/// - **graph-exact** platforms ([`Accelerator`], `AnalyticModel`, the
+///   I-GCN/AWB-GCN models) need the actual graph: [`Self::run_graph`] is
+///   primary and [`Self::run_shape`] returns `None`;
+/// - **shape-based** cost models (the CPU/GPU platforms) are functions of
+///   `(nodes, edges)` only: they implement [`Self::run_shape`] and derive
+///   [`Self::run_graph`] from each graph's shape.
+pub trait InferenceBackend {
+    /// Human-readable platform name (table row label).
+    fn name(&self) -> &str;
+
+    /// Runs one graph at batch size 1.
+    fn run_graph(&self, graph: &Graph) -> BackendReport;
+
+    /// Runs a synthetic workload of `nodes`/`edges` shape, for platforms
+    /// whose cost model is shape-based. Graph-exact platforms return
+    /// `None` (the default).
+    fn run_shape(&self, nodes: usize, edges: usize) -> Option<BackendReport> {
+        let _ = (nodes, edges);
+        None
+    }
+
+    /// Streams up to `limit` graphs through the platform and averages.
+    ///
+    /// The default runs each graph independently through
+    /// [`Self::run_graph`] and takes arithmetic means — the paper's
+    /// batch-1 protocol for platforms with no inter-graph state.
+    /// Platforms with cross-graph effects (weight-load amortisation,
+    /// stream pipelining) override this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    fn run_stream(&self, stream: GraphStream, limit: usize) -> BackendReport {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot evaluate an empty graph stream");
+        let mut ms = 0.0;
+        let mut us = 0.0;
+        let mut gpk = 0.0;
+        let mut dsps = None;
+        let mut count = 0usize;
+        for g in stream {
+            let r = self.run_graph(&g);
+            ms += r.latency_ms;
+            us += r.latency_us;
+            gpk += r.graphs_per_kj;
+            dsps = dsps.or(r.dsps);
+            count += 1;
+        }
+        let c = count as f64;
+        BackendReport {
+            latency_ms: ms / c,
+            latency_us: us / c,
+            graphs_per_kj: gpk / c,
+            dsps,
+            normalized_us: dsps.map(|d| (us / c) * d as f64 / 4096.0),
+        }
+    }
+}
+
+impl InferenceBackend for Accelerator {
+    fn name(&self) -> &str {
+        "FlowGNN"
+    }
+
+    fn run_graph(&self, graph: &Graph) -> BackendReport {
+        let report = self.run(graph);
+        let resources = ResourceEstimate::for_model(self.model(), self.config());
+        let energy = EnergyModel::new(resources);
+        let us = report.latency_us();
+        BackendReport {
+            latency_ms: report.latency_ms(),
+            latency_us: us,
+            graphs_per_kj: energy.graphs_per_kj(us * 1e-6),
+            dsps: Some(resources.dsp),
+            normalized_us: Some(us * resources.dsp as f64 / 4096.0),
+        }
+    }
+
+    /// Overrides the default with the accelerator's native stream runner
+    /// ([`Accelerator::run_stream`]): back-to-back graphs on one set of
+    /// loaded weights, mean latency taken over total cycles.
+    fn run_stream(&self, stream: GraphStream, limit: usize) -> BackendReport {
+        let report = Accelerator::run_stream(self, stream, limit);
+        let resources = ResourceEstimate::for_model(self.model(), self.config());
+        let energy = EnergyModel::new(resources);
+        let mean_ms = report.latency.mean_ms;
+        BackendReport {
+            latency_ms: mean_ms,
+            latency_us: mean_ms * 1e3,
+            graphs_per_kj: energy.graphs_per_kj(mean_ms / 1e3),
+            dsps: Some(resources.dsp),
+            normalized_us: Some(mean_ms * 1e3 * resources.dsp as f64 / 4096.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticModel, ArchConfig, ExecutionMode};
+    use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
+    use flowgnn_models::GnnModel;
+
+    fn acc() -> Accelerator {
+        Accelerator::new(
+            GnnModel::gcn(9, 0),
+            ArchConfig::default().with_execution(ExecutionMode::TimingOnly),
+        )
+    }
+
+    #[test]
+    fn accelerator_backend_matches_direct_run() {
+        let g = MoleculeLike::new(12.0, 4).generate(0);
+        let a = acc();
+        let direct = a.run(&g);
+        let report = InferenceBackend::run_graph(&a, &g);
+        assert_eq!(report.latency_ms, direct.latency_ms());
+        assert_eq!(report.latency_us, direct.latency_us());
+        assert!(report.graphs_per_kj > 0.0);
+        assert!(report.dsps.unwrap() > 0);
+    }
+
+    #[test]
+    fn accelerator_stream_override_uses_native_runner() {
+        let a = acc();
+        let stream = || MoleculeLike::new(12.0, 4).stream(4);
+        let native = Accelerator::run_stream(&a, stream(), 4);
+        let via_trait = InferenceBackend::run_stream(&a, stream(), 4);
+        assert_eq!(via_trait.latency_ms, native.latency.mean_ms);
+    }
+
+    #[test]
+    fn report_builders_round_trip_units() {
+        let r = BackendReport::from_us(250.0, 1e5).with_dsps(1024);
+        assert_eq!(r.latency_ms, 0.25);
+        assert_eq!(r.normalized_us, Some(250.0 * 1024.0 / 4096.0));
+        let m = BackendReport::from_ms(2.0, 1e4);
+        assert_eq!(m.latency_us, 2000.0);
+        assert_eq!(m.dsps, None);
+    }
+
+    #[test]
+    fn default_stream_averages_per_graph_reports() {
+        struct Fixed;
+        impl InferenceBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn run_graph(&self, _g: &Graph) -> BackendReport {
+                BackendReport::from_ms(2.0, 500.0)
+            }
+        }
+        let report = Fixed.run_stream(MoleculeLike::new(12.0, 4).stream(3), 3);
+        assert!((report.latency_ms - 2.0).abs() < 1e-12);
+        assert!((report.graphs_per_kj - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_and_cycle_backends_agree_roughly() {
+        let g = MoleculeLike::new(20.0, 3).generate(0);
+        let model = GnnModel::gcn(9, 1);
+        let cfg = ArchConfig::default();
+        let exact = Accelerator::new(model.clone(), cfg).run_graph(&g);
+        let est = AnalyticModel::new(model, cfg).run_graph(&g);
+        let ratio = exact.latency_ms / est.latency_ms;
+        assert!((0.33..=3.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,21 +1,24 @@
-//! The cycle-level accelerator engine.
+//! The accelerator front-end: compilation, preparation, and reporting.
 //!
 //! One [`Accelerator`] binds a [`GnnModel`] to an [`ArchConfig`] and runs
-//! graphs through the lowered pipeline regions. Each region is simulated
-//! at cycle granularity (for the dataflow strategies) or with exact
-//! lockstep/sequential schedules (for the Fig. 4(a)/(b) baselines), while
-//! the model's arithmetic executes alongside so the output can be
-//! cross-checked against the reference executor.
+//! graphs through the lowered pipeline regions. The per-region simulation
+//! lives in `crate::pipeline` (the region scheduler) driving the unit
+//! models in `crate::units`; this module owns the run lifecycle — graph
+//! preparation, the region walk, load/readout costing, and the
+//! [`RunReport`] the caller gets back.
 
-use flowgnn_desim::{cycles_to_ms, cycles_to_us, Cycle, Fifo};
-use flowgnn_graph::{Adjacency, Graph, NodeId};
+use flowgnn_desim::{cycles_to_ms, cycles_to_us, Cycle};
+use flowgnn_graph::{Adjacency, Graph};
 use flowgnn_models::reference::ReferenceOutput;
-use flowgnn_models::{AggState, Dataflow, GnnModel, GraphContext, MessageCtx, NodeCtx};
+use flowgnn_models::{Dataflow, GnnModel, GraphContext};
 use flowgnn_tensor::Matrix;
 
-use crate::config::{ArchConfig, EngineMode, ExecutionMode, PipelineStrategy};
-use crate::regions::{lower, BankedEdges, NtOp, Region};
-use crate::trace::{LaneSymbol, RegionTrace, Trace};
+use crate::config::{ArchConfig, ExecutionMode};
+use crate::exec::{ExecState, SimScratch};
+use crate::pipeline::region_label;
+use crate::regions::{lower, BankedEdges, Region};
+use crate::trace::{RegionTrace, Trace};
+use crate::units::RegionStats;
 
 use std::borrow::Cow;
 
@@ -46,22 +49,6 @@ impl PreparedGraph<'_> {
     }
 }
 
-/// Reusable simulation buffers, carried across regions and across graphs
-/// in a stream so the per-run allocation cost is amortised away.
-///
-/// A fresh default `SimScratch` is always valid; reusing one across runs
-/// (of any graph, any accelerator) is equally valid — every run fully
-/// re-initialises the state it reads.
-#[derive(Debug, Default)]
-pub struct SimScratch {
-    x_cur: Vec<Vec<f32>>,
-    x_next: Vec<Vec<f32>>,
-    prev_states: Vec<Option<AggState>>,
-    next_states: Vec<Option<AggState>>,
-    msg_buf: Vec<f32>,
-    out_buf: Vec<f32>,
-}
-
 /// Timing and (optionally) functional results of running one graph.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -81,6 +68,10 @@ pub struct RunReport {
     pub nt_stall_cycles: Cycle,
     /// MP cycles lost waiting for flits (starved input).
     pub mp_stall_cycles: Cycle,
+    /// Number of deployed compute units (NT + MP) for the run that
+    /// produced this report, recorded at construction so utilisation and
+    /// stall fractions cannot be computed against a mismatched count.
+    pub num_units: usize,
     /// Functional output (in [`ExecutionMode::Full`] runs).
     pub output: Option<ReferenceOutput>,
     /// Per-cycle pipeline trace (when [`ArchConfig::with_trace`] is set).
@@ -99,8 +90,36 @@ impl RunReport {
     }
 
     /// Mean utilisation of the compute units over the run: busy cycles
-    /// divided by `(units × total cycles)`.
+    /// divided by `(units × total cycles)`, using the unit count recorded
+    /// in [`RunReport::num_units`].
+    pub fn utilization(&self) -> f64 {
+        self.utilization_for(self.num_units)
+    }
+
+    /// Fraction of unit-cycles lost to stalls (NT backpressure plus MP
+    /// starvation) — the idle-cycle classes Fig. 4's refinements remove —
+    /// using the unit count recorded in [`RunReport::num_units`].
+    pub fn stalled_fraction(&self) -> f64 {
+        self.stall_fraction_for(self.num_units)
+    }
+
+    /// Mean utilisation against an explicit unit count.
+    #[deprecated(
+        note = "use `utilization()`: the unit count is recorded in `num_units` at construction"
+    )]
     pub fn compute_utilization(&self, num_units: usize) -> f64 {
+        self.utilization_for(num_units)
+    }
+
+    /// Stall fraction against an explicit unit count.
+    #[deprecated(
+        note = "use `stalled_fraction()`: the unit count is recorded in `num_units` at construction"
+    )]
+    pub fn stall_fraction(&self, num_units: usize) -> f64 {
+        self.stall_fraction_for(num_units)
+    }
+
+    fn utilization_for(&self, num_units: usize) -> f64 {
         if self.total_cycles == 0 || num_units == 0 {
             return 0.0;
         }
@@ -108,9 +127,7 @@ impl RunReport {
             / (num_units as f64 * self.total_cycles as f64)
     }
 
-    /// Fraction of unit-cycles lost to stalls (NT backpressure plus MP
-    /// starvation) — the idle-cycle classes Fig. 4's refinements remove.
-    pub fn stall_fraction(&self, num_units: usize) -> f64 {
+    fn stall_fraction_for(&self, num_units: usize) -> f64 {
         if self.total_cycles == 0 || num_units == 0 {
             return 0.0;
         }
@@ -147,6 +164,11 @@ impl Accelerator {
     /// The architecture configuration.
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// The lowered pipeline regions, in execution order.
+    pub(crate) fn regions(&self) -> &[Region] {
+        &self.regions
     }
 
     /// Cycles to stream the model weights on-chip once (amortised across a
@@ -320,6 +342,7 @@ impl Accelerator {
             mp_busy_cycles: totals.mp_busy,
             nt_stall_cycles: totals.nt_stall,
             mp_stall_cycles: totals.mp_stall,
+            num_units: self.config.effective_p_node() + self.config.effective_p_edge(),
             output,
             trace,
         }
@@ -360,1687 +383,14 @@ impl Accelerator {
             .sum();
         pool + head + self.config.nt_pipeline_depth
     }
-
-    /// NT accumulate cycles per node in a region (initiation interval; the
-    /// pipeline fill latency `nt_pipeline_depth` is charged once per region
-    /// by the caller, as an II=1 hardware pipeline amortises it).
-    ///
-    /// The Encode region is costed per node on the *nonzero* feature count:
-    /// the input-stationary accumulate skips zero inputs, which is what
-    /// makes sparse bag-of-words features (Cora at 1.27% density) cheap —
-    /// the same property AWB-GCN's zero-skipping SpMM exploits.
-    fn acc_cycles(&self, region: &Region, g: &Graph) -> AccCost {
-        let pa = self.config.p_apply as u64;
-        if region.nt_op == NtOp::Encode {
-            let feats = g.node_features();
-            let per_node: Vec<u64> = (0..g.num_nodes())
-                .map(|v| (feats.row_nnz(v) as u64).max(1).div_ceil(pa))
-                .collect();
-            return AccCost::PerNode(per_node);
-        }
-        let compute: u64 = if region.nt_fc.is_empty() {
-            (region.nt_read_dim as u64).div_ceil(pa)
-        } else {
-            region
-                .nt_fc
-                .iter()
-                .map(|&(i, _)| (i as u64).div_ceil(pa))
-                .sum()
-        };
-        AccCost::Uniform(compute.max(1))
-    }
-
-    /// NT output cycles per node in a region.
-    fn out_cycles(&self, region: &Region) -> u64 {
-        (region.payload_dim as u64).div_ceil(self.config.p_apply as u64)
-    }
-
-    /// Flits per node-embedding through the adapter.
-    fn flits_per_node(&self, region: &Region) -> usize {
-        region.payload_dim.div_ceil(self.config.p_scatter)
-    }
-
-    /// MP cycles per edge in a scatter/gather region for `layer`.
-    fn chunks_per_edge(&self, layer: usize) -> u64 {
-        (self.model.layers()[layer].message_dim() as u64).div_ceil(self.config.p_scatter as u64)
-    }
-
-    // ----- scatter-style regions (NT→MP and NT-only) --------------------
-
-    fn simulate_scatter_region(
-        &self,
-        region: &Region,
-        g: &Graph,
-        banked: &BankedEdges,
-        exec: &mut ExecState<'_>,
-        trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        match self.config.strategy {
-            PipelineStrategy::NonPipelined => {
-                self.scatter_sequential(region, g, banked, exec, false, trace)
-            }
-            PipelineStrategy::FixedPipeline => {
-                self.scatter_sequential(region, g, banked, exec, true, trace)
-            }
-            PipelineStrategy::BaselineDataflow | PipelineStrategy::FlowGnn => {
-                self.scatter_dataflow(region, g, banked, exec, trace)
-            }
-        }
-    }
-
-    /// Fig. 4(a)/(b): exact sequential or lockstep schedules. Functional
-    /// execution is identical; only the timing formula differs.
-    fn scatter_sequential(
-        &self,
-        region: &Region,
-        g: &Graph,
-        banked: &BankedEdges,
-        exec: &mut ExecState<'_>,
-        lockstep: bool,
-        trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        let n = g.num_nodes();
-        let acc = self.acc_cycles(region, g);
-        let out = self.out_cycles(region);
-        let nt_time = |v: NodeId| acc.get(v) + out;
-        let chunks = region.scatter_layer.map(|l| self.chunks_per_edge(l));
-
-        // Functional pass: NT for every node, then MP for every edge.
-        for v in 0..n as NodeId {
-            exec.nt_finalize(&self.model, region, v);
-        }
-        if let Some(layer) = region.scatter_layer {
-            for v in 0..n as NodeId {
-                for k in 0..banked.p_edge() {
-                    for &(dst, eid) in banked.edges(k, v) {
-                        exec.mp_process_edge(&self.model, layer, v, dst, eid);
-                    }
-                }
-            }
-        }
-
-        // Timing.
-        let mp_time = |v: NodeId| -> u64 {
-            match chunks {
-                Some(c) => {
-                    let e: usize = (0..banked.p_edge()).map(|k| banked.edges(k, v).len()).sum();
-                    if e == 0 {
-                        0
-                    } else {
-                        e as u64 * c + 1
-                    }
-                }
-                None => 0,
-            }
-        };
-        let nt_total: u64 = (0..n as NodeId).map(nt_time).sum();
-        let mp_total: u64 = (0..n as NodeId).map(mp_time).sum();
-        let cycles = if lockstep {
-            // Step i: NT(node i) ∥ MP(node i−1); each step is the max.
-            let mut t = 0u64;
-            let mut prev_mp = 0u64;
-            for v in 0..n as NodeId {
-                t += nt_time(v).max(prev_mp);
-                prev_mp = mp_time(v);
-            }
-            t + prev_mp
-        } else {
-            nt_total + mp_total
-        };
-
-        // Synthesised trace: these schedules are analytic, so the lanes
-        // are reconstructed rather than recorded.
-        if let Some(rt) = trace {
-            let has_mp = chunks.is_some();
-            if lockstep {
-                let mut prev_mp = 0u64;
-                for v in 0..n as NodeId {
-                    let step = nt_time(v).max(prev_mp);
-                    for c in 0..step {
-                        let nt_sym = if c < nt_time(v) {
-                            LaneSymbol::Busy
-                        } else {
-                            LaneSymbol::Idle
-                        };
-                        if has_mp {
-                            let mp_sym = if c < prev_mp {
-                                LaneSymbol::Busy
-                            } else {
-                                LaneSymbol::Idle
-                            };
-                            rt.push_cycle(&[nt_sym, mp_sym]);
-                        } else {
-                            rt.push_cycle(&[nt_sym]);
-                        }
-                    }
-                    prev_mp = mp_time(v);
-                }
-                for _ in 0..prev_mp {
-                    if has_mp {
-                        rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
-                    } else {
-                        rt.push_cycle(&[LaneSymbol::Idle]);
-                    }
-                }
-            } else {
-                for _ in 0..nt_total {
-                    if has_mp {
-                        rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
-                    } else {
-                        rt.push_cycle(&[LaneSymbol::Busy]);
-                    }
-                }
-                if has_mp {
-                    for _ in 0..mp_total {
-                        rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
-                    }
-                }
-            }
-        }
-        RegionStats {
-            cycles,
-            nt_busy: nt_total,
-            mp_busy: mp_total,
-            ..Default::default()
-        }
-    }
-
-    /// Fig. 4(c)/(d): the queue-decoupled dataflow, cycle-stepped.
-    fn scatter_dataflow(
-        &self,
-        region: &Region,
-        g: &Graph,
-        banked: &BankedEdges,
-        exec: &mut ExecState<'_>,
-        mut trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        let n = g.num_nodes();
-        let p_node = self.config.effective_p_node();
-        let p_edge = self.config.effective_p_edge();
-        let node_granularity = self.config.strategy == PipelineStrategy::BaselineDataflow;
-        let acc = self.acc_cycles(region, g);
-        let flits_total = self.flits_per_node(region);
-        let chunks = region.scatter_layer.map(|l| self.chunks_per_edge(l));
-        let scatter = region.scatter_layer;
-
-        // One queue per (NT, MP) pair.
-        let mut queues: Vec<Fifo<Flit>> = (0..p_node * p_edge)
-            .map(|_| Fifo::new(self.config.queue_capacity))
-            .collect();
-
-        let mut nts: Vec<NtUnit> = (0..p_node).map(|i| NtUnit::new(i, n, p_node)).collect();
-        let mut mps: Vec<MpUnit> = (0..p_edge).map(MpUnit::new).collect();
-        let intake = (self.config.p_apply / self.config.p_scatter).max(1);
-
-        let mut cycle: Cycle = 0;
-        let mut stats = RegionStats::default();
-        let max_cycles = self.runaway_limit(g);
-        let fast_forward = self.config.engine == EngineMode::FastForward && trace.is_none();
-        let payload = region.payload_dim;
-
-        let mut cycle_syms: Vec<LaneSymbol> = Vec::new();
-        let mut nt_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_node);
-        let mut mp_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_edge);
-        let (mut ff_skip, mut ff_penalty) = (0u64, 0u64);
-        loop {
-            // Event-horizon fast-forward: when every unit's next event
-            // (queue push/pop, node finalise, job transition) is provably
-            // at least `delta` cycles away, advance all counters, meters,
-            // and per-unit deterministic work by `delta` at once; the
-            // first cycle on which anything cross-unit *can* happen still
-            // runs through the unmodified per-cycle code below, so the
-            // engine stays cycle-exact (see DESIGN.md, "fast-forward
-            // invariant").
-            if fast_forward && ff_skip == 0 {
-                nt_hz.clear();
-                mp_hz.clear();
-                // Scanning costs one pass over the units; when any unit
-                // already has an event this cycle (horizon 0) the scan is
-                // wasted, so bail out early and back off exponentially —
-                // skipping attempts never affects exactness, it only
-                // trades scan overhead against missed spans.
-                let mut delta = HORIZON_INF;
-                if let Some(chunks) = chunks {
-                    for mp in &mps {
-                        let hz = mp.pure_horizon(
-                            &queues,
-                            p_edge,
-                            flits_total,
-                            chunks,
-                            node_granularity,
-                            banked,
-                        );
-                        delta = delta.min(hz.0);
-                        if delta == 0 {
-                            break;
-                        }
-                        mp_hz.push(hz);
-                    }
-                }
-                if delta > 0 {
-                    for nt in &nts {
-                        let hz = nt.pure_horizon(
-                            &queues,
-                            p_edge,
-                            flits_total,
-                            payload,
-                            self.config.p_apply,
-                        );
-                        delta = delta.min(hz.0);
-                        if delta == 0 {
-                            break;
-                        }
-                        nt_hz.push(hz);
-                    }
-                }
-                // Never jump past the runaway tripwire: a deadlocked (all-
-                // infinite) region lands just below the limit, then the
-                // per-cycle step trips the same panic the reference
-                // engine would reach.
-                delta = delta.min((max_cycles - 1).saturating_sub(cycle));
-                if delta == 0 {
-                    ff_penalty = (ff_penalty * 2).clamp(1, FF_BACKOFF_MAX);
-                    ff_skip = ff_penalty;
-                } else {
-                    ff_penalty = 0;
-                    if let (Some(layer), Some(chunks)) = (scatter, chunks) {
-                        for (mp, &(_, class)) in mps.iter_mut().zip(&mp_hz) {
-                            mp.fast_forward(
-                                delta,
-                                class,
-                                chunks,
-                                banked,
-                                &self.model,
-                                layer,
-                                exec,
-                                &mut stats,
-                            );
-                        }
-                    }
-                    for (nt, &(_, class)) in nts.iter_mut().zip(&nt_hz) {
-                        nt.fast_forward(delta, class, self.config.p_apply, payload, &mut stats);
-                    }
-                    cycle += delta;
-                }
-            } else {
-                ff_skip = ff_skip.saturating_sub(1);
-            }
-
-            let mut all_idle = true;
-            cycle_syms.clear();
-            let mut mp_syms: Vec<LaneSymbol> = Vec::new();
-
-            // MP units first: they pop committed flits.
-            if let (Some(layer), Some(chunks)) = (scatter, chunks) {
-                for mp in mps.iter_mut() {
-                    let outcome = mp.step(
-                        &mut queues,
-                        p_edge,
-                        intake,
-                        flits_total,
-                        chunks,
-                        node_granularity,
-                        banked,
-                        &self.model,
-                        layer,
-                        exec,
-                    );
-                    match outcome {
-                        StepOutcome::Busy => {
-                            stats.mp_busy += 1;
-                            all_idle = false;
-                        }
-                        StepOutcome::StallEmpty | StepOutcome::StallFull => {
-                            stats.mp_stall += 1;
-                            all_idle = false;
-                        }
-                        StepOutcome::Idle => {
-                            if !mp.is_drained(&queues, p_edge) {
-                                all_idle = false;
-                            }
-                        }
-                    }
-                    if trace.is_some() {
-                        mp_syms.push(outcome_symbol(outcome));
-                    }
-                }
-            }
-
-            // NT units.
-            for nt in nts.iter_mut() {
-                let outcome = nt.step(
-                    &mut queues,
-                    p_edge,
-                    &acc,
-                    flits_total,
-                    self.config.p_apply,
-                    self.config.p_scatter,
-                    region,
-                    banked,
-                    scatter.is_some(),
-                    &self.model,
-                    exec,
-                );
-                match outcome {
-                    StepOutcome::Busy => {
-                        stats.nt_busy += 1;
-                        all_idle = false;
-                    }
-                    StepOutcome::StallEmpty | StepOutcome::StallFull => {
-                        stats.nt_stall += 1;
-                        all_idle = false;
-                    }
-                    StepOutcome::Idle => {
-                        if !nt.done() {
-                            all_idle = false;
-                        }
-                    }
-                }
-                if trace.is_some() {
-                    cycle_syms.push(outcome_symbol(outcome));
-                }
-            }
-            if let Some(rt) = trace.as_deref_mut() {
-                cycle_syms.extend_from_slice(&mp_syms);
-                rt.push_cycle(&cycle_syms);
-            }
-
-            for q in &mut queues {
-                q.commit();
-            }
-            cycle += 1;
-
-            let nts_done = nts.iter().all(NtUnit::done);
-            let queues_empty = queues.iter().all(Fifo::is_empty);
-            let mps_done = mps.iter().all(MpUnit::idle);
-            if nts_done && queues_empty && mps_done {
-                break;
-            }
-            if cycle >= max_cycles {
-                for nt in &nts {
-                    eprintln!(
-                        "NT{}: next={}/{} acc={:?} out={:?} finished={}",
-                        nt.index,
-                        nt.next,
-                        nt.nodes.len(),
-                        nt.acc,
-                        nt.out,
-                        nt.finished_nodes
-                    );
-                }
-                for (i, mp) in mps.iter().enumerate() {
-                    eprintln!("MP{i}: jobs={:?}", mp.jobs);
-                }
-                for (i, q) in queues.iter().enumerate() {
-                    eprintln!("Q{i}: len={} ready={}", q.len(), q.ready_len());
-                }
-                panic!("simulation exceeded {max_cycles} cycles — deadlock? (idle={all_idle})");
-            }
-        }
-        stats.cycles = cycle;
-        stats
-    }
-
-    // ----- gather-style regions (MP→NT, MP→NT models) ----------------------------
-
-    fn simulate_gather_region(
-        &self,
-        region: &Region,
-        g: &Graph,
-        csc: &Adjacency,
-        exec: &mut ExecState<'_>,
-        trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        let layer = region.gather_layer.expect("gather region");
-        match self.config.strategy {
-            PipelineStrategy::NonPipelined => {
-                self.gather_sequential(region, g, csc, exec, layer, false, trace)
-            }
-            PipelineStrategy::FixedPipeline => {
-                self.gather_sequential(region, g, csc, exec, layer, true, trace)
-            }
-            PipelineStrategy::BaselineDataflow | PipelineStrategy::FlowGnn => {
-                match self.config.gather_banking {
-                    crate::config::GatherBanking::Destination => {
-                        self.gather_dataflow(region, g, csc, exec, layer, trace)
-                    }
-                    crate::config::GatherBanking::Source => {
-                        self.gather_source_banked(region, g, csc, exec, layer)
-                    }
-                }
-            }
-        }
-    }
-
-    /// The paper's source-banked gather (Sec. III-D2): MP unit *k* owns
-    /// sources `s ≡ k (mod P_edge)` and accumulates *partial* aggregates
-    /// per destination. Destinations\' aggregates are only final once every
-    /// unit has drained its edges, so the node transformations run after a
-    /// barrier. Timing: `max_k(unit k edge work) + NT phase`; the
-    /// functional result is identical to destination banking up to
-    /// floating-point reordering.
-    fn gather_source_banked(
-        &self,
-        region: &Region,
-        g: &Graph,
-        csc: &Adjacency,
-        exec: &mut ExecState<'_>,
-        layer: usize,
-    ) -> RegionStats {
-        let n = g.num_nodes();
-        let p_edge = self.config.effective_p_edge();
-        let p_node = self.config.effective_p_node();
-        let chunks = self.chunks_per_edge(layer);
-        let acc = match self.acc_cycles(region, g) {
-            AccCost::Uniform(c) => c,
-            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
-        };
-        let out = self.out_cycles(region);
-
-        // Functional: gather per destination (the merged partials).
-        for v in 0..n as NodeId {
-            exec.gather_node(&self.model, layer, v, csc);
-            exec.nt_finalize(&self.model, region, v);
-        }
-
-        // Timing: per-unit edge work by *source* bank; the slowest unit
-        // sets the MP phase (plus one header cycle per owned source).
-        let out_deg = g.out_degrees();
-        let mut unit_work = vec![0u64; p_edge];
-        for s in 0..n {
-            unit_work[s % p_edge] += out_deg[s] as u64 * chunks + 1;
-        }
-        let mp_phase = unit_work.iter().copied().max().unwrap_or(0);
-        let mp_total: u64 = unit_work.iter().sum();
-
-        // NT phase after the merge barrier: nodes distributed over P_node
-        // units, II = max(acc, out) with ping-pong, plus one fill.
-        let nt_ii = acc.max(out).max(1);
-        let nt_phase = (n as u64).div_ceil(p_node as u64) * nt_ii + acc + out;
-        let nt_total = n as u64 * (acc + out);
-
-        RegionStats {
-            cycles: mp_phase + nt_phase,
-            nt_busy: nt_total,
-            mp_busy: mp_total,
-            ..Default::default()
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn gather_sequential(
-        &self,
-        region: &Region,
-        g: &Graph,
-        csc: &Adjacency,
-        exec: &mut ExecState<'_>,
-        layer: usize,
-        lockstep: bool,
-        trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        let n = g.num_nodes();
-        let chunks = self.chunks_per_edge(layer);
-        let acc = match self.acc_cycles(region, g) {
-            AccCost::Uniform(c) => c,
-            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
-        };
-        let out = self.out_cycles(region);
-        let nt_time = acc + out;
-
-        for v in 0..n as NodeId {
-            exec.gather_node(&self.model, layer, v, csc);
-            exec.nt_finalize(&self.model, region, v);
-        }
-
-        let mp_time = |v: NodeId| -> u64 { csc.degree(v) as u64 * chunks + 1 };
-        let mp_total: u64 = (0..n as NodeId).map(mp_time).sum();
-        let nt_total = n as u64 * nt_time;
-        let cycles = if lockstep {
-            // Gather order: step v runs MP(node v) ∥ NT(node v−1).
-            let mut t = 0u64;
-            for v in 0..n as NodeId {
-                t += mp_time(v).max(if v == 0 { 0 } else { nt_time });
-            }
-            t + nt_time
-        } else {
-            mp_total + nt_total
-        };
-
-        // Synthesised lanes (analytic schedule; gather runs MP before NT).
-        if let Some(rt) = trace {
-            if lockstep {
-                let mut carried_nt = 0u64;
-                for v in 0..n as NodeId {
-                    let step = mp_time(v).max(carried_nt);
-                    for c in 0..step {
-                        rt.push_cycle(&[
-                            if c < carried_nt {
-                                LaneSymbol::Busy
-                            } else {
-                                LaneSymbol::Idle
-                            },
-                            if c < mp_time(v) {
-                                LaneSymbol::Busy
-                            } else {
-                                LaneSymbol::Idle
-                            },
-                        ]);
-                    }
-                    carried_nt = nt_time;
-                }
-                for _ in 0..nt_time {
-                    rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
-                }
-            } else {
-                for _ in 0..mp_total {
-                    rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
-                }
-                for _ in 0..nt_total {
-                    rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
-                }
-            }
-        }
-        RegionStats {
-            cycles,
-            nt_busy: nt_total,
-            mp_busy: mp_total,
-            ..Default::default()
-        }
-    }
-
-    /// Gather dataflow: MP units (destination-banked) produce whole-node
-    /// aggregates into queues; NT units consume and finalise.
-    fn gather_dataflow(
-        &self,
-        region: &Region,
-        g: &Graph,
-        csc: &Adjacency,
-        exec: &mut ExecState<'_>,
-        layer: usize,
-        mut trace: Option<&mut RegionTrace>,
-    ) -> RegionStats {
-        let n = g.num_nodes();
-        let p_node = self.config.effective_p_node();
-        let p_edge = self.config.effective_p_edge();
-        let chunks = self.chunks_per_edge(layer);
-        let acc = match self.acc_cycles(region, g) {
-            AccCost::Uniform(c) => c,
-            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
-        };
-        let out = self.out_cycles(region);
-
-        // One queue per (MP, NT) pair, holding whole-node aggregate tokens.
-        let mut queues: Vec<Fifo<NodeId>> = (0..p_edge * p_node)
-            .map(|_| Fifo::new(self.config.queue_capacity))
-            .collect();
-        let qid = |mp: usize, nt: usize| mp * p_node + nt;
-
-        struct GatherMp {
-            dests: Vec<NodeId>,
-            next: usize,
-            remaining: u64,
-        }
-        impl GatherMp {
-            /// Pure-cycle horizon (see [`NtUnit::pure_horizon`]): cycles
-            /// where only `remaining` counts down, or a frozen stall/idle.
-            fn pure_horizon(
-                &self,
-                index: usize,
-                queues: &[Fifo<NodeId>],
-                p_node: usize,
-            ) -> (u64, PureClass) {
-                if self.next >= self.dests.len() {
-                    return (HORIZON_INF, PureClass::Idle);
-                }
-                match self.remaining {
-                    // Starts (or retries) a destination this cycle.
-                    0 => (0, PureClass::Busy),
-                    1 => {
-                        let v = self.dests[self.next] as usize;
-                        if queues[index * p_node + v % p_node].is_full() {
-                            // The retry loop leaves `remaining == 1` and
-                            // accrues a stall until the queue drains.
-                            (HORIZON_INF, PureClass::StallFull)
-                        } else {
-                            (0, PureClass::Busy) // produces the token
-                        }
-                    }
-                    rem => (rem - 1, PureClass::Busy),
-                }
-            }
-        }
-        let mut mps: Vec<GatherMp> = (0..p_edge)
-            .map(|k| GatherMp {
-                dests: (0..n)
-                    .filter(|v| v % p_edge == k)
-                    .map(|v| v as NodeId)
-                    .collect(),
-                next: 0,
-                remaining: 0,
-            })
-            .collect();
-
-        struct GatherNt {
-            job: Option<(NodeId, u64)>,
-            rr: usize,
-            completed: usize,
-            expected: usize,
-        }
-        impl GatherNt {
-            /// Pure-cycle horizon (see [`NtUnit::pure_horizon`]).
-            fn pure_horizon(
-                &self,
-                index: usize,
-                queues: &[Fifo<NodeId>],
-                p_node: usize,
-                p_edge: usize,
-            ) -> (u64, PureClass) {
-                match self.job {
-                    Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
-                    None => {
-                        let any_input = (0..p_edge).any(|k| !queues[k * p_node + index].is_empty());
-                        if any_input {
-                            (0, PureClass::Busy) // pops a token this cycle
-                        } else if self.completed < self.expected {
-                            (HORIZON_INF, PureClass::StallEmpty)
-                        } else {
-                            (HORIZON_INF, PureClass::Idle)
-                        }
-                    }
-                }
-            }
-        }
-        let mut nts: Vec<GatherNt> = (0..p_node)
-            .map(|i| GatherNt {
-                job: None,
-                rr: 0,
-                completed: 0,
-                expected: (0..n).filter(|v| v % p_node == i).count(),
-            })
-            .collect();
-
-        let mut cycle: Cycle = 0;
-        let mut stats = RegionStats::default();
-        let max_cycles = self.runaway_limit(g);
-        let nt_time = acc + out;
-        let fast_forward = self.config.engine == EngineMode::FastForward && trace.is_none();
-        let mut cycle_syms: Vec<LaneSymbol> = Vec::new();
-        let mut nt_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_node);
-        let mut mp_hz: Vec<(u64, PureClass)> = Vec::with_capacity(p_edge);
-        let (mut ff_skip, mut ff_penalty) = (0u64, 0u64);
-
-        loop {
-            // Event-horizon fast-forward (see `scatter_dataflow` and
-            // DESIGN.md): advance every counter by the minimum number of
-            // cycles during which no unit can touch a queue or execute;
-            // scans early-exit and back off when events are too frequent.
-            if fast_forward && ff_skip == 0 {
-                nt_hz.clear();
-                mp_hz.clear();
-                let mut delta = HORIZON_INF;
-                for (i, nt) in nts.iter().enumerate() {
-                    let hz = nt.pure_horizon(i, &queues, p_node, p_edge);
-                    delta = delta.min(hz.0);
-                    if delta == 0 {
-                        break;
-                    }
-                    nt_hz.push(hz);
-                }
-                if delta > 0 {
-                    for (k, mp) in mps.iter().enumerate() {
-                        let hz = mp.pure_horizon(k, &queues, p_node);
-                        delta = delta.min(hz.0);
-                        if delta == 0 {
-                            break;
-                        }
-                        mp_hz.push(hz);
-                    }
-                }
-                delta = delta.min((max_cycles - 1).saturating_sub(cycle));
-                if delta == 0 {
-                    ff_penalty = (ff_penalty * 2).clamp(1, FF_BACKOFF_MAX);
-                    ff_skip = ff_penalty;
-                } else {
-                    ff_penalty = 0;
-                    for (nt, &(_, class)) in nts.iter_mut().zip(&nt_hz) {
-                        match class {
-                            PureClass::Busy => {
-                                if let Some((_, rem)) = &mut nt.job {
-                                    *rem -= delta;
-                                }
-                                stats.nt_busy += delta;
-                            }
-                            PureClass::StallEmpty | PureClass::StallFull => {
-                                stats.nt_stall += delta;
-                            }
-                            PureClass::Idle => {}
-                        }
-                    }
-                    for (mp, &(_, class)) in mps.iter_mut().zip(&mp_hz) {
-                        match class {
-                            PureClass::Busy => {
-                                mp.remaining -= delta;
-                                stats.mp_busy += delta;
-                            }
-                            PureClass::StallFull | PureClass::StallEmpty => {
-                                stats.mp_stall += delta;
-                            }
-                            PureClass::Idle => {}
-                        }
-                    }
-                    cycle += delta;
-                }
-            } else {
-                ff_skip = ff_skip.saturating_sub(1);
-            }
-
-            cycle_syms.clear();
-            // NT units consume aggregate tokens.
-            for (i, nt) in nts.iter_mut().enumerate() {
-                let sym;
-                match &mut nt.job {
-                    Some((v, rem)) => {
-                        *rem -= 1;
-                        stats.nt_busy += 1;
-                        sym = LaneSymbol::Busy;
-                        if *rem == 0 {
-                            exec.nt_finalize(&self.model, region, *v);
-                            nt.completed += 1;
-                            nt.job = None;
-                        }
-                    }
-                    None => {
-                        // Round-robin over this NT's input queues.
-                        let mut found = false;
-                        for off in 0..p_edge {
-                            let k = (nt.rr + off) % p_edge;
-                            if let Some(v) = queues[qid(k, i)].pop() {
-                                nt.rr = (k + 1) % p_edge;
-                                nt.job = Some((v, nt_time));
-                                found = true;
-                                break;
-                            }
-                        }
-                        if !found && nt.completed < nt.expected {
-                            stats.nt_stall += 1;
-                            sym = LaneSymbol::StallEmpty;
-                        } else if found {
-                            sym = LaneSymbol::Busy;
-                        } else {
-                            sym = LaneSymbol::Idle;
-                        }
-                    }
-                }
-                if trace.is_some() {
-                    cycle_syms.push(sym);
-                }
-            }
-
-            // MP units gather per destination.
-            for (k, mp) in mps.iter_mut().enumerate() {
-                if mp.next >= mp.dests.len() {
-                    if trace.is_some() {
-                        cycle_syms.push(LaneSymbol::Idle);
-                    }
-                    continue;
-                }
-                let mut sym = LaneSymbol::Busy;
-                let v = mp.dests[mp.next];
-                if mp.remaining == 0 {
-                    // Start this destination's gather.
-                    mp.remaining = csc.degree(v) as u64 * chunks + 1;
-                }
-                mp.remaining -= 1;
-                stats.mp_busy += 1;
-                if mp.remaining == 0 {
-                    // Finished: produce the aggregate token if there is room,
-                    // else retry next cycle (backpressure).
-                    let q = &mut queues[qid(k, v as usize % p_node)];
-                    if q.is_full() {
-                        mp.remaining = 1; // stall: retry the push
-                        stats.mp_busy -= 1;
-                        stats.mp_stall += 1;
-                        sym = LaneSymbol::StallFull;
-                    } else {
-                        exec.gather_node(&self.model, layer, v, csc);
-                        q.push(v);
-                        mp.next += 1;
-                    }
-                }
-                if trace.is_some() {
-                    cycle_syms.push(sym);
-                }
-            }
-            if let Some(rt) = trace.as_deref_mut() {
-                rt.push_cycle(&cycle_syms);
-            }
-
-            for q in &mut queues {
-                q.commit();
-            }
-            cycle += 1;
-
-            let mps_done = mps.iter().all(|m| m.next >= m.dests.len());
-            let queues_empty = queues.iter().all(Fifo::is_empty);
-            let nts_done = nts
-                .iter()
-                .all(|nt| nt.job.is_none() && nt.completed == nt.expected);
-            if mps_done && queues_empty && nts_done {
-                break;
-            }
-            assert!(
-                cycle < max_cycles,
-                "gather simulation exceeded {max_cycles} cycles"
-            );
-        }
-        stats.cycles = cycle;
-        stats
-    }
-
-    /// Generous upper bound on region cycles, used as a deadlock tripwire.
-    fn runaway_limit(&self, g: &Graph) -> Cycle {
-        let n = g.num_nodes() as u64 + 1;
-        let e = g.num_edges() as u64 + 1;
-        let dim = self
-            .regions
-            .iter()
-            .map(|r| r.nt_read_dim.max(r.payload_dim))
-            .max()
-            .unwrap_or(1) as u64
-            + 1;
-        1_000 + 64 * (n + e) * dim
-    }
 }
 
 const MEM_WORDS_PER_CYCLE: u64 = 64; // multi-channel HBM: 2048 bits/cycle of 32-bit words
 
-/// Maps a unit outcome to its trace symbol.
-fn outcome_symbol(outcome: StepOutcome) -> LaneSymbol {
-    match outcome {
-        StepOutcome::Busy => LaneSymbol::Busy,
-        StepOutcome::StallFull => LaneSymbol::StallFull,
-        StepOutcome::StallEmpty => LaneSymbol::StallEmpty,
-        StepOutcome::Idle => LaneSymbol::Idle,
-    }
-}
-
-/// Human-readable label for a pipeline region (used by traces).
-fn region_label(region: &Region) -> String {
-    let nt = match region.nt_op {
-        NtOp::Encode => "encode".to_string(),
-        NtOp::Gamma(l) => format!("gamma(L{l})"),
-        NtOp::Project(l) => format!("project(L{l})"),
-        NtOp::Normalize(l) => format!("normalize(L{l})"),
-    };
-    match (region.scatter_layer, region.gather_layer) {
-        (Some(s), _) => format!("{nt} + scatter(L{s})"),
-        (_, Some(gl)) => format!("gather(L{gl}) + {nt}"),
-        _ => nt,
-    }
-}
-
-/// What a unit did in one cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepOutcome {
-    /// Performed useful work.
-    Busy,
-    /// Blocked on output backpressure (a full queue downstream).
-    StallFull,
-    /// Starved for input (waiting on flits or jobs).
-    StallEmpty,
-    /// Nothing to do (not yet started or already drained).
-    Idle,
-}
-
-/// Sentinel horizon: the unit's state cannot change until *another* unit
-/// moves (a stalled or drained steady state).
-const HORIZON_INF: u64 = u64::MAX;
-
-/// Upper bound on the fast-forward scan backoff. When the pipeline is
-/// saturated (an event on every cycle) the horizon scan is pure overhead,
-/// so after each failed attempt the engine runs plain per-cycle steps for
-/// an exponentially growing stretch before rescanning. Skipped attempts
-/// never affect exactness — fast-forwarding is opportunistic — they only
-/// bound the scan cost at ~1/32 per cycle in the worst case while still
-/// catching long stall/drain phases quickly.
-const FF_BACKOFF_MAX: u64 = 32;
-
-/// Meter class a unit accrues during a run of *pure* cycles — cycles whose
-/// only effects are one counter decrement and one meter increment, with no
-/// queue traffic, functional execution, or job transitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PureClass {
-    /// Counting down an accumulate/output/gather counter.
-    Busy,
-    /// Held by a full downstream queue.
-    StallFull,
-    /// Starved for input.
-    StallEmpty,
-    /// Drained (no meter accrues).
-    Idle,
-}
-
-/// Per-region simulation statistics.
-#[derive(Debug, Clone, Copy, Default)]
-struct RegionStats {
-    cycles: Cycle,
-    nt_busy: u64,
-    mp_busy: u64,
-    nt_stall: u64,
-    mp_stall: u64,
-}
-
-/// NT accumulate cost: uniform across nodes, or per node (Encode regions,
-/// where sparse input features make the cost data-dependent).
-#[derive(Debug, Clone)]
-enum AccCost {
-    Uniform(u64),
-    PerNode(Vec<u64>),
-}
-
-impl AccCost {
-    fn get(&self, v: NodeId) -> u64 {
-        match self {
-            AccCost::Uniform(c) => *c,
-            AccCost::PerNode(per) => per[v as usize],
-        }
-    }
-}
-
-/// A flit through the NT-to-MP adapter: `P_scatter` embedding elements of
-/// one node (values live in the execution state; flits carry timing).
-#[derive(Debug, Clone, Copy)]
-struct Flit {
-    node: NodeId,
-}
-
-// ----- NT unit (scatter regions) ----------------------------------------
-
-#[derive(Debug)]
-struct NtUnit {
-    index: usize,
-    nodes: Vec<NodeId>,
-    next: usize,
-    /// Accumulate stage: `(node, cycles remaining)`; 0 remaining = waiting
-    /// to move into the output stage.
-    acc: Option<(NodeId, u64)>,
-    out: Option<OutJob>,
-    finished_nodes: usize,
-}
-
-#[derive(Debug)]
-struct OutJob {
-    node: NodeId,
-    targets: Vec<usize>,
-    /// Flits delivered to each target queue (independent progress per
-    /// queue — atomic multicast would deadlock: two MP units each waiting
-    /// on a different NT's flits can fill the cross queues).
-    pushed: Vec<usize>,
-    /// Embedding elements produced so far (`P_apply` per cycle).
-    elems_produced: usize,
-}
-
-impl NtUnit {
-    fn new(index: usize, n: usize, p_node: usize) -> Self {
-        Self {
-            index,
-            nodes: (0..n)
-                .filter(|v| v % p_node == index)
-                .map(|v| v as NodeId)
-                .collect(),
-            next: 0,
-            acc: None,
-            out: None,
-            finished_nodes: 0,
-        }
-    }
-
-    fn done(&self) -> bool {
-        self.finished_nodes == self.nodes.len()
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn step(
-        &mut self,
-        queues: &mut [Fifo<Flit>],
-        p_edge: usize,
-        acc_cycles: &AccCost,
-        flits_total: usize,
-        p_apply: usize,
-        p_scatter: usize,
-        region: &Region,
-        banked: &BankedEdges,
-        has_scatter: bool,
-        model: &GnnModel,
-        exec: &mut ExecState<'_>,
-    ) -> StepOutcome {
-        let mut active = false;
-        let mut blocked_output = false;
-        let unit = self.index;
-        let payload = region.payload_dim;
-
-        // OUTPUT stage: stream the current node's embedding, flit by flit.
-        // Each target queue makes progress independently; a full queue
-        // backpressures only its own copy of the multicast.
-        if let Some(job) = &mut self.out {
-            if job.elems_produced < payload {
-                job.elems_produced = (job.elems_produced + p_apply).min(payload);
-                active = true;
-            }
-            let flits_avail = if job.elems_produced == payload {
-                flits_total
-            } else {
-                job.elems_produced / p_scatter
-            };
-            let per_cycle = p_apply.div_ceil(p_scatter).max(1);
-            let mut all_delivered = true;
-            for (pushed, &k) in job.pushed.iter_mut().zip(&job.targets) {
-                let q = &mut queues[qindex(unit, k, p_edge)];
-                let mut budget = per_cycle;
-                while *pushed < flits_avail && budget > 0 && q.try_push(Flit { node: job.node }) {
-                    *pushed += 1;
-                    budget -= 1;
-                    active = true;
-                }
-                if *pushed < flits_total {
-                    all_delivered = false;
-                }
-            }
-            if all_delivered && job.elems_produced == payload {
-                self.out = None;
-                self.finished_nodes += 1;
-            } else if !active {
-                // Fully produced but undelivered: downstream backpressure.
-                blocked_output = true;
-            }
-        }
-
-        // ACCUMULATE stage.
-        match &mut self.acc {
-            Some((v, rem)) => {
-                if *rem > 0 {
-                    *rem -= 1;
-                    active = true;
-                }
-                if *rem == 0 && self.out.is_some() {
-                    // Head-of-line: accumulate finished but the output
-                    // stage still holds the previous node.
-                    blocked_output = true;
-                }
-                if *rem == 0 && self.out.is_none() {
-                    let v = *v;
-                    exec.nt_finalize(model, region, v);
-                    let targets = if has_scatter {
-                        banked.targets(v)
-                    } else {
-                        Vec::new()
-                    };
-                    if targets.is_empty() && has_scatter {
-                        // No out-edges in any bank: nothing to stream.
-                        self.finished_nodes += 1;
-                    } else {
-                        // NT-only regions stream to no queues: the output
-                        // cycles still elapse (embedding-buffer write).
-                        let pushed = vec![0; targets.len()];
-                        self.out = Some(OutJob {
-                            node: v,
-                            targets,
-                            pushed,
-                            elems_produced: 0,
-                        });
-                    }
-                    self.acc = None;
-                }
-            }
-            None => {
-                if self.next < self.nodes.len() {
-                    let v = self.nodes[self.next];
-                    self.next += 1;
-                    self.acc = Some((v, acc_cycles.get(v).max(1)));
-                    active = true;
-                }
-            }
-        }
-        if active {
-            StepOutcome::Busy
-        } else if blocked_output {
-            StepOutcome::StallFull
-        } else {
-            StepOutcome::Idle
-        }
-    }
-
-    /// How many upcoming cycles this unit is guaranteed to spend purely
-    /// counting (accumulate countdown, backpressured or target-less
-    /// element production) or holding a constant stall/idle state,
-    /// assuming no queue changes — plus the meter class those cycles
-    /// accrue. Any cycle that could push a flit, finalise a node, retire
-    /// an output job, or fetch the next node pins the horizon at zero so
-    /// [`NtUnit::step`] executes it exactly.
-    fn pure_horizon(
-        &self,
-        queues: &[Fifo<Flit>],
-        p_edge: usize,
-        flits_total: usize,
-        payload: usize,
-        p_apply: usize,
-    ) -> (u64, PureClass) {
-        let Some(job) = &self.out else {
-            return match &self.acc {
-                Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
-                None if self.next < self.nodes.len() => (0, PureClass::Busy),
-                None => (HORIZON_INF, PureClass::Idle),
-            };
-        };
-        // A push happens whenever some undelivered target queue has room
-        // (for a no-target NT-only job, `all` is vacuously true).
-        let blocked = job.pushed.iter().zip(&job.targets).all(|(&pushed, &k)| {
-            pushed >= flits_total || queues[qindex(self.index, k, p_edge)].is_full()
-        });
-        if !blocked {
-            return (0, PureClass::Busy);
-        }
-        if job.elems_produced < payload {
-            // Producing into a backpressured (or target-less) output: pure
-            // Busy until the cycle on which production completes, which
-            // can retire the job. The accumulate counter runs alongside
-            // and sits at zero if it finishes first — no constraint.
-            if self.acc.is_none() && self.next < self.nodes.len() {
-                return (0, PureClass::Busy); // fetches a node this cycle
-            }
-            let remaining_elems = (payload - job.elems_produced) as u64;
-            return (
-                remaining_elems.div_ceil(p_apply as u64) - 1,
-                PureClass::Busy,
-            );
-        }
-        // Fully produced, all undelivered targets backpressured: only the
-        // accumulate counter moves.
-        match &self.acc {
-            Some((_, rem)) if *rem >= 1 => (*rem, PureClass::Busy),
-            Some(_) => (HORIZON_INF, PureClass::StallFull),
-            None if self.next < self.nodes.len() => (0, PureClass::Busy),
-            None => (HORIZON_INF, PureClass::StallFull),
-        }
-    }
-
-    /// Advances this unit through `delta` pure cycles at once. `class`
-    /// must come from [`NtUnit::pure_horizon`] and `delta` must not
-    /// exceed the returned horizon.
-    fn fast_forward(
-        &mut self,
-        delta: u64,
-        class: PureClass,
-        p_apply: usize,
-        payload: usize,
-        stats: &mut RegionStats,
-    ) {
-        match class {
-            PureClass::Busy => {
-                if let Some(job) = &mut self.out {
-                    if job.elems_produced < payload {
-                        // Horizon guarantees this stays strictly below
-                        // payload, so the retire cycle remains live.
-                        job.elems_produced += delta as usize * p_apply;
-                    }
-                }
-                if let Some((_, rem)) = &mut self.acc {
-                    *rem = rem.saturating_sub(delta);
-                }
-                stats.nt_busy += delta;
-            }
-            PureClass::StallFull | PureClass::StallEmpty => stats.nt_stall += delta,
-            PureClass::Idle => {}
-        }
-    }
-}
-
-/// Queue index for the (NT unit, MP bank) pair.
-fn qindex(nt_unit: usize, k: usize, p_edge: usize) -> usize {
-    nt_unit * p_edge + k
-}
-
-// ----- MP unit (scatter regions) ----------------------------------------
-
-#[derive(Debug)]
-struct MpUnit {
-    index: usize,
-    rr: usize,
-    /// Active job (front) plus at most one prefetching job: the MP unit's
-    /// local embedding buffer is ping-ponged, so the next node's flits are
-    /// received while the current node's edges are still processing.
-    jobs: std::collections::VecDeque<MpJob>,
-}
-
-#[derive(Debug)]
-struct MpJob {
-    node: NodeId,
-    queue: usize,
-    flits_recv: usize,
-    edge_cursor: usize,
-    chunk: u64,
-}
-
-impl MpUnit {
-    /// Local-buffer ping-pong depth: one active + one prefetching node.
-    const MAX_JOBS: usize = 2;
-
-    fn new(index: usize) -> Self {
-        Self {
-            index,
-            rr: 0,
-            jobs: std::collections::VecDeque::with_capacity(Self::MAX_JOBS),
-        }
-    }
-
-    fn idle(&self) -> bool {
-        self.jobs.is_empty()
-    }
-
-    fn is_drained(&self, queues: &[Fifo<Flit>], p_edge: usize) -> bool {
-        self.jobs.is_empty()
-            && (0..queues.len() / p_edge).all(|nt| queues[nt * p_edge + self.index].is_empty())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn step(
-        &mut self,
-        queues: &mut [Fifo<Flit>],
-        p_edge: usize,
-        intake: usize,
-        flits_total: usize,
-        chunks_per_edge: u64,
-        node_granularity: bool,
-        banked: &BankedEdges,
-        model: &GnnModel,
-        layer: usize,
-        exec: &mut ExecState<'_>,
-    ) -> StepOutcome {
-        let p_node = queues.len() / p_edge;
-        // Flit intake, up to `intake` pops per cycle. Receives into the
-        // youngest job until its embedding is complete, then opens a
-        // prefetch job from any non-empty queue.
-        for _ in 0..intake {
-            let receiving = self.jobs.back_mut().filter(|j| j.flits_recv < flits_total);
-            match receiving {
-                Some(job) => match queues[job.queue].pop() {
-                    Some(flit) => {
-                        debug_assert_eq!(flit.node, job.node, "interleaved node flits in queue");
-                        job.flits_recv += 1;
-                    }
-                    None => break,
-                },
-                None => {
-                    if self.jobs.len() >= Self::MAX_JOBS {
-                        break;
-                    }
-                    let mut started = false;
-                    for off in 0..p_node {
-                        let nt = (self.rr + off) % p_node;
-                        let q = nt * p_edge + self.index;
-                        if let Some(flit) = queues[q].pop() {
-                            self.rr = (nt + 1) % p_node;
-                            self.jobs.push_back(MpJob {
-                                node: flit.node,
-                                queue: q,
-                                flits_recv: 1,
-                                edge_cursor: 0,
-                                chunk: 0,
-                            });
-                            started = true;
-                            break;
-                        }
-                    }
-                    if !started {
-                        break;
-                    }
-                }
-            }
-        }
-
-        // Processing: one message chunk per cycle on the front job.
-        let mut active = false;
-        if let Some(job) = self.jobs.front_mut() {
-            let edges = banked.edges(self.index, job.node);
-            if job.edge_cursor < edges.len() {
-                let required = if node_granularity {
-                    flits_total
-                } else {
-                    // Chunk c of an edge needs a proportional share of the
-                    // payload flits to have arrived.
-                    (((job.chunk + 1) as usize * flits_total).div_ceil(chunks_per_edge as usize))
-                        .min(flits_total)
-                };
-                if job.flits_recv >= required {
-                    job.chunk += 1;
-                    active = true;
-                    if job.chunk == chunks_per_edge {
-                        let (dst, eid) = edges[job.edge_cursor];
-                        exec.mp_process_edge(model, layer, job.node, dst, eid);
-                        job.edge_cursor += 1;
-                        job.chunk = 0;
-                    }
-                }
-            }
-            if job.edge_cursor == edges.len() && job.flits_recv == flits_total {
-                self.jobs.pop_front();
-            }
-        }
-        if active {
-            StepOutcome::Busy
-        } else if self.jobs.is_empty() {
-            StepOutcome::Idle
-        } else {
-            // A job exists but no chunk advanced: starved for flits.
-            StepOutcome::StallEmpty
-        }
-    }
-
-    /// Pure-cycle horizon for this unit (see [`NtUnit::pure_horizon`]):
-    /// cycles where neither intake nor edge completion can occur and only
-    /// the front job's chunk counter advances — or a frozen stall/idle.
-    fn pure_horizon(
-        &self,
-        queues: &[Fifo<Flit>],
-        p_edge: usize,
-        flits_total: usize,
-        chunks_per_edge: u64,
-        node_granularity: bool,
-        banked: &BankedEdges,
-    ) -> (u64, PureClass) {
-        let p_node = queues.len() / p_edge;
-        let owned_nonempty = (0..p_node).any(|nt| !queues[nt * p_edge + self.index].is_empty());
-        let Some(front) = self.jobs.front() else {
-            return if owned_nonempty {
-                (0, PureClass::Busy) // would open a job this cycle
-            } else {
-                (HORIZON_INF, PureClass::Idle)
-            };
-        };
-        // Intake: any possible pop this cycle pins the horizon at zero.
-        let back = self.jobs.back().expect("front exists");
-        if back.flits_recv < flits_total {
-            if !queues[back.queue].is_empty() {
-                return (0, PureClass::Busy);
-            }
-        } else if self.jobs.len() < Self::MAX_JOBS && owned_nonempty {
-            return (0, PureClass::Busy);
-        }
-        // No intake possible (queues are frozen while every unit is pure),
-        // so only the front job's chunk counter can move.
-        let edges = banked.edges(self.index, front.node);
-        if front.edge_cursor >= edges.len() {
-            return if front.flits_recv == flits_total {
-                (0, PureClass::Busy) // retires the job this cycle
-            } else {
-                (HORIZON_INF, PureClass::StallEmpty)
-            };
-        }
-        let f = front.flits_recv;
-        if f >= flits_total {
-            // The whole embedding has arrived: this job deterministically
-            // chews through its remaining edges with no queue interaction
-            // until the retire cycle. Edge completions inside that span
-            // are per-unit deterministic work (each MP bank folds into a
-            // disjoint destination set), so `fast_forward` replays them in
-            // order; only the cycle that completes the *last* edge stays
-            // live, because it also retires the job.
-            let span = (edges.len() - front.edge_cursor) as u64 * chunks_per_edge - front.chunk;
-            return (span - 1, PureClass::Busy);
-        }
-        if node_granularity {
-            return (HORIZON_INF, PureClass::StallEmpty);
-        }
-        // Flit granularity: chunk c can advance while its proportional
-        // flit share has arrived, i.e. while c + 1 <= f·chunks/flits
-        // (the integer inverse of `required` in `step`). With f below
-        // flits_total, max_reachable stays below chunks_per_edge, so no
-        // edge can complete inside this span.
-        let max_reachable = f as u64 * chunks_per_edge / flits_total as u64;
-        if front.chunk + 1 > max_reachable {
-            (HORIZON_INF, PureClass::StallEmpty)
-        } else {
-            (max_reachable - front.chunk, PureClass::Busy)
-        }
-    }
-
-    /// Advances this unit through `delta` pure cycles at once. `class`
-    /// must come from [`MpUnit::pure_horizon`] and `delta` must not
-    /// exceed the returned horizon.
-    #[allow(clippy::too_many_arguments)]
-    fn fast_forward(
-        &mut self,
-        delta: u64,
-        class: PureClass,
-        chunks_per_edge: u64,
-        banked: &BankedEdges,
-        model: &GnnModel,
-        layer: usize,
-        exec: &mut ExecState<'_>,
-        stats: &mut RegionStats,
-    ) {
-        match class {
-            PureClass::Busy => {
-                if let Some(job) = self.jobs.front_mut() {
-                    // Replay the per-cycle recurrence in closed form:
-                    // `delta` chunk advances, one edge completing per
-                    // `chunks_per_edge` of them. The horizon guarantees
-                    // the cursor stays short of the final edge.
-                    let edges = banked.edges(self.index, job.node);
-                    let progress = job.chunk + delta;
-                    job.chunk = progress % chunks_per_edge;
-                    for _ in 0..progress / chunks_per_edge {
-                        let (dst, eid) = edges[job.edge_cursor];
-                        exec.mp_process_edge(model, layer, job.node, dst, eid);
-                        job.edge_cursor += 1;
-                    }
-                }
-                stats.mp_busy += delta;
-            }
-            PureClass::StallEmpty | PureClass::StallFull => stats.mp_stall += delta,
-            PureClass::Idle => {}
-        }
-    }
-}
-
-// ----- shared functional execution state ---------------------------------
-
-struct ExecState<'a> {
-    graph: &'a Graph,
-    ctx: &'a GraphContext,
-    functional: bool,
-    /// Embeddings at region start.
-    x_cur: Vec<Vec<f32>>,
-    /// Embeddings produced by this region's NT.
-    x_next: Vec<Vec<f32>>,
-    /// Aggregation states written by the previous region's MP (read by
-    /// this region's γ).
-    prev_states: Vec<Option<AggState>>,
-    /// Aggregation states being written by this region's MP.
-    next_states: Vec<Option<AggState>>,
-    /// Scratch buffers.
-    msg_buf: Vec<f32>,
-    out_buf: Vec<f32>,
-}
-
-impl<'a> ExecState<'a> {
-    fn new(
-        graph: &'a Graph,
-        ctx: &'a GraphContext,
-        functional: bool,
-        scratch: &mut SimScratch,
-    ) -> Self {
-        let n = graph.num_nodes();
-        let mut x_cur = std::mem::take(&mut scratch.x_cur);
-        let mut x_next = std::mem::take(&mut scratch.x_next);
-        for buf in [&mut x_cur, &mut x_next] {
-            buf.truncate(n);
-            for row in buf.iter_mut() {
-                row.clear();
-            }
-            buf.resize_with(n, Vec::new);
-        }
-        let mut prev_states = std::mem::take(&mut scratch.prev_states);
-        let mut next_states = std::mem::take(&mut scratch.next_states);
-        for buf in [&mut prev_states, &mut next_states] {
-            buf.clear();
-            buf.resize(n, None);
-        }
-        Self {
-            graph,
-            ctx,
-            functional,
-            x_cur,
-            x_next,
-            prev_states,
-            next_states,
-            msg_buf: std::mem::take(&mut scratch.msg_buf),
-            out_buf: std::mem::take(&mut scratch.out_buf),
-        }
-    }
-
-    /// Hands the buffers back to `scratch` so the next run reuses them.
-    fn finish(self, scratch: &mut SimScratch) {
-        scratch.x_cur = self.x_cur;
-        scratch.x_next = self.x_next;
-        scratch.prev_states = self.prev_states;
-        scratch.next_states = self.next_states;
-        scratch.msg_buf = self.msg_buf;
-        scratch.out_buf = self.out_buf;
-    }
-
-    /// Copies `src` into `row`, reusing `row`'s existing capacity.
-    fn write_row(row: &mut Vec<f32>, src: &[f32]) {
-        row.clear();
-        row.extend_from_slice(src);
-    }
-
-    fn node_ctx(&self, v: NodeId) -> NodeCtx {
-        NodeCtx {
-            degree: self.ctx.in_degree(v),
-            mean_log_degree: self.ctx.mean_log_degree(),
-        }
-    }
-
-    /// NT completion for node `v`: computes its new embedding.
-    fn nt_finalize(&mut self, model: &GnnModel, region: &Region, v: NodeId) {
-        if !self.functional {
-            return;
-        }
-        let vi = v as usize;
-        let node = self.node_ctx(v);
-        match region.nt_op {
-            NtOp::Encode => {
-                let raw = self.graph.node_features().row(vi);
-                match model.encoder() {
-                    Some(enc) => {
-                        enc.forward_into(&raw, &mut self.out_buf);
-                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
-                    }
-                    None => self.x_next[vi] = raw,
-                }
-            }
-            NtOp::Gamma(l) => {
-                let layer = &model.layers()[l];
-                let m = match self.prev_states[vi].take() {
-                    Some(state) => layer.agg().finish(&state, &node),
-                    None => vec![0.0; layer.agg_dim()],
-                };
-                layer
-                    .gamma()
-                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                Self::write_row(&mut self.x_next[vi], &self.out_buf);
-            }
-            NtOp::Project(l) => {
-                let layer = &model.layers()[l];
-                match layer.pre() {
-                    Some(pre) => {
-                        pre.forward_into(&self.x_cur[vi], &mut self.out_buf);
-                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
-                    }
-                    None => {
-                        let (cur, next) = (&self.x_cur, &mut self.x_next);
-                        Self::write_row(&mut next[vi], &cur[vi]);
-                    }
-                }
-            }
-            NtOp::Normalize(l) => {
-                let layer = &model.layers()[l];
-                let m = match self.prev_states[vi].take() {
-                    Some(state) => layer.agg().finish(&state, &node),
-                    None => vec![0.0; layer.agg_dim()],
-                };
-                layer
-                    .gamma()
-                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                Self::write_row(&mut self.x_next[vi], &self.out_buf);
-            }
-        }
-    }
-
-    /// MP completion of one edge `src → dst` in a scatter region: compute
-    /// φ on the *new* embedding and fold into the destination's aggregate.
-    fn mp_process_edge(
-        &mut self,
-        model: &GnnModel,
-        layer: usize,
-        src: NodeId,
-        dst: NodeId,
-        eid: u32,
-    ) {
-        if !self.functional {
-            return;
-        }
-        let l = &model.layers()[layer];
-        let weight = l.weighting().weight(self.ctx, src, dst);
-        let mctx = MessageCtx {
-            x_src: &self.x_next[src as usize],
-            x_dst: None,
-            edge_feat: self.graph.edge_feature(eid as usize),
-            edge_weight: weight,
-        };
-        l.phi().apply(&mctx, &mut self.msg_buf);
-        let state =
-            self.next_states[dst as usize].get_or_insert_with(|| l.agg().init(l.message_dim()));
-        l.agg().push(state, &self.msg_buf);
-    }
-
-    /// Full gather for destination `v` in a gather region (GAT): folds all
-    /// in-edges into `prev_states[v]`, which `nt_finalize` will consume.
-    fn gather_node(&mut self, model: &GnnModel, layer: usize, v: NodeId, csc: &Adjacency) {
-        if !self.functional {
-            return;
-        }
-        let l = &model.layers()[layer];
-        let mut state = l.agg().init(l.message_dim());
-        for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
-            let weight = l.weighting().weight(self.ctx, u, v);
-            let mctx = MessageCtx {
-                x_src: &self.x_cur[u as usize],
-                x_dst: Some(&self.x_cur[v as usize]),
-                edge_feat: self.graph.edge_feature(eid as usize),
-                edge_weight: weight,
-            };
-            l.phi().apply(&mctx, &mut self.msg_buf);
-            l.agg().push(&mut state, &self.msg_buf);
-        }
-        self.prev_states[v as usize] = Some(state);
-    }
-
-    /// Region boundary: new embeddings become current; this region's
-    /// aggregates become the next region's inputs.
-    fn advance_region(&mut self) {
-        std::mem::swap(&mut self.x_cur, &mut self.x_next);
-        std::mem::swap(&mut self.prev_states, &mut self.next_states);
-        for s in &mut self.next_states {
-            *s = None;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PipelineStrategy;
     use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
     use flowgnn_models::reference;
 
@@ -2249,6 +599,7 @@ mod tests {
         let model = GnnModel::gcn(9, 7);
         let units = 6; // 2 NT + 4 MP
         let report = Accelerator::new(model, ArchConfig::default()).run(&g);
+        assert_eq!(report.num_units, units, "recorded unit count");
         let busy = report.nt_busy_cycles + report.mp_busy_cycles;
         let stall = report.nt_stall_cycles + report.mp_stall_cycles;
         let region_total: Cycle = report.region_cycles.iter().sum();
@@ -2256,8 +607,25 @@ mod tests {
             busy + stall <= units as u64 * region_total,
             "busy {busy} + stall {stall} exceed {units} x {region_total}"
         );
-        assert!(report.stall_fraction(units) >= 0.0);
-        assert!(report.stall_fraction(units) < 1.0);
+        assert!(report.stalled_fraction() >= 0.0);
+        assert!(report.stalled_fraction() < 1.0);
+    }
+
+    #[test]
+    fn deprecated_shims_match_recorded_unit_count() {
+        let g = mol(9);
+        let report = Accelerator::new(GnnModel::gcn(9, 7), ArchConfig::default()).run(&g);
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                report.compute_utilization(report.num_units),
+                report.utilization()
+            );
+            assert_eq!(
+                report.stall_fraction(report.num_units),
+                report.stalled_fraction()
+            );
+        }
     }
 
     #[test]

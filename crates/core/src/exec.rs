@@ -1,0 +1,233 @@
+//! Shared functional execution state.
+//!
+//! Every simulation schedule — the sequential/lockstep baselines, the
+//! cycle-stepped dataflows, and the fast-forward replays — performs the
+//! model's arithmetic through one [`ExecState`]: NT completions call
+//! [`ExecState::nt_finalize`], MP edge completions call
+//! [`ExecState::mp_process_edge`] (scatter) or [`ExecState::gather_node`]
+//! (gather), and region boundaries call [`ExecState::advance_region`].
+//! Centralising the arithmetic here is what guarantees that every
+//! strategy, engine mode, and unit schedule computes the *same* function;
+//! only the timing differs.
+
+use flowgnn_graph::{Adjacency, Graph, NodeId};
+use flowgnn_models::{AggState, GnnModel, GraphContext, MessageCtx, NodeCtx};
+
+use crate::regions::{NtOp, Region};
+
+/// Reusable simulation buffers, carried across regions and across graphs
+/// in a stream so the per-run allocation cost is amortised away.
+///
+/// A fresh default `SimScratch` is always valid; reusing one across runs
+/// (of any graph, any accelerator) is equally valid — every run fully
+/// re-initialises the state it reads.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    x_cur: Vec<Vec<f32>>,
+    x_next: Vec<Vec<f32>>,
+    prev_states: Vec<Option<AggState>>,
+    next_states: Vec<Option<AggState>>,
+    msg_buf: Vec<f32>,
+    out_buf: Vec<f32>,
+}
+
+/// The functional execution state of one run: embeddings, aggregation
+/// states, and scratch buffers, advanced region by region.
+pub(crate) struct ExecState<'a> {
+    graph: &'a Graph,
+    ctx: &'a GraphContext,
+    functional: bool,
+    /// Embeddings at region start.
+    pub(crate) x_cur: Vec<Vec<f32>>,
+    /// Embeddings produced by this region's NT.
+    x_next: Vec<Vec<f32>>,
+    /// Aggregation states written by the previous region's MP (read by
+    /// this region's γ).
+    prev_states: Vec<Option<AggState>>,
+    /// Aggregation states being written by this region's MP.
+    next_states: Vec<Option<AggState>>,
+    /// Scratch buffers.
+    msg_buf: Vec<f32>,
+    out_buf: Vec<f32>,
+}
+
+impl<'a> ExecState<'a> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        ctx: &'a GraphContext,
+        functional: bool,
+        scratch: &mut SimScratch,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let mut x_cur = std::mem::take(&mut scratch.x_cur);
+        let mut x_next = std::mem::take(&mut scratch.x_next);
+        for buf in [&mut x_cur, &mut x_next] {
+            buf.truncate(n);
+            for row in buf.iter_mut() {
+                row.clear();
+            }
+            buf.resize_with(n, Vec::new);
+        }
+        let mut prev_states = std::mem::take(&mut scratch.prev_states);
+        let mut next_states = std::mem::take(&mut scratch.next_states);
+        for buf in [&mut prev_states, &mut next_states] {
+            buf.clear();
+            buf.resize(n, None);
+        }
+        Self {
+            graph,
+            ctx,
+            functional,
+            x_cur,
+            x_next,
+            prev_states,
+            next_states,
+            msg_buf: std::mem::take(&mut scratch.msg_buf),
+            out_buf: std::mem::take(&mut scratch.out_buf),
+        }
+    }
+
+    /// Hands the buffers back to `scratch` so the next run reuses them.
+    pub(crate) fn finish(self, scratch: &mut SimScratch) {
+        scratch.x_cur = self.x_cur;
+        scratch.x_next = self.x_next;
+        scratch.prev_states = self.prev_states;
+        scratch.next_states = self.next_states;
+        scratch.msg_buf = self.msg_buf;
+        scratch.out_buf = self.out_buf;
+    }
+
+    /// Copies `src` into `row`, reusing `row`'s existing capacity.
+    fn write_row(row: &mut Vec<f32>, src: &[f32]) {
+        row.clear();
+        row.extend_from_slice(src);
+    }
+
+    fn node_ctx(&self, v: NodeId) -> NodeCtx {
+        NodeCtx {
+            degree: self.ctx.in_degree(v),
+            mean_log_degree: self.ctx.mean_log_degree(),
+        }
+    }
+
+    /// NT completion for node `v`: computes its new embedding.
+    pub(crate) fn nt_finalize(&mut self, model: &GnnModel, region: &Region, v: NodeId) {
+        if !self.functional {
+            return;
+        }
+        let vi = v as usize;
+        let node = self.node_ctx(v);
+        match region.nt_op {
+            NtOp::Encode => {
+                let raw = self.graph.node_features().row(vi);
+                match model.encoder() {
+                    Some(enc) => {
+                        enc.forward_into(&raw, &mut self.out_buf);
+                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
+                    }
+                    None => self.x_next[vi] = raw,
+                }
+            }
+            NtOp::Gamma(l) => {
+                let layer = &model.layers()[l];
+                let m = match self.prev_states[vi].take() {
+                    Some(state) => layer.agg().finish(&state, &node),
+                    None => vec![0.0; layer.agg_dim()],
+                };
+                layer
+                    .gamma()
+                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
+                Self::write_row(&mut self.x_next[vi], &self.out_buf);
+            }
+            NtOp::Project(l) => {
+                let layer = &model.layers()[l];
+                match layer.pre() {
+                    Some(pre) => {
+                        pre.forward_into(&self.x_cur[vi], &mut self.out_buf);
+                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
+                    }
+                    None => {
+                        let (cur, next) = (&self.x_cur, &mut self.x_next);
+                        Self::write_row(&mut next[vi], &cur[vi]);
+                    }
+                }
+            }
+            NtOp::Normalize(l) => {
+                let layer = &model.layers()[l];
+                let m = match self.prev_states[vi].take() {
+                    Some(state) => layer.agg().finish(&state, &node),
+                    None => vec![0.0; layer.agg_dim()],
+                };
+                layer
+                    .gamma()
+                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
+                Self::write_row(&mut self.x_next[vi], &self.out_buf);
+            }
+        }
+    }
+
+    /// MP completion of one edge `src → dst` in a scatter region: compute
+    /// φ on the *new* embedding and fold into the destination's aggregate.
+    pub(crate) fn mp_process_edge(
+        &mut self,
+        model: &GnnModel,
+        layer: usize,
+        src: NodeId,
+        dst: NodeId,
+        eid: u32,
+    ) {
+        if !self.functional {
+            return;
+        }
+        let l = &model.layers()[layer];
+        let weight = l.weighting().weight(self.ctx, src, dst);
+        let mctx = MessageCtx {
+            x_src: &self.x_next[src as usize],
+            x_dst: None,
+            edge_feat: self.graph.edge_feature(eid as usize),
+            edge_weight: weight,
+        };
+        l.phi().apply(&mctx, &mut self.msg_buf);
+        let state =
+            self.next_states[dst as usize].get_or_insert_with(|| l.agg().init(l.message_dim()));
+        l.agg().push(state, &self.msg_buf);
+    }
+
+    /// Full gather for destination `v` in a gather region (GAT): folds all
+    /// in-edges into `prev_states[v]`, which `nt_finalize` will consume.
+    pub(crate) fn gather_node(
+        &mut self,
+        model: &GnnModel,
+        layer: usize,
+        v: NodeId,
+        csc: &Adjacency,
+    ) {
+        if !self.functional {
+            return;
+        }
+        let l = &model.layers()[layer];
+        let mut state = l.agg().init(l.message_dim());
+        for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
+            let weight = l.weighting().weight(self.ctx, u, v);
+            let mctx = MessageCtx {
+                x_src: &self.x_cur[u as usize],
+                x_dst: Some(&self.x_cur[v as usize]),
+                edge_feat: self.graph.edge_feature(eid as usize),
+                edge_weight: weight,
+            };
+            l.phi().apply(&mctx, &mut self.msg_buf);
+            l.agg().push(&mut state, &self.msg_buf);
+        }
+        self.prev_states[v as usize] = Some(state);
+    }
+
+    /// Region boundary: new embeddings become current; this region's
+    /// aggregates become the next region's inputs.
+    pub(crate) fn advance_region(&mut self) {
+        std::mem::swap(&mut self.x_cur, &mut self.x_next);
+        std::mem::swap(&mut self.prev_states, &mut self.next_states);
+        for s in &mut self.next_states {
+            *s = None;
+        }
+    }
+}

@@ -49,19 +49,25 @@
 #![warn(missing_docs)]
 
 mod analytic;
+mod backend;
 mod config;
 mod energy;
 mod engine;
+mod exec;
 mod imbalance;
+mod pipeline;
 mod regions;
 mod resource;
 mod stream;
 mod trace;
+mod units;
 
-pub use analytic::analytic_cycles;
+pub use analytic::{analytic_cycles, AnalyticModel};
+pub use backend::{BackendReport, InferenceBackend};
 pub use config::{ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy};
 pub use energy::{graphs_per_kj, EnergyModel, FPGA_STATIC_WATTS};
-pub use engine::{Accelerator, PreparedGraph, RunReport, SimScratch};
+pub use engine::{Accelerator, PreparedGraph, RunReport};
+pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
 pub use stream::{LatencyStats, StreamReport};

@@ -1,0 +1,675 @@
+//! Region scheduler: the single per-cycle loop (with event-horizon
+//! fast-forward) that drives every dataflow region, plus the analytic
+//! sequential/lockstep schedules.
+//!
+//! All four pipeline strategies and both engine modes funnel through this
+//! module. The cycle-stepped strategies build the unit vectors from
+//! `crate::units` and hand them to [`run_dataflow`], which owns the
+//! per-cycle loop, the fast-forward scan, and the trace emission — so the
+//! reference mode, the fast-forward mode, and the tracer all execute the
+//! same unit code.
+
+use flowgnn_desim::{Cycle, Fifo};
+use flowgnn_graph::{Adjacency, Graph, NodeId};
+
+use crate::config::{EngineMode, GatherBanking, PipelineStrategy};
+use crate::engine::Accelerator;
+use crate::exec::ExecState;
+use crate::regions::{BankedEdges, NtOp, Region};
+use crate::trace::{LaneSymbol, RegionTrace};
+use crate::units::adapter::ScatterCtx;
+use crate::units::gather::{GatherCtx, GatherMp, GatherNt};
+use crate::units::mp::MpUnit;
+use crate::units::nt::NtUnit;
+use crate::units::{
+    AccCost, DataflowCtx, PureClass, RegionStats, UnitStep, FF_BACKOFF_MAX, HORIZON_INF,
+};
+
+/// Which kind of dataflow region the scheduler is driving; fixes the
+/// trace-lane order and the runaway diagnostics.
+#[derive(Clone, Copy)]
+enum RegionKind {
+    /// NT feeds MP through the multicast adapter (front = MP, back = NT).
+    Scatter,
+    /// MP feeds NT with aggregate tokens (front = NT, back = MP).
+    Gather,
+}
+
+/// The per-cycle loop shared by every cycle-stepped region.
+///
+/// `front` units step before `back` units each cycle (consumers step
+/// first so they pop flits committed on the previous cycle). The
+/// fast-forward scan also runs front-then-back, early-exiting as soon as
+/// any unit's horizon pins the cycle at zero (see DESIGN.md,
+/// "fast-forward invariant").
+#[allow(clippy::too_many_arguments)]
+fn run_dataflow<C, F, B>(
+    front: &mut [F],
+    back: &mut [B],
+    ctx: &mut C,
+    exec: &mut ExecState<'_>,
+    mut trace: Option<&mut RegionTrace>,
+    max_cycles: Cycle,
+    fast_forward: bool,
+    kind: RegionKind,
+) -> RegionStats
+where
+    C: DataflowCtx,
+    F: UnitStep<C> + std::fmt::Debug,
+    B: UnitStep<C> + std::fmt::Debug,
+{
+    let mut cycle: Cycle = 0;
+    let mut stats = RegionStats::default();
+    let mut front_syms: Vec<LaneSymbol> = Vec::new();
+    let mut back_syms: Vec<LaneSymbol> = Vec::new();
+    let mut front_hz: Vec<(u64, PureClass)> = Vec::with_capacity(front.len());
+    let mut back_hz: Vec<(u64, PureClass)> = Vec::with_capacity(back.len());
+    let (mut ff_skip, mut ff_penalty) = (0u64, 0u64);
+    loop {
+        // Event-horizon fast-forward: when every unit's next event (queue
+        // push/pop, node finalise, job transition) is provably at least
+        // `delta` cycles away, advance all counters, meters, and per-unit
+        // deterministic work by `delta` at once; the first cycle on which
+        // anything cross-unit *can* happen still runs through the
+        // unmodified per-cycle code below, so the engine stays
+        // cycle-exact.
+        if fast_forward && ff_skip == 0 {
+            front_hz.clear();
+            back_hz.clear();
+            // Scanning costs one pass over the units; when any unit
+            // already has an event this cycle (horizon 0) the scan is
+            // wasted, so bail out early and back off exponentially —
+            // skipping attempts never affects exactness, it only trades
+            // scan overhead against missed spans.
+            let mut delta = HORIZON_INF;
+            for u in front.iter() {
+                let hz = u.pure_horizon(ctx);
+                delta = delta.min(hz.0);
+                if delta == 0 {
+                    break;
+                }
+                front_hz.push(hz);
+            }
+            if delta > 0 {
+                for u in back.iter() {
+                    let hz = u.pure_horizon(ctx);
+                    delta = delta.min(hz.0);
+                    if delta == 0 {
+                        break;
+                    }
+                    back_hz.push(hz);
+                }
+            }
+            // Never jump past the runaway tripwire: a deadlocked (all-
+            // infinite) region lands just below the limit, then the
+            // per-cycle step trips the same panic the reference engine
+            // would reach.
+            delta = delta.min((max_cycles - 1).saturating_sub(cycle));
+            if delta == 0 {
+                ff_penalty = (ff_penalty * 2).clamp(1, FF_BACKOFF_MAX);
+                ff_skip = ff_penalty;
+            } else {
+                ff_penalty = 0;
+                for (u, &(_, class)) in front.iter_mut().zip(&front_hz) {
+                    u.fast_forward(delta, class, ctx, exec, &mut stats);
+                }
+                for (u, &(_, class)) in back.iter_mut().zip(&back_hz) {
+                    u.fast_forward(delta, class, ctx, exec, &mut stats);
+                }
+                cycle += delta;
+            }
+        } else {
+            ff_skip = ff_skip.saturating_sub(1);
+        }
+
+        let mut all_idle = true;
+        front_syms.clear();
+        back_syms.clear();
+        let tracing = trace.is_some();
+        for u in front.iter_mut() {
+            let sym = u.step(ctx, exec, &mut stats);
+            if !(sym == LaneSymbol::Idle && u.done(ctx)) {
+                all_idle = false;
+            }
+            if tracing {
+                front_syms.push(sym);
+            }
+        }
+        for u in back.iter_mut() {
+            let sym = u.step(ctx, exec, &mut stats);
+            if !(sym == LaneSymbol::Idle && u.done(ctx)) {
+                all_idle = false;
+            }
+            if tracing {
+                back_syms.push(sym);
+            }
+        }
+        if let Some(rt) = trace.as_deref_mut() {
+            // NT lanes render first in both kinds: scatter NTs are the
+            // back units, gather NTs are the front units.
+            match kind {
+                RegionKind::Scatter => {
+                    back_syms.extend_from_slice(&front_syms);
+                    rt.push_cycle(&back_syms);
+                }
+                RegionKind::Gather => {
+                    front_syms.extend_from_slice(&back_syms);
+                    rt.push_cycle(&front_syms);
+                }
+            }
+        }
+
+        ctx.commit_queues();
+        cycle += 1;
+
+        let front_done = front.iter().all(|u| u.done(ctx));
+        let back_done = back.iter().all(|u| u.done(ctx));
+        if front_done && back_done && ctx.queues_empty() {
+            break;
+        }
+        if cycle >= max_cycles {
+            match kind {
+                RegionKind::Scatter => {
+                    for (i, u) in back.iter().enumerate() {
+                        eprintln!("NT{i}: {u:?}");
+                    }
+                    for (i, u) in front.iter().enumerate() {
+                        eprintln!("MP{i}: {u:?}");
+                    }
+                    ctx.dump_queues();
+                    panic!("simulation exceeded {max_cycles} cycles — deadlock? (idle={all_idle})");
+                }
+                RegionKind::Gather => {
+                    panic!("gather simulation exceeded {max_cycles} cycles");
+                }
+            }
+        }
+    }
+    stats.cycles = cycle;
+    stats
+}
+
+/// Human-readable label for a pipeline region (used by traces).
+pub(crate) fn region_label(region: &Region) -> String {
+    let nt = match region.nt_op {
+        NtOp::Encode => "encode".to_string(),
+        NtOp::Gamma(l) => format!("gamma(L{l})"),
+        NtOp::Project(l) => format!("project(L{l})"),
+        NtOp::Normalize(l) => format!("normalize(L{l})"),
+    };
+    match (region.scatter_layer, region.gather_layer) {
+        (Some(s), _) => format!("{nt} + scatter(L{s})"),
+        (_, Some(gl)) => format!("gather(L{gl}) + {nt}"),
+        _ => nt,
+    }
+}
+
+impl Accelerator {
+    /// NT accumulate cycles per node in a region (initiation interval; the
+    /// pipeline fill latency `nt_pipeline_depth` is charged once per region
+    /// by the caller, as an II=1 hardware pipeline amortises it).
+    ///
+    /// The Encode region is costed per node on the *nonzero* feature count:
+    /// the input-stationary accumulate skips zero inputs, which is what
+    /// makes sparse bag-of-words features (Cora at 1.27% density) cheap —
+    /// the same property AWB-GCN's zero-skipping SpMM exploits.
+    fn acc_cycles(&self, region: &Region, g: &Graph) -> AccCost {
+        let pa = self.config().p_apply as u64;
+        if region.nt_op == NtOp::Encode {
+            let feats = g.node_features();
+            let per_node: Vec<u64> = (0..g.num_nodes())
+                .map(|v| (feats.row_nnz(v) as u64).max(1).div_ceil(pa))
+                .collect();
+            return AccCost::PerNode(per_node);
+        }
+        let compute: u64 = if region.nt_fc.is_empty() {
+            (region.nt_read_dim as u64).div_ceil(pa)
+        } else {
+            region
+                .nt_fc
+                .iter()
+                .map(|&(i, _)| (i as u64).div_ceil(pa))
+                .sum()
+        };
+        AccCost::Uniform(compute.max(1))
+    }
+
+    /// NT output cycles per node in a region.
+    fn out_cycles(&self, region: &Region) -> u64 {
+        (region.payload_dim as u64).div_ceil(self.config().p_apply as u64)
+    }
+
+    /// Flits per node-embedding through the adapter.
+    fn flits_per_node(&self, region: &Region) -> usize {
+        region.payload_dim.div_ceil(self.config().p_scatter)
+    }
+
+    /// MP cycles per edge in a scatter/gather region for `layer`.
+    fn chunks_per_edge(&self, layer: usize) -> u64 {
+        (self.model().layers()[layer].message_dim() as u64).div_ceil(self.config().p_scatter as u64)
+    }
+
+    /// Generous upper bound on region cycles, used as a deadlock tripwire.
+    fn runaway_limit(&self, g: &Graph) -> Cycle {
+        let n = g.num_nodes() as u64 + 1;
+        let e = g.num_edges() as u64 + 1;
+        let dim = self
+            .regions()
+            .iter()
+            .map(|r| r.nt_read_dim.max(r.payload_dim))
+            .max()
+            .unwrap_or(1) as u64
+            + 1;
+        1_000 + 64 * (n + e) * dim
+    }
+
+    // ----- scatter-style regions (NT→MP and NT-only) --------------------
+
+    pub(crate) fn simulate_scatter_region(
+        &self,
+        region: &Region,
+        g: &Graph,
+        banked: &BankedEdges,
+        exec: &mut ExecState<'_>,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        match self.config().strategy {
+            PipelineStrategy::NonPipelined => {
+                self.scatter_sequential(region, g, banked, exec, false, trace)
+            }
+            PipelineStrategy::FixedPipeline => {
+                self.scatter_sequential(region, g, banked, exec, true, trace)
+            }
+            PipelineStrategy::BaselineDataflow | PipelineStrategy::FlowGnn => {
+                self.scatter_dataflow(region, g, banked, exec, trace)
+            }
+        }
+    }
+
+    /// Fig. 4(a)/(b): exact sequential or lockstep schedules. Functional
+    /// execution is identical; only the timing formula differs.
+    fn scatter_sequential(
+        &self,
+        region: &Region,
+        g: &Graph,
+        banked: &BankedEdges,
+        exec: &mut ExecState<'_>,
+        lockstep: bool,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        let n = g.num_nodes();
+        let acc = self.acc_cycles(region, g);
+        let out = self.out_cycles(region);
+        let nt_time = |v: NodeId| acc.get(v) + out;
+        let chunks = region.scatter_layer.map(|l| self.chunks_per_edge(l));
+
+        // Functional pass: NT for every node, then MP for every edge.
+        for v in 0..n as NodeId {
+            exec.nt_finalize(self.model(), region, v);
+        }
+        if let Some(layer) = region.scatter_layer {
+            for v in 0..n as NodeId {
+                for k in 0..banked.p_edge() {
+                    for &(dst, eid) in banked.edges(k, v) {
+                        exec.mp_process_edge(self.model(), layer, v, dst, eid);
+                    }
+                }
+            }
+        }
+
+        // Timing.
+        let mp_time = |v: NodeId| -> u64 {
+            match chunks {
+                Some(c) => {
+                    let e: usize = (0..banked.p_edge()).map(|k| banked.edges(k, v).len()).sum();
+                    if e == 0 {
+                        0
+                    } else {
+                        e as u64 * c + 1
+                    }
+                }
+                None => 0,
+            }
+        };
+        let nt_total: u64 = (0..n as NodeId).map(nt_time).sum();
+        let mp_total: u64 = (0..n as NodeId).map(mp_time).sum();
+        let cycles = if lockstep {
+            // Step i: NT(node i) ∥ MP(node i−1); each step is the max.
+            let mut t = 0u64;
+            let mut prev_mp = 0u64;
+            for v in 0..n as NodeId {
+                t += nt_time(v).max(prev_mp);
+                prev_mp = mp_time(v);
+            }
+            t + prev_mp
+        } else {
+            nt_total + mp_total
+        };
+
+        // Synthesised trace: these schedules are analytic, so the lanes
+        // are reconstructed rather than recorded.
+        if let Some(rt) = trace {
+            let has_mp = chunks.is_some();
+            if lockstep {
+                let mut prev_mp = 0u64;
+                for v in 0..n as NodeId {
+                    let step = nt_time(v).max(prev_mp);
+                    for c in 0..step {
+                        let nt_sym = if c < nt_time(v) {
+                            LaneSymbol::Busy
+                        } else {
+                            LaneSymbol::Idle
+                        };
+                        if has_mp {
+                            let mp_sym = if c < prev_mp {
+                                LaneSymbol::Busy
+                            } else {
+                                LaneSymbol::Idle
+                            };
+                            rt.push_cycle(&[nt_sym, mp_sym]);
+                        } else {
+                            rt.push_cycle(&[nt_sym]);
+                        }
+                    }
+                    prev_mp = mp_time(v);
+                }
+                for _ in 0..prev_mp {
+                    if has_mp {
+                        rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
+                    } else {
+                        rt.push_cycle(&[LaneSymbol::Idle]);
+                    }
+                }
+            } else {
+                for _ in 0..nt_total {
+                    if has_mp {
+                        rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
+                    } else {
+                        rt.push_cycle(&[LaneSymbol::Busy]);
+                    }
+                }
+                if has_mp {
+                    for _ in 0..mp_total {
+                        rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
+                    }
+                }
+            }
+        }
+        RegionStats {
+            cycles,
+            nt_busy: nt_total,
+            mp_busy: mp_total,
+            ..Default::default()
+        }
+    }
+
+    /// Fig. 4(c)/(d): the queue-decoupled dataflow, cycle-stepped through
+    /// [`run_dataflow`] over [`NtUnit`]/[`MpUnit`] sharing a
+    /// [`ScatterCtx`].
+    fn scatter_dataflow(
+        &self,
+        region: &Region,
+        g: &Graph,
+        banked: &BankedEdges,
+        exec: &mut ExecState<'_>,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        let n = g.num_nodes();
+        let p_node = self.config().effective_p_node();
+        let p_edge = self.config().effective_p_edge();
+        let scatter = region.scatter_layer;
+
+        let mut ctx = ScatterCtx {
+            // One queue per (NT, MP) pair.
+            queues: (0..p_node * p_edge)
+                .map(|_| Fifo::new(self.config().queue_capacity))
+                .collect(),
+            p_edge,
+            intake: (self.config().p_apply / self.config().p_scatter).max(1),
+            flits_total: self.flits_per_node(region),
+            chunks: scatter.map(|l| self.chunks_per_edge(l)),
+            scatter,
+            node_granularity: self.config().strategy == PipelineStrategy::BaselineDataflow,
+            p_apply: self.config().p_apply,
+            p_scatter: self.config().p_scatter,
+            payload: region.payload_dim,
+            acc: self.acc_cycles(region, g),
+            region,
+            banked,
+            model: self.model(),
+        };
+        let mut nts: Vec<NtUnit> = (0..p_node).map(|i| NtUnit::new(i, n, p_node)).collect();
+        // NT-only regions deploy no MP units (nothing ever stepped them).
+        let mut mps: Vec<MpUnit> = if scatter.is_some() {
+            (0..p_edge).map(MpUnit::new).collect()
+        } else {
+            Vec::new()
+        };
+        let fast_forward = self.config().engine == EngineMode::FastForward && trace.is_none();
+        run_dataflow(
+            &mut mps,
+            &mut nts,
+            &mut ctx,
+            exec,
+            trace,
+            self.runaway_limit(g),
+            fast_forward,
+            RegionKind::Scatter,
+        )
+    }
+
+    // ----- gather-style regions (MP→NT models) ---------------------------
+
+    pub(crate) fn simulate_gather_region(
+        &self,
+        region: &Region,
+        g: &Graph,
+        csc: &Adjacency,
+        exec: &mut ExecState<'_>,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        let layer = region.gather_layer.expect("gather region");
+        match self.config().strategy {
+            PipelineStrategy::NonPipelined => {
+                self.gather_sequential(region, g, csc, exec, layer, false, trace)
+            }
+            PipelineStrategy::FixedPipeline => {
+                self.gather_sequential(region, g, csc, exec, layer, true, trace)
+            }
+            PipelineStrategy::BaselineDataflow | PipelineStrategy::FlowGnn => {
+                match self.config().gather_banking {
+                    GatherBanking::Destination => {
+                        self.gather_dataflow(region, g, csc, exec, layer, trace)
+                    }
+                    GatherBanking::Source => self.gather_source_banked(region, g, csc, exec, layer),
+                }
+            }
+        }
+    }
+
+    /// The paper's source-banked gather (Sec. III-D2): MP unit *k* owns
+    /// sources `s ≡ k (mod P_edge)` and accumulates *partial* aggregates
+    /// per destination. Destinations\' aggregates are only final once every
+    /// unit has drained its edges, so the node transformations run after a
+    /// barrier. Timing: `max_k(unit k edge work) + NT phase`; the
+    /// functional result is identical to destination banking up to
+    /// floating-point reordering.
+    fn gather_source_banked(
+        &self,
+        region: &Region,
+        g: &Graph,
+        csc: &Adjacency,
+        exec: &mut ExecState<'_>,
+        layer: usize,
+    ) -> RegionStats {
+        let n = g.num_nodes();
+        let p_edge = self.config().effective_p_edge();
+        let p_node = self.config().effective_p_node();
+        let chunks = self.chunks_per_edge(layer);
+        let acc = match self.acc_cycles(region, g) {
+            AccCost::Uniform(c) => c,
+            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
+        };
+        let out = self.out_cycles(region);
+
+        // Functional: gather per destination (the merged partials).
+        for v in 0..n as NodeId {
+            exec.gather_node(self.model(), layer, v, csc);
+            exec.nt_finalize(self.model(), region, v);
+        }
+
+        // Timing: per-unit edge work by *source* bank; the slowest unit
+        // sets the MP phase (plus one header cycle per owned source).
+        let out_deg = g.out_degrees();
+        let mut unit_work = vec![0u64; p_edge];
+        for s in 0..n {
+            unit_work[s % p_edge] += out_deg[s] as u64 * chunks + 1;
+        }
+        let mp_phase = unit_work.iter().copied().max().unwrap_or(0);
+        let mp_total: u64 = unit_work.iter().sum();
+
+        // NT phase after the merge barrier: nodes distributed over P_node
+        // units, II = max(acc, out) with ping-pong, plus one fill.
+        let nt_ii = acc.max(out).max(1);
+        let nt_phase = (n as u64).div_ceil(p_node as u64) * nt_ii + acc + out;
+        let nt_total = n as u64 * (acc + out);
+
+        RegionStats {
+            cycles: mp_phase + nt_phase,
+            nt_busy: nt_total,
+            mp_busy: mp_total,
+            ..Default::default()
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gather_sequential(
+        &self,
+        region: &Region,
+        g: &Graph,
+        csc: &Adjacency,
+        exec: &mut ExecState<'_>,
+        layer: usize,
+        lockstep: bool,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        let n = g.num_nodes();
+        let chunks = self.chunks_per_edge(layer);
+        let acc = match self.acc_cycles(region, g) {
+            AccCost::Uniform(c) => c,
+            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
+        };
+        let out = self.out_cycles(region);
+        let nt_time = acc + out;
+
+        for v in 0..n as NodeId {
+            exec.gather_node(self.model(), layer, v, csc);
+            exec.nt_finalize(self.model(), region, v);
+        }
+
+        let mp_time = |v: NodeId| -> u64 { csc.degree(v) as u64 * chunks + 1 };
+        let mp_total: u64 = (0..n as NodeId).map(mp_time).sum();
+        let nt_total = n as u64 * nt_time;
+        let cycles = if lockstep {
+            // Gather order: step v runs MP(node v) ∥ NT(node v−1).
+            let mut t = 0u64;
+            for v in 0..n as NodeId {
+                t += mp_time(v).max(if v == 0 { 0 } else { nt_time });
+            }
+            t + nt_time
+        } else {
+            mp_total + nt_total
+        };
+
+        // Synthesised lanes (analytic schedule; gather runs MP before NT).
+        if let Some(rt) = trace {
+            if lockstep {
+                let mut carried_nt = 0u64;
+                for v in 0..n as NodeId {
+                    let step = mp_time(v).max(carried_nt);
+                    for c in 0..step {
+                        rt.push_cycle(&[
+                            if c < carried_nt {
+                                LaneSymbol::Busy
+                            } else {
+                                LaneSymbol::Idle
+                            },
+                            if c < mp_time(v) {
+                                LaneSymbol::Busy
+                            } else {
+                                LaneSymbol::Idle
+                            },
+                        ]);
+                    }
+                    carried_nt = nt_time;
+                }
+                for _ in 0..nt_time {
+                    rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
+                }
+            } else {
+                for _ in 0..mp_total {
+                    rt.push_cycle(&[LaneSymbol::Idle, LaneSymbol::Busy]);
+                }
+                for _ in 0..nt_total {
+                    rt.push_cycle(&[LaneSymbol::Busy, LaneSymbol::Idle]);
+                }
+            }
+        }
+        RegionStats {
+            cycles,
+            nt_busy: nt_total,
+            mp_busy: mp_total,
+            ..Default::default()
+        }
+    }
+
+    /// Gather dataflow: MP units (destination-banked) produce whole-node
+    /// aggregates into queues; NT units consume and finalise — both
+    /// cycle-stepped through [`run_dataflow`] over
+    /// [`GatherNt`]/[`GatherMp`] sharing a [`GatherCtx`].
+    fn gather_dataflow(
+        &self,
+        region: &Region,
+        g: &Graph,
+        csc: &Adjacency,
+        exec: &mut ExecState<'_>,
+        layer: usize,
+        trace: Option<&mut RegionTrace>,
+    ) -> RegionStats {
+        let n = g.num_nodes();
+        let p_node = self.config().effective_p_node();
+        let p_edge = self.config().effective_p_edge();
+        let acc = match self.acc_cycles(region, g) {
+            AccCost::Uniform(c) => c,
+            AccCost::PerNode(_) => unreachable!("gather regions are never Encode"),
+        };
+        let out = self.out_cycles(region);
+
+        let mut ctx = GatherCtx {
+            queues: (0..p_edge * p_node)
+                .map(|_| Fifo::new(self.config().queue_capacity))
+                .collect(),
+            p_node,
+            p_edge,
+            chunks: self.chunks_per_edge(layer),
+            nt_time: acc + out,
+            layer,
+            csc,
+            region,
+            model: self.model(),
+        };
+        let mut nts: Vec<GatherNt> = (0..p_node).map(|i| GatherNt::new(i, n, p_node)).collect();
+        let mut mps: Vec<GatherMp> = (0..p_edge).map(|k| GatherMp::new(k, n, p_edge)).collect();
+        let fast_forward = self.config().engine == EngineMode::FastForward && trace.is_none();
+        run_dataflow(
+            &mut nts,
+            &mut mps,
+            &mut ctx,
+            exec,
+            trace,
+            self.runaway_limit(g),
+            fast_forward,
+            RegionKind::Gather,
+        )
+    }
+}

@@ -3,7 +3,8 @@
 use flowgnn_desim::{cycles_to_ms, Cycle};
 use flowgnn_graph::GraphStream;
 
-use crate::engine::{Accelerator, SimScratch};
+use crate::engine::Accelerator;
+use crate::exec::SimScratch;
 
 /// Latency statistics over a stream of graphs (all in milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -197,6 +197,54 @@ mod tests {
     }
 
     #[test]
+    fn downsampled_render_matches_golden() {
+        // 40 cycles into 8 columns: bucket = 5 cycles per glyph.
+        let mut t = RegionTrace::new("demo-long", vec!["NT0".into(), "MP0".into()]);
+        for i in 0..40usize {
+            let nt = match i / 10 {
+                0 => LaneSymbol::Busy,
+                1 => LaneSymbol::StallFull,
+                2 => LaneSymbol::StallEmpty,
+                _ => LaneSymbol::Idle,
+            };
+            // MP: one busy cycle per bucket for the first half, then idle
+            // except a single backpressure blip at cycle 27.
+            let mp = if i < 20 {
+                if i % 5 == 4 {
+                    LaneSymbol::Busy
+                } else {
+                    LaneSymbol::StallEmpty
+                }
+            } else if i == 27 {
+                LaneSymbol::StallFull
+            } else {
+                LaneSymbol::Idle
+            };
+            t.push_cycle(&[nt, mp]);
+        }
+        let expected = "-- demo-long (40 cycles) --\n\
+                        NT0 ##>>..  \n\
+                        MP0 #### >  \n";
+        assert_eq!(t.render(8), expected);
+        // Widths below the floor are clamped to 8 columns.
+        assert_eq!(t.render(1), expected);
+    }
+
+    #[test]
+    fn downsampling_keeps_ragged_tail_bucket() {
+        // 20 cycles at width 8: bucket = 3, so 7 columns — the last one
+        // covering only the final 2 cycles.
+        let mut t = RegionTrace::new("ragged", vec!["u".into()]);
+        for _ in 0..18 {
+            t.push_cycle(&[LaneSymbol::Idle]);
+        }
+        t.push_cycle(&[LaneSymbol::Busy]);
+        t.push_cycle(&[LaneSymbol::Busy]);
+        let s = t.render(8);
+        assert_eq!(s, "-- ragged (20 cycles) --\nu       #\n");
+    }
+
+    #[test]
     fn busy_fraction_counts_correctly() {
         let trace = Trace {
             regions: vec![demo()],

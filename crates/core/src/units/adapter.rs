@@ -1,0 +1,73 @@
+//! NT-to-MP multicast adapter (paper Sec. III-C, Fig. 3): the
+//! `P_node × P_edge` grid of registered queues that decouples the NT and
+//! MP units in scatter regions, plus the shared region context
+//! ([`ScatterCtx`]) the units operate in.
+//!
+//! The adapter is flit-granular and each (NT, MP) queue makes progress
+//! independently — atomic multicast would deadlock: two MP units each
+//! waiting on a different NT's flits can fill the cross queues.
+
+use flowgnn_desim::Fifo;
+use flowgnn_graph::NodeId;
+use flowgnn_models::GnnModel;
+
+use crate::regions::{BankedEdges, Region};
+use crate::units::{AccCost, DataflowCtx};
+
+/// A flit through the NT-to-MP adapter: `P_scatter` embedding elements of
+/// one node (values live in the execution state; flits carry timing).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Flit {
+    pub(crate) node: NodeId,
+}
+
+/// Queue index for the (NT unit, MP bank) pair.
+pub(crate) fn qindex(nt_unit: usize, k: usize, p_edge: usize) -> usize {
+    nt_unit * p_edge + k
+}
+
+/// Shared context of one scatter-style region (NT→MP or NT-only): the
+/// adapter's queue grid plus the region's static cost parameters.
+pub(crate) struct ScatterCtx<'a> {
+    /// The adapter: one queue per (NT, MP) pair, indexed by [`qindex`].
+    pub(crate) queues: Vec<Fifo<Flit>>,
+    pub(crate) p_edge: usize,
+    /// Flit pops per MP unit per cycle: `max(P_apply / P_scatter, 1)`.
+    pub(crate) intake: usize,
+    /// Flits per node-embedding through the adapter.
+    pub(crate) flits_total: usize,
+    /// MP cycles per edge; `None` in NT-only regions (no MP units).
+    pub(crate) chunks: Option<u64>,
+    /// `Some(layer)` when the region scatters messages for that layer.
+    pub(crate) scatter: Option<usize>,
+    /// Node-granular forwarding (BaselineDataflow) vs flit-granular
+    /// (FlowGnn).
+    pub(crate) node_granularity: bool,
+    pub(crate) p_apply: usize,
+    pub(crate) p_scatter: usize,
+    /// NT payload (output embedding) dimension.
+    pub(crate) payload: usize,
+    /// NT accumulate cost per node.
+    pub(crate) acc: AccCost,
+    pub(crate) region: &'a Region,
+    pub(crate) banked: &'a BankedEdges,
+    pub(crate) model: &'a GnnModel,
+}
+
+impl DataflowCtx for ScatterCtx<'_> {
+    fn commit_queues(&mut self) {
+        for q in &mut self.queues {
+            q.commit();
+        }
+    }
+
+    fn queues_empty(&self) -> bool {
+        self.queues.iter().all(Fifo::is_empty)
+    }
+
+    fn dump_queues(&self) {
+        for (i, q) in self.queues.iter().enumerate() {
+            eprintln!("Q{i}: len={} ready={}", q.len(), q.ready_len());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Gather-path units (paper Sec. III-D, GAT-style MP→NT regions):
+//! destination-banked MP units walk each destination's in-edges (CSC
+//! adjacency) and produce whole-node aggregate tokens; NT units consume
+//! the tokens and finalise. The source-banked alternative (Sec. III-D2)
+//! is an analytic schedule and lives in the scheduler module.
+
+use flowgnn_desim::Fifo;
+use flowgnn_graph::{Adjacency, NodeId};
+use flowgnn_models::GnnModel;
+
+use crate::exec::ExecState;
+use crate::regions::Region;
+use crate::trace::LaneSymbol;
+use crate::units::{DataflowCtx, PureClass, RegionStats, UnitStep, HORIZON_INF};
+
+/// Shared context of one gather region: the aggregate-token queue grid
+/// (one queue per (MP, NT) pair) plus the region's static parameters.
+pub(crate) struct GatherCtx<'a> {
+    /// One queue per (MP, NT) pair, holding whole-node aggregate tokens;
+    /// indexed by [`GatherCtx::qid`].
+    pub(crate) queues: Vec<Fifo<NodeId>>,
+    pub(crate) p_node: usize,
+    pub(crate) p_edge: usize,
+    /// MP cycles per edge.
+    pub(crate) chunks: u64,
+    /// NT cycles per node (accumulate + output).
+    pub(crate) nt_time: u64,
+    /// The layer being gathered.
+    pub(crate) layer: usize,
+    pub(crate) csc: &'a Adjacency,
+    pub(crate) region: &'a Region,
+    pub(crate) model: &'a GnnModel,
+}
+
+impl GatherCtx<'_> {
+    /// Queue index for the (MP unit, NT unit) pair.
+    pub(crate) fn qid(&self, mp: usize, nt: usize) -> usize {
+        mp * self.p_node + nt
+    }
+}
+
+impl DataflowCtx for GatherCtx<'_> {
+    fn commit_queues(&mut self) {
+        for q in &mut self.queues {
+            q.commit();
+        }
+    }
+
+    fn queues_empty(&self) -> bool {
+        self.queues.iter().all(Fifo::is_empty)
+    }
+
+    fn dump_queues(&self) {
+        for (i, q) in self.queues.iter().enumerate() {
+            eprintln!("Q{i}: len={} ready={}", q.len(), q.ready_len());
+        }
+    }
+}
+
+/// Gather-path MP unit: owns destinations `v ≡ index (mod P_edge)` and
+/// walks each one's in-edges, emitting one aggregate token per node.
+#[derive(Debug)]
+pub(crate) struct GatherMp {
+    index: usize,
+    dests: Vec<NodeId>,
+    next: usize,
+    remaining: u64,
+}
+
+impl GatherMp {
+    pub(crate) fn new(index: usize, n: usize, p_edge: usize) -> Self {
+        Self {
+            index,
+            dests: (0..n)
+                .filter(|v| v % p_edge == index)
+                .map(|v| v as NodeId)
+                .collect(),
+            next: 0,
+            remaining: 0,
+        }
+    }
+}
+
+impl<'a> UnitStep<GatherCtx<'a>> for GatherMp {
+    fn step(
+        &mut self,
+        ctx: &mut GatherCtx<'a>,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) -> LaneSymbol {
+        if self.next >= self.dests.len() {
+            return LaneSymbol::Idle;
+        }
+        let mut sym = LaneSymbol::Busy;
+        let v = self.dests[self.next];
+        if self.remaining == 0 {
+            // Start this destination's gather.
+            self.remaining = ctx.csc.degree(v) as u64 * ctx.chunks + 1;
+        }
+        self.remaining -= 1;
+        stats.mp_busy += 1;
+        if self.remaining == 0 {
+            // Finished: produce the aggregate token if there is room,
+            // else retry next cycle (backpressure).
+            let q_index = ctx.qid(self.index, v as usize % ctx.p_node);
+            if ctx.queues[q_index].is_full() {
+                self.remaining = 1; // stall: retry the push
+                stats.mp_busy -= 1;
+                stats.mp_stall += 1;
+                sym = LaneSymbol::StallFull;
+            } else {
+                exec.gather_node(ctx.model, ctx.layer, v, ctx.csc);
+                ctx.queues[q_index].push(v);
+                self.next += 1;
+            }
+        }
+        sym
+    }
+
+    /// Pure-cycle horizon (see the NT unit's variant): cycles where only
+    /// `remaining` counts down, or a frozen stall/idle.
+    fn pure_horizon(&self, ctx: &GatherCtx<'a>) -> (u64, PureClass) {
+        if self.next >= self.dests.len() {
+            return (HORIZON_INF, PureClass::Idle);
+        }
+        match self.remaining {
+            // Starts (or retries) a destination this cycle.
+            0 => (0, PureClass::Busy),
+            1 => {
+                let v = self.dests[self.next] as usize;
+                if ctx.queues[ctx.qid(self.index, v % ctx.p_node)].is_full() {
+                    // The retry loop leaves `remaining == 1` and
+                    // accrues a stall until the queue drains.
+                    (HORIZON_INF, PureClass::StallFull)
+                } else {
+                    (0, PureClass::Busy) // produces the token
+                }
+            }
+            rem => (rem - 1, PureClass::Busy),
+        }
+    }
+
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        _ctx: &GatherCtx<'a>,
+        _exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                self.remaining -= delta;
+                stats.mp_busy += delta;
+            }
+            PureClass::StallFull | PureClass::StallEmpty => {
+                stats.mp_stall += delta;
+            }
+            PureClass::Idle => {}
+        }
+    }
+
+    fn done(&self, _ctx: &GatherCtx<'a>) -> bool {
+        self.next >= self.dests.len()
+    }
+}
+
+/// Gather-path NT unit: consumes aggregate tokens for nodes
+/// `v ≡ index (mod P_node)` round-robin across the MP banks and runs the
+/// node transformation.
+#[derive(Debug)]
+pub(crate) struct GatherNt {
+    index: usize,
+    job: Option<(NodeId, u64)>,
+    rr: usize,
+    completed: usize,
+    expected: usize,
+}
+
+impl GatherNt {
+    pub(crate) fn new(index: usize, n: usize, p_node: usize) -> Self {
+        Self {
+            index,
+            job: None,
+            rr: 0,
+            completed: 0,
+            expected: (0..n).filter(|v| v % p_node == index).count(),
+        }
+    }
+}
+
+impl<'a> UnitStep<GatherCtx<'a>> for GatherNt {
+    fn step(
+        &mut self,
+        ctx: &mut GatherCtx<'a>,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) -> LaneSymbol {
+        let sym;
+        match &mut self.job {
+            Some((v, rem)) => {
+                *rem -= 1;
+                stats.nt_busy += 1;
+                sym = LaneSymbol::Busy;
+                if *rem == 0 {
+                    exec.nt_finalize(ctx.model, ctx.region, *v);
+                    self.completed += 1;
+                    self.job = None;
+                }
+            }
+            None => {
+                // Round-robin over this NT's input queues.
+                let mut found = false;
+                for off in 0..ctx.p_edge {
+                    let k = (self.rr + off) % ctx.p_edge;
+                    let q_index = ctx.qid(k, self.index);
+                    if let Some(v) = ctx.queues[q_index].pop() {
+                        self.rr = (k + 1) % ctx.p_edge;
+                        self.job = Some((v, ctx.nt_time));
+                        found = true;
+                        break;
+                    }
+                }
+                if !found && self.completed < self.expected {
+                    stats.nt_stall += 1;
+                    sym = LaneSymbol::StallEmpty;
+                } else if found {
+                    sym = LaneSymbol::Busy;
+                } else {
+                    sym = LaneSymbol::Idle;
+                }
+            }
+        }
+        sym
+    }
+
+    /// Pure-cycle horizon (see the scatter NT unit's variant).
+    fn pure_horizon(&self, ctx: &GatherCtx<'a>) -> (u64, PureClass) {
+        match self.job {
+            Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
+            None => {
+                let any_input =
+                    (0..ctx.p_edge).any(|k| !ctx.queues[ctx.qid(k, self.index)].is_empty());
+                if any_input {
+                    (0, PureClass::Busy) // pops a token this cycle
+                } else if self.completed < self.expected {
+                    (HORIZON_INF, PureClass::StallEmpty)
+                } else {
+                    (HORIZON_INF, PureClass::Idle)
+                }
+            }
+        }
+    }
+
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        _ctx: &GatherCtx<'a>,
+        _exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                if let Some((_, rem)) = &mut self.job {
+                    *rem -= delta;
+                }
+                stats.nt_busy += delta;
+            }
+            PureClass::StallEmpty | PureClass::StallFull => {
+                stats.nt_stall += delta;
+            }
+            PureClass::Idle => {}
+        }
+    }
+
+    fn done(&self, _ctx: &GatherCtx<'a>) -> bool {
+        self.job.is_none() && self.completed == self.expected
+    }
+}

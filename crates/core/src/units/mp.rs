@@ -1,0 +1,254 @@
+//! Message-passing (MP) unit for scatter regions (paper Sec. III-B/C,
+//! Fig. 3 "MP unit"): destination-banked edge processing — unit `k` owns
+//! edges whose destination is `≡ k (mod P_edge)` — consuming flits from
+//! the multicast adapter and folding one `P_scatter`-element message chunk
+//! per cycle into the destination aggregates.
+
+use std::collections::VecDeque;
+
+use flowgnn_graph::NodeId;
+
+use crate::exec::ExecState;
+use crate::trace::LaneSymbol;
+use crate::units::adapter::ScatterCtx;
+use crate::units::{outcome_symbol, PureClass, RegionStats, StepOutcome, UnitStep, HORIZON_INF};
+
+/// One MP unit (edge bank `index`).
+#[derive(Debug)]
+pub(crate) struct MpUnit {
+    index: usize,
+    rr: usize,
+    /// Active job (front) plus at most one prefetching job: the MP unit's
+    /// local embedding buffer is ping-ponged, so the next node's flits are
+    /// received while the current node's edges are still processing.
+    jobs: VecDeque<MpJob>,
+}
+
+#[derive(Debug)]
+struct MpJob {
+    node: NodeId,
+    queue: usize,
+    flits_recv: usize,
+    edge_cursor: usize,
+    chunk: u64,
+}
+
+impl MpUnit {
+    /// Local-buffer ping-pong depth: one active + one prefetching node.
+    const MAX_JOBS: usize = 2;
+
+    pub(crate) fn new(index: usize) -> Self {
+        Self {
+            index,
+            rr: 0,
+            jobs: VecDeque::with_capacity(Self::MAX_JOBS),
+        }
+    }
+
+    fn is_drained(&self, ctx: &ScatterCtx<'_>) -> bool {
+        self.jobs.is_empty()
+            && (0..ctx.queues.len() / ctx.p_edge)
+                .all(|nt| ctx.queues[nt * ctx.p_edge + self.index].is_empty())
+    }
+
+    fn step_outcome(&mut self, ctx: &mut ScatterCtx<'_>, exec: &mut ExecState<'_>) -> StepOutcome {
+        let layer = ctx.scatter.expect("MP unit in a region without scatter");
+        let chunks_per_edge = ctx.chunks.expect("MP unit in a region without chunks");
+        let flits_total = ctx.flits_total;
+        let p_node = ctx.queues.len() / ctx.p_edge;
+        // Flit intake, up to `intake` pops per cycle. Receives into the
+        // youngest job until its embedding is complete, then opens a
+        // prefetch job from any non-empty queue.
+        for _ in 0..ctx.intake {
+            let receiving = self.jobs.back_mut().filter(|j| j.flits_recv < flits_total);
+            match receiving {
+                Some(job) => match ctx.queues[job.queue].pop() {
+                    Some(flit) => {
+                        debug_assert_eq!(flit.node, job.node, "interleaved node flits in queue");
+                        job.flits_recv += 1;
+                    }
+                    None => break,
+                },
+                None => {
+                    if self.jobs.len() >= Self::MAX_JOBS {
+                        break;
+                    }
+                    let mut started = false;
+                    for off in 0..p_node {
+                        let nt = (self.rr + off) % p_node;
+                        let q = nt * ctx.p_edge + self.index;
+                        if let Some(flit) = ctx.queues[q].pop() {
+                            self.rr = (nt + 1) % p_node;
+                            self.jobs.push_back(MpJob {
+                                node: flit.node,
+                                queue: q,
+                                flits_recv: 1,
+                                edge_cursor: 0,
+                                chunk: 0,
+                            });
+                            started = true;
+                            break;
+                        }
+                    }
+                    if !started {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Processing: one message chunk per cycle on the front job.
+        let mut active = false;
+        if let Some(job) = self.jobs.front_mut() {
+            let edges = ctx.banked.edges(self.index, job.node);
+            if job.edge_cursor < edges.len() {
+                let required = if ctx.node_granularity {
+                    flits_total
+                } else {
+                    // Chunk c of an edge needs a proportional share of the
+                    // payload flits to have arrived.
+                    (((job.chunk + 1) as usize * flits_total).div_ceil(chunks_per_edge as usize))
+                        .min(flits_total)
+                };
+                if job.flits_recv >= required {
+                    job.chunk += 1;
+                    active = true;
+                    if job.chunk == chunks_per_edge {
+                        let (dst, eid) = edges[job.edge_cursor];
+                        exec.mp_process_edge(ctx.model, layer, job.node, dst, eid);
+                        job.edge_cursor += 1;
+                        job.chunk = 0;
+                    }
+                }
+            }
+            if job.edge_cursor == edges.len() && job.flits_recv == flits_total {
+                self.jobs.pop_front();
+            }
+        }
+        if active {
+            StepOutcome::Busy
+        } else if self.jobs.is_empty() {
+            StepOutcome::Idle
+        } else {
+            // A job exists but no chunk advanced: starved for flits.
+            StepOutcome::StallEmpty
+        }
+    }
+}
+
+impl<'a> UnitStep<ScatterCtx<'a>> for MpUnit {
+    fn step(
+        &mut self,
+        ctx: &mut ScatterCtx<'a>,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) -> LaneSymbol {
+        let outcome = self.step_outcome(ctx, exec);
+        match outcome {
+            StepOutcome::Busy => stats.mp_busy += 1,
+            StepOutcome::StallEmpty | StepOutcome::StallFull => stats.mp_stall += 1,
+            StepOutcome::Idle => {}
+        }
+        outcome_symbol(outcome)
+    }
+
+    /// Pure-cycle horizon for this unit (see `NtUnit`'s variant): cycles
+    /// where neither intake nor edge completion can occur and only the
+    /// front job's chunk counter advances — or a frozen stall/idle.
+    fn pure_horizon(&self, ctx: &ScatterCtx<'a>) -> (u64, PureClass) {
+        let flits_total = ctx.flits_total;
+        let chunks_per_edge = ctx.chunks.expect("MP unit in a region without chunks");
+        let p_node = ctx.queues.len() / ctx.p_edge;
+        let owned_nonempty =
+            (0..p_node).any(|nt| !ctx.queues[nt * ctx.p_edge + self.index].is_empty());
+        let Some(front) = self.jobs.front() else {
+            return if owned_nonempty {
+                (0, PureClass::Busy) // would open a job this cycle
+            } else {
+                (HORIZON_INF, PureClass::Idle)
+            };
+        };
+        // Intake: any possible pop this cycle pins the horizon at zero.
+        let back = self.jobs.back().expect("front exists");
+        if back.flits_recv < flits_total {
+            if !ctx.queues[back.queue].is_empty() {
+                return (0, PureClass::Busy);
+            }
+        } else if self.jobs.len() < Self::MAX_JOBS && owned_nonempty {
+            return (0, PureClass::Busy);
+        }
+        // No intake possible (queues are frozen while every unit is pure),
+        // so only the front job's chunk counter can move.
+        let edges = ctx.banked.edges(self.index, front.node);
+        if front.edge_cursor >= edges.len() {
+            return if front.flits_recv == flits_total {
+                (0, PureClass::Busy) // retires the job this cycle
+            } else {
+                (HORIZON_INF, PureClass::StallEmpty)
+            };
+        }
+        let f = front.flits_recv;
+        if f >= flits_total {
+            // The whole embedding has arrived: this job deterministically
+            // chews through its remaining edges with no queue interaction
+            // until the retire cycle. Edge completions inside that span
+            // are per-unit deterministic work (each MP bank folds into a
+            // disjoint destination set), so `fast_forward` replays them in
+            // order; only the cycle that completes the *last* edge stays
+            // live, because it also retires the job.
+            let span = (edges.len() - front.edge_cursor) as u64 * chunks_per_edge - front.chunk;
+            return (span - 1, PureClass::Busy);
+        }
+        if ctx.node_granularity {
+            return (HORIZON_INF, PureClass::StallEmpty);
+        }
+        // Flit granularity: chunk c can advance while its proportional
+        // flit share has arrived, i.e. while c + 1 <= f·chunks/flits
+        // (the integer inverse of `required` in `step`). With f below
+        // flits_total, max_reachable stays below chunks_per_edge, so no
+        // edge can complete inside this span.
+        let max_reachable = f as u64 * chunks_per_edge / flits_total as u64;
+        if front.chunk + 1 > max_reachable {
+            (HORIZON_INF, PureClass::StallEmpty)
+        } else {
+            (max_reachable - front.chunk, PureClass::Busy)
+        }
+    }
+
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        ctx: &ScatterCtx<'a>,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                if let Some(job) = self.jobs.front_mut() {
+                    let layer = ctx.scatter.expect("MP unit in a region without scatter");
+                    let chunks_per_edge = ctx.chunks.expect("MP unit in a region without chunks");
+                    // Replay the per-cycle recurrence in closed form:
+                    // `delta` chunk advances, one edge completing per
+                    // `chunks_per_edge` of them. The horizon guarantees
+                    // the cursor stays short of the final edge.
+                    let edges = ctx.banked.edges(self.index, job.node);
+                    let progress = job.chunk + delta;
+                    job.chunk = progress % chunks_per_edge;
+                    for _ in 0..progress / chunks_per_edge {
+                        let (dst, eid) = edges[job.edge_cursor];
+                        exec.mp_process_edge(ctx.model, layer, job.node, dst, eid);
+                        job.edge_cursor += 1;
+                    }
+                }
+                stats.mp_busy += delta;
+            }
+            PureClass::StallEmpty | PureClass::StallFull => stats.mp_stall += delta,
+            PureClass::Idle => {}
+        }
+    }
+
+    fn done(&self, ctx: &ScatterCtx<'a>) -> bool {
+        self.is_drained(ctx)
+    }
+}

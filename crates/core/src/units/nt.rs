@@ -1,0 +1,248 @@
+//! Node-transformation (NT) unit for scatter-style regions (paper
+//! Sec. III-B, Fig. 3 "NT unit"): a two-stage accumulate/output ping-pong
+//! processing `P_apply` embedding elements per cycle, streaming finished
+//! embeddings into the multicast adapter flit by flit.
+
+use flowgnn_graph::NodeId;
+
+use crate::exec::ExecState;
+use crate::trace::LaneSymbol;
+use crate::units::adapter::{qindex, Flit, ScatterCtx};
+use crate::units::{outcome_symbol, PureClass, RegionStats, StepOutcome, UnitStep, HORIZON_INF};
+
+/// One NT unit: owns nodes `v ≡ index (mod P_node)`.
+#[derive(Debug)]
+pub(crate) struct NtUnit {
+    index: usize,
+    nodes: Vec<NodeId>,
+    next: usize,
+    /// Accumulate stage: `(node, cycles remaining)`; 0 remaining = waiting
+    /// to move into the output stage.
+    acc: Option<(NodeId, u64)>,
+    out: Option<OutJob>,
+    finished_nodes: usize,
+}
+
+#[derive(Debug)]
+struct OutJob {
+    node: NodeId,
+    targets: Vec<usize>,
+    /// Flits delivered to each target queue (independent progress per
+    /// queue — atomic multicast would deadlock: two MP units each waiting
+    /// on a different NT's flits can fill the cross queues).
+    pushed: Vec<usize>,
+    /// Embedding elements produced so far (`P_apply` per cycle).
+    elems_produced: usize,
+}
+
+impl NtUnit {
+    pub(crate) fn new(index: usize, n: usize, p_node: usize) -> Self {
+        Self {
+            index,
+            nodes: (0..n)
+                .filter(|v| v % p_node == index)
+                .map(|v| v as NodeId)
+                .collect(),
+            next: 0,
+            acc: None,
+            out: None,
+            finished_nodes: 0,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished_nodes == self.nodes.len()
+    }
+
+    fn step_outcome(&mut self, ctx: &mut ScatterCtx<'_>, exec: &mut ExecState<'_>) -> StepOutcome {
+        let mut active = false;
+        let mut blocked_output = false;
+        let unit = self.index;
+        let payload = ctx.payload;
+
+        // OUTPUT stage: stream the current node's embedding, flit by flit.
+        // Each target queue makes progress independently; a full queue
+        // backpressures only its own copy of the multicast.
+        if let Some(job) = &mut self.out {
+            if job.elems_produced < payload {
+                job.elems_produced = (job.elems_produced + ctx.p_apply).min(payload);
+                active = true;
+            }
+            let flits_avail = if job.elems_produced == payload {
+                ctx.flits_total
+            } else {
+                job.elems_produced / ctx.p_scatter
+            };
+            let per_cycle = ctx.p_apply.div_ceil(ctx.p_scatter).max(1);
+            let mut all_delivered = true;
+            for (pushed, &k) in job.pushed.iter_mut().zip(&job.targets) {
+                let q = &mut ctx.queues[qindex(unit, k, ctx.p_edge)];
+                let mut budget = per_cycle;
+                while *pushed < flits_avail && budget > 0 && q.try_push(Flit { node: job.node }) {
+                    *pushed += 1;
+                    budget -= 1;
+                    active = true;
+                }
+                if *pushed < ctx.flits_total {
+                    all_delivered = false;
+                }
+            }
+            if all_delivered && job.elems_produced == payload {
+                self.out = None;
+                self.finished_nodes += 1;
+            } else if !active {
+                // Fully produced but undelivered: downstream backpressure.
+                blocked_output = true;
+            }
+        }
+
+        // ACCUMULATE stage.
+        match &mut self.acc {
+            Some((v, rem)) => {
+                if *rem > 0 {
+                    *rem -= 1;
+                    active = true;
+                }
+                if *rem == 0 && self.out.is_some() {
+                    // Head-of-line: accumulate finished but the output
+                    // stage still holds the previous node.
+                    blocked_output = true;
+                }
+                if *rem == 0 && self.out.is_none() {
+                    let v = *v;
+                    exec.nt_finalize(ctx.model, ctx.region, v);
+                    let targets = if ctx.scatter.is_some() {
+                        ctx.banked.targets(v)
+                    } else {
+                        Vec::new()
+                    };
+                    if targets.is_empty() && ctx.scatter.is_some() {
+                        // No out-edges in any bank: nothing to stream.
+                        self.finished_nodes += 1;
+                    } else {
+                        // NT-only regions stream to no queues: the output
+                        // cycles still elapse (embedding-buffer write).
+                        let pushed = vec![0; targets.len()];
+                        self.out = Some(OutJob {
+                            node: v,
+                            targets,
+                            pushed,
+                            elems_produced: 0,
+                        });
+                    }
+                    self.acc = None;
+                }
+            }
+            None => {
+                if self.next < self.nodes.len() {
+                    let v = self.nodes[self.next];
+                    self.next += 1;
+                    self.acc = Some((v, ctx.acc.get(v).max(1)));
+                    active = true;
+                }
+            }
+        }
+        if active {
+            StepOutcome::Busy
+        } else if blocked_output {
+            StepOutcome::StallFull
+        } else {
+            StepOutcome::Idle
+        }
+    }
+}
+
+impl<'a> UnitStep<ScatterCtx<'a>> for NtUnit {
+    fn step(
+        &mut self,
+        ctx: &mut ScatterCtx<'a>,
+        exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) -> LaneSymbol {
+        let outcome = self.step_outcome(ctx, exec);
+        match outcome {
+            StepOutcome::Busy => stats.nt_busy += 1,
+            StepOutcome::StallEmpty | StepOutcome::StallFull => stats.nt_stall += 1,
+            StepOutcome::Idle => {}
+        }
+        outcome_symbol(outcome)
+    }
+
+    /// How many upcoming cycles this unit is guaranteed to spend purely
+    /// counting (accumulate countdown, backpressured or target-less
+    /// element production) or holding a constant stall/idle state,
+    /// assuming no queue changes — plus the meter class those cycles
+    /// accrue. Any cycle that could push a flit, finalise a node, retire
+    /// an output job, or fetch the next node pins the horizon at zero so
+    /// `step` executes it exactly.
+    fn pure_horizon(&self, ctx: &ScatterCtx<'a>) -> (u64, PureClass) {
+        let Some(job) = &self.out else {
+            return match &self.acc {
+                Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
+                None if self.next < self.nodes.len() => (0, PureClass::Busy),
+                None => (HORIZON_INF, PureClass::Idle),
+            };
+        };
+        // A push happens whenever some undelivered target queue has room
+        // (for a no-target NT-only job, `all` is vacuously true).
+        let blocked = job.pushed.iter().zip(&job.targets).all(|(&pushed, &k)| {
+            pushed >= ctx.flits_total || ctx.queues[qindex(self.index, k, ctx.p_edge)].is_full()
+        });
+        if !blocked {
+            return (0, PureClass::Busy);
+        }
+        if job.elems_produced < ctx.payload {
+            // Producing into a backpressured (or target-less) output: pure
+            // Busy until the cycle on which production completes, which
+            // can retire the job. The accumulate counter runs alongside
+            // and sits at zero if it finishes first — no constraint.
+            if self.acc.is_none() && self.next < self.nodes.len() {
+                return (0, PureClass::Busy); // fetches a node this cycle
+            }
+            let remaining_elems = (ctx.payload - job.elems_produced) as u64;
+            return (
+                remaining_elems.div_ceil(ctx.p_apply as u64) - 1,
+                PureClass::Busy,
+            );
+        }
+        // Fully produced, all undelivered targets backpressured: only the
+        // accumulate counter moves.
+        match &self.acc {
+            Some((_, rem)) if *rem >= 1 => (*rem, PureClass::Busy),
+            Some(_) => (HORIZON_INF, PureClass::StallFull),
+            None if self.next < self.nodes.len() => (0, PureClass::Busy),
+            None => (HORIZON_INF, PureClass::StallFull),
+        }
+    }
+
+    fn fast_forward(
+        &mut self,
+        delta: u64,
+        class: PureClass,
+        ctx: &ScatterCtx<'a>,
+        _exec: &mut ExecState<'_>,
+        stats: &mut RegionStats,
+    ) {
+        match class {
+            PureClass::Busy => {
+                if let Some(job) = &mut self.out {
+                    if job.elems_produced < ctx.payload {
+                        // Horizon guarantees this stays strictly below
+                        // payload, so the retire cycle remains live.
+                        job.elems_produced += delta as usize * ctx.p_apply;
+                    }
+                }
+                if let Some((_, rem)) = &mut self.acc {
+                    *rem = rem.saturating_sub(delta);
+                }
+                stats.nt_busy += delta;
+            }
+            PureClass::StallFull | PureClass::StallEmpty => stats.nt_stall += delta,
+            PureClass::Idle => {}
+        }
+    }
+
+    fn done(&self, _ctx: &ScatterCtx<'a>) -> bool {
+        self.is_done()
+    }
+}

@@ -119,6 +119,54 @@ fn flowgnn_dominates_baseline_dataflow() {
     }
 }
 
+/// `run_stream` / `run_stream_overlapped` latency statistics obey their
+/// invariants over random models, configurations, and streams.
+///
+/// Note which invariants hold where: the overlapped runner's `mean_ms` is
+/// *makespan*-based (`total_cycles / graphs` with load/compute overlap),
+/// so inter-graph pipelining can legitimately push the mean *below* the
+/// slowest — or even the fastest — individual graph latency. `min <= mean`
+/// is therefore asserted only for the sequential runner; per-graph min/max
+/// must be bitwise identical across both runners (the per-graph latencies
+/// themselves do not change, only their scheduling).
+#[test]
+fn stream_latency_stats_invariants() {
+    use flowgnn::core::StreamReport;
+    use flowgnn::graph::generators::MoleculeLike;
+
+    let mut rng = Rng::seed_from_u64(0xF10_0006);
+    for _ in 0..12 {
+        let config = random_arch(&mut rng).with_execution(ExecutionMode::TimingOnly);
+        let mean_nodes = 8.0 + rng.gen_range(0u64..12) as f64;
+        let seed = rng.gen_range(0u64..1000);
+        let graphs = rng.gen_range(2usize..8);
+        let model = GnnModel::gcn_with(9, 16, 2, true, seed);
+        let acc = Accelerator::new(model, config);
+        let stream = || MoleculeLike::new(mean_nodes, seed).stream(graphs);
+
+        let seq: StreamReport = acc.run_stream(stream(), graphs);
+        let ovl: StreamReport = acc.run_stream_overlapped(stream(), graphs);
+
+        // Sequential: a true per-graph average sits between the extremes.
+        assert_eq!(seq.graphs, graphs);
+        assert!(seq.latency.min_ms > 0.0);
+        assert!(seq.latency.min_ms <= seq.latency.mean_ms, "{seq:?}");
+        assert!(seq.latency.mean_ms <= seq.latency.max_ms, "{seq:?}");
+        assert!(seq.amortized_latency_ms() >= seq.latency.mean_ms);
+        assert!(seq.graphs_per_second() > 0.0);
+
+        // Overlapped: per-graph stats unchanged, makespan never worse.
+        assert_eq!(ovl.graphs, seq.graphs);
+        assert_eq!(ovl.weight_load_cycles, seq.weight_load_cycles);
+        assert_eq!(ovl.latency.min_ms.to_bits(), seq.latency.min_ms.to_bits());
+        assert_eq!(ovl.latency.max_ms.to_bits(), seq.latency.max_ms.to_bits());
+        assert!(ovl.total_cycles <= seq.total_cycles, "{ovl:?} vs {seq:?}");
+        assert!(ovl.latency.mean_ms > 0.0);
+        assert!(ovl.latency.mean_ms <= ovl.latency.max_ms, "{ovl:?}");
+        assert!(ovl.amortized_latency_ms() >= ovl.latency.mean_ms);
+    }
+}
+
 /// Graph-structure permutations of the node ids leave the *functional*
 /// prediction invariant (workload-agnosticism sanity: the architecture may
 /// schedule differently, the answer may not change).
