@@ -7,7 +7,7 @@
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              throughput all
+//!              banking scorecard serve throughput all
 //!              (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
@@ -38,6 +38,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "utilization",
     "banking",
     "scorecard",
+    "serve",
     "throughput",
 ];
 
@@ -209,6 +210,20 @@ fn main() {
                 None,
             ),
             "scorecard" => emit("scorecard", &experiments::scorecard(sample).table(), None),
+            "serve" => {
+                let study = experiments::serve_tail_latency(sample);
+                emit(
+                    "serve_tail_latency",
+                    &study.table(),
+                    Some(study.sustainable_note()),
+                );
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_serve_tail_latency.json");
+                    if let Err(e) = std::fs::write(&path, study.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
             "throughput" => {
                 let report = throughput::measure(sample);
                 print!("{}", report.table());

@@ -10,6 +10,7 @@ mod imbalance;
 mod latency;
 mod resources;
 mod scorecard;
+mod serve;
 mod virtual_node;
 
 pub use ablation::{fig10, fig9, DsePoint, Fig10, Fig9, Fig9Step};
@@ -27,6 +28,10 @@ pub use latency::{
 };
 pub use resources::{table3, Table3, Table3Row, PAPER_TABLE3};
 pub use scorecard::{scorecard, Claim, Scorecard};
+pub use serve::{
+    serve_tail_latency, ServePoint, ServeStudy, SustainableRate, OFFERED_LOADS, PROCESSES,
+    QUEUE_CAPACITY, SLO_FACTOR,
+};
 pub use virtual_node::{fig6, Fig6, Fig6Row};
 
 use flowgnn_graph::datasets::DatasetSpec;

@@ -1,0 +1,19 @@
+//! Minimal std-only JSON emission shared by the `BENCH_*.json`
+//! perf-trajectory artifacts ([`crate::throughput`] and the serving
+//! sweep in [`crate::experiments`]).
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

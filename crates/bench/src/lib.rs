@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod json;
 pub mod microbench;
 pub mod par;
 mod table;

@@ -127,9 +127,7 @@ pub fn measure(sample: SampleSize) -> ThroughputReport {
     ThroughputReport { rows }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+use crate::json::json_escape;
 
 impl ThroughputReport {
     /// Fast-forward over reference speedup (wall-clock), aggregated over

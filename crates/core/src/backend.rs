@@ -12,6 +12,7 @@ use flowgnn_graph::{Graph, GraphStream};
 use crate::energy::EnergyModel;
 use crate::engine::Accelerator;
 use crate::resource::ResourceEstimate;
+use crate::serve::{ms_to_cycles, serve_trace, ServeConfig, ServeReport};
 
 /// One platform's result for one workload (a graph, a shape, or a stream).
 ///
@@ -130,6 +131,29 @@ pub trait InferenceBackend {
             normalized_us: dsps.map(|d| (us / c) * d as f64 / 4096.0),
         }
     }
+
+    /// Serves up to `limit` graphs of `stream` as an *open-loop* request
+    /// trace: graphs arrive per `config.arrivals`, wait in the bounded
+    /// admission queue, and are serviced one at a time. Returns the
+    /// tail-latency decomposition ([`ServeReport`]): queueing wait plus
+    /// service per request, p50/p95/p99/max sojourns, and the drop rate.
+    ///
+    /// The default derives each request's service time from
+    /// [`Self::run_graph`]'s millisecond latency, quantised to cycles —
+    /// correct for every analytic platform model. The cycle engine
+    /// overrides this with its native cycle-exact service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot serve an empty graph stream");
+        let service: Vec<_> = stream
+            .map(|g| ms_to_cycles(self.run_graph(&g).latency_ms))
+            .collect();
+        serve_trace(&service, config)
+    }
 }
 
 impl InferenceBackend for Accelerator {
@@ -149,6 +173,13 @@ impl InferenceBackend for Accelerator {
             dsps: Some(resources.dsp),
             normalized_us: Some(us * resources.dsp as f64 / 4096.0),
         }
+    }
+
+    /// Overrides the default with the engine's cycle-exact service trace
+    /// ([`Accelerator::serve`]) instead of round-tripping latencies
+    /// through milliseconds.
+    fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
+        Accelerator::serve(self, stream, limit, config)
     }
 
     /// Overrides the default with the accelerator's native stream runner
@@ -228,6 +259,49 @@ mod tests {
         let report = Fixed.run_stream(MoleculeLike::new(12.0, 4).stream(3), 3);
         assert!((report.latency_ms - 2.0).abs() < 1e-12);
         assert!((report.graphs_per_kj - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_serve_reflects_per_graph_latency() {
+        use crate::serve::{ArrivalProcess, QueuePolicy};
+        struct Fixed;
+        impl InferenceBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn run_graph(&self, _g: &Graph) -> BackendReport {
+                BackendReport::from_ms(2.0, 500.0)
+            }
+        }
+        // Arrivals slower than the 2 ms service time: no queueing, every
+        // sojourn is exactly the service time.
+        let report = Fixed.serve(
+            MoleculeLike::new(12.0, 4).stream(5),
+            5,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed {
+                    gap: ms_to_cycles(3.0),
+                },
+                queue: QueuePolicy::Bounded(8),
+            },
+        );
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.dropped, 0);
+        assert!((report.p50_ms - 2.0).abs() < 1e-9);
+        assert!((report.max_ms - 2.0).abs() < 1e-9);
+        assert_eq!(report.mean_wait_ms, 0.0);
+    }
+
+    #[test]
+    fn accelerator_serve_override_is_cycle_exact() {
+        let a = acc();
+        let stream = || MoleculeLike::new(12.0, 4).stream(4);
+        let cfg = ServeConfig::closed_loop();
+        let native = Accelerator::serve(&a, stream(), 4, &cfg);
+        let via_trait = InferenceBackend::serve(&a, stream(), 4, &cfg);
+        assert_eq!(native, via_trait);
+        let closed = Accelerator::run_stream(&a, stream(), 4);
+        assert_eq!(native.makespan_cycles, closed.total_cycles);
     }
 
     #[test]

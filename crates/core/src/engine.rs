@@ -103,22 +103,6 @@ impl RunReport {
         self.stall_fraction_for(self.num_units)
     }
 
-    /// Mean utilisation against an explicit unit count.
-    #[deprecated(
-        note = "use `utilization()`: the unit count is recorded in `num_units` at construction"
-    )]
-    pub fn compute_utilization(&self, num_units: usize) -> f64 {
-        self.utilization_for(num_units)
-    }
-
-    /// Stall fraction against an explicit unit count.
-    #[deprecated(
-        note = "use `stalled_fraction()`: the unit count is recorded in `num_units` at construction"
-    )]
-    pub fn stall_fraction(&self, num_units: usize) -> f64 {
-        self.stall_fraction_for(num_units)
-    }
-
     fn utilization_for(&self, num_units: usize) -> f64 {
         if self.total_cycles == 0 || num_units == 0 {
             return 0.0;
@@ -609,23 +593,6 @@ mod tests {
         );
         assert!(report.stalled_fraction() >= 0.0);
         assert!(report.stalled_fraction() < 1.0);
-    }
-
-    #[test]
-    fn deprecated_shims_match_recorded_unit_count() {
-        let g = mol(9);
-        let report = Accelerator::new(GnnModel::gcn(9, 7), ArchConfig::default()).run(&g);
-        #[allow(deprecated)]
-        {
-            assert_eq!(
-                report.compute_utilization(report.num_units),
-                report.utilization()
-            );
-            assert_eq!(
-                report.stall_fraction(report.num_units),
-                report.stalled_fraction()
-            );
-        }
     }
 
     #[test]

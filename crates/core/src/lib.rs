@@ -58,6 +58,7 @@ mod imbalance;
 mod pipeline;
 mod regions;
 mod resource;
+pub mod serve;
 mod stream;
 mod trace;
 mod units;
@@ -70,5 +71,6 @@ pub use engine::{Accelerator, PreparedGraph, RunReport};
 pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
+pub use serve::{ArrivalProcess, QueuePolicy, RequestRecord, ServeConfig, ServeReport};
 pub use stream::{LatencyStats, StreamReport};
 pub use trace::{LaneSymbol, RegionTrace, Trace};

@@ -1,0 +1,591 @@
+//! Open-loop serving: request arrivals, admission queueing, and
+//! tail-latency accounting.
+//!
+//! The paper's evaluation is *closed-loop*: the next graph enters the
+//! accelerator the instant the previous one finishes, so only service
+//! time is visible. A real deployment is *open-loop* — requests arrive on
+//! their own schedule, queue behind the server, and experience
+//! `wait + service` sojourn times whose tail (p99, max) is the metric an
+//! SLO is written against. This module models that regime:
+//!
+//! - [`ArrivalProcess`] generates deterministic request-arrival traces:
+//!   fixed-rate, Poisson (exponential gaps), and bursty on-off, all
+//!   driven by the in-tree xoshiro PRNG so a seed pins the trace;
+//! - [`QueuePolicy`] bounds the admission queue: a request arriving to a
+//!   full queue is dropped (rejected immediately, never served);
+//! - [`serve_trace`] pushes a per-request service-time trace through the
+//!   single-server FIFO queue and returns a [`ServeReport`] that
+//!   decomposes every request into queueing wait plus service time and
+//!   summarises the sojourn distribution at p50/p95/p99/max.
+//!
+//! The closed-loop streaming evaluation is the degenerate point of this
+//! model — every request arrives at cycle 0 ([`ArrivalProcess::closed_loop`])
+//! with an unbounded queue — and `Accelerator::run_stream` is implemented
+//! as exactly that special case, so the paper-reproduction path and the
+//! serving path cannot drift apart.
+
+use flowgnn_desim::{cycles_to_ms, Cycle, CLOCK_HZ};
+use flowgnn_rng::Rng;
+
+/// Converts a millisecond latency to whole cycles at the simulated clock,
+/// rounding to nearest. Used to place analytic backends (whose models are
+/// native in milliseconds) on the cycle-quantised serving timeline.
+pub fn ms_to_cycles(ms: f64) -> Cycle {
+    (ms * CLOCK_HZ / 1e3).round() as Cycle
+}
+
+/// How requests arrive at the accelerator, as inter-arrival gaps in
+/// cycles. All processes are deterministic: the same process generates
+/// the same trace every time (random processes carry an explicit seed
+/// into the in-tree xoshiro256** PRNG).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic arrivals every `gap` cycles (gap 0 = all requests
+    /// pending at cycle 0, the closed-loop special case).
+    Fixed {
+        /// Inter-arrival gap in cycles.
+        gap: Cycle,
+    },
+    /// Poisson arrivals: independent exponential gaps with the given
+    /// mean, the standard open-loop load model.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean_gap: f64,
+        /// PRNG seed pinning the trace.
+        seed: u64,
+    },
+    /// Bursty on-off arrivals: within a burst, requests arrive every
+    /// `burst_gap` cycles; bursts end with probability `1 / mean_burst`
+    /// per request (geometric burst lengths) and are separated by
+    /// exponential idle gaps with mean `mean_idle_gap`.
+    OnOff {
+        /// Mean number of requests per burst (≥ 1).
+        mean_burst: f64,
+        /// Inter-arrival gap within a burst, in cycles.
+        burst_gap: Cycle,
+        /// Mean idle gap between bursts, in cycles.
+        mean_idle_gap: f64,
+        /// PRNG seed pinning the trace.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The closed-loop process: every request is already waiting at cycle
+    /// 0, so the server never idles — the paper's streaming evaluation.
+    pub fn closed_loop() -> Self {
+        ArrivalProcess::Fixed { gap: 0 }
+    }
+
+    /// A fixed-rate process arriving `rate_per_s` requests per second of
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive.
+    pub fn fixed_rate(rate_per_s: f64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Fixed {
+            gap: (CLOCK_HZ / rate_per_s).round() as Cycle,
+        }
+    }
+
+    /// A Poisson process with mean rate `rate_per_s` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive.
+    pub fn poisson_rate(rate_per_s: f64, seed: u64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Poisson {
+            mean_gap: CLOCK_HZ / rate_per_s,
+            seed,
+        }
+    }
+
+    /// Generates the arrival cycle of each of `n` requests, in
+    /// non-decreasing order (the first request arrives after one gap from
+    /// cycle 0, except the closed-loop gap-0 case where all arrive at 0).
+    pub fn arrivals(&self, n: usize) -> Vec<Cycle> {
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Fixed { gap } => {
+                let mut t: Cycle = 0;
+                for _ in 0..n {
+                    out.push(t);
+                    t += gap;
+                }
+            }
+            ArrivalProcess::Poisson { mean_gap, seed } => {
+                let mut rng = Rng::seed_from_u64(seed);
+                let mut t: Cycle = 0;
+                for _ in 0..n {
+                    t += exponential_cycles(&mut rng, mean_gap);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::OnOff {
+                mean_burst,
+                burst_gap,
+                mean_idle_gap,
+                seed,
+            } => {
+                assert!(mean_burst >= 1.0, "mean burst length must be >= 1");
+                let mut rng = Rng::seed_from_u64(seed);
+                let mut t: Cycle = 0;
+                for i in 0..n {
+                    if i > 0 {
+                        // End the current burst with probability 1/mean_burst.
+                        if rng.gen_bool(1.0 / mean_burst) {
+                            t += exponential_cycles(&mut rng, mean_idle_gap);
+                        } else {
+                            t += burst_gap;
+                        }
+                    }
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exponential inter-arrival draw, quantised to whole cycles.
+fn exponential_cycles(rng: &mut Rng, mean: f64) -> Cycle {
+    // gen_f64 is in [0, 1); 1-u is in (0, 1] so ln never sees zero.
+    let u = rng.gen_f64();
+    (-(1.0 - u).ln() * mean).round() as Cycle
+}
+
+/// Admission-queue bound. The queue holds requests that have arrived but
+/// not yet started service (the request *in* service occupies the server,
+/// not the queue). A request arriving while the queue is full is dropped:
+/// rejected at arrival, never served, counted in the drop rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// No bound: every request is eventually served.
+    Unbounded,
+    /// At most this many requests may wait; arrivals beyond that are
+    /// dropped.
+    Bounded(usize),
+}
+
+impl QueuePolicy {
+    fn capacity(self) -> usize {
+        match self {
+            QueuePolicy::Unbounded => usize::MAX,
+            QueuePolicy::Bounded(c) => c,
+        }
+    }
+}
+
+/// An open-loop serving scenario: the arrival process plus the admission
+/// queue bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// How requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// How many may wait.
+    pub queue: QueuePolicy,
+}
+
+impl ServeConfig {
+    /// The closed-loop configuration: gap-0 fixed-rate arrivals and an
+    /// unbounded queue. Serving under this config is cycle-exact
+    /// equivalent to the paper's back-to-back streaming.
+    pub fn closed_loop() -> Self {
+        Self {
+            arrivals: ArrivalProcess::closed_loop(),
+            queue: QueuePolicy::Unbounded,
+        }
+    }
+
+    /// An open-loop configuration over any arrival process with a bounded
+    /// admission queue.
+    pub fn open_loop(arrivals: ArrivalProcess, queue_capacity: usize) -> Self {
+        Self {
+            arrivals,
+            queue: QueuePolicy::Bounded(queue_capacity),
+        }
+    }
+}
+
+/// The lifecycle of one request through the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Cycle the request arrived.
+    pub arrival: Cycle,
+    /// Cycle service began (equals `arrival` for dropped requests).
+    pub start: Cycle,
+    /// Cycle service finished (equals `arrival` for dropped requests).
+    pub finish: Cycle,
+    /// Whether the request was rejected by the admission queue.
+    pub dropped: bool,
+}
+
+impl RequestRecord {
+    /// Cycles spent waiting in the admission queue.
+    pub fn wait_cycles(&self) -> Cycle {
+        self.start - self.arrival
+    }
+
+    /// Cycles spent in service.
+    pub fn service_cycles(&self) -> Cycle {
+        self.finish - self.start
+    }
+
+    /// Total cycles from arrival to completion (wait + service).
+    pub fn sojourn_cycles(&self) -> Cycle {
+        self.finish - self.arrival
+    }
+}
+
+/// Tail-latency summary of one open-loop serving run.
+///
+/// All latency summaries are over *completed* requests' sojourn times
+/// (queueing wait plus service); dropped requests contribute only to the
+/// drop rate. Percentiles use the nearest-rank convention (see
+/// [`percentile_nearest_rank`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests offered (arrival-trace length).
+    pub requests: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected by the admission queue.
+    pub dropped: usize,
+    /// Median sojourn latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst-case sojourn latency in milliseconds.
+    pub max_ms: f64,
+    /// Mean queueing wait in milliseconds (completed requests).
+    pub mean_wait_ms: f64,
+    /// Mean service time in milliseconds (completed requests).
+    pub mean_service_ms: f64,
+    /// Cycle the last completed request finished.
+    pub makespan_cycles: Cycle,
+    /// Per-request lifecycle records, in arrival order.
+    pub records: Vec<RequestRecord>,
+}
+
+impl ServeReport {
+    /// Fraction of offered requests that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.requests as f64
+    }
+
+    /// Completed requests per second of simulated time over the makespan.
+    pub fn throughput_per_s(&self) -> f64 {
+        let ms = cycles_to_ms(self.makespan_cycles);
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / (ms / 1e3)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// 1-indexed rank `ceil(p/100 × n)` (clamped to `[1, n]`), so `p = 50` on
+/// `[1, 2, 3, 4]` is `2` and `p = 100` is the maximum. Exact sample
+/// values are always returned — no interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Runs one service-time trace through the single-server FIFO admission
+/// queue under `config` and summarises the result.
+///
+/// `service[i]` is the service time, in cycles, request `i` will need if
+/// admitted. Arrivals come from `config.arrivals` (one per service
+/// entry); a request arriving when `config.queue` is full is dropped.
+/// The simulation is a deterministic O(n) scan, so sweeping arrival
+/// rates over a fixed service trace costs nothing beyond the scan.
+///
+/// # Panics
+///
+/// Panics if `service` is empty.
+pub fn serve_trace(service: &[Cycle], config: &ServeConfig) -> ServeReport {
+    assert!(!service.is_empty(), "cannot serve an empty request trace");
+    let arrivals = config.arrivals.arrivals(service.len());
+    let capacity = config.queue.capacity();
+
+    let mut records = Vec::with_capacity(service.len());
+    // Start cycles of admitted requests that may still be waiting; the
+    // front is popped once service has begun by the current arrival time.
+    let mut waiting: std::collections::VecDeque<Cycle> = std::collections::VecDeque::new();
+    let mut server_free: Cycle = 0;
+    for (&arrival, &service_cycles) in arrivals.iter().zip(service) {
+        while waiting.front().is_some_and(|&start| start <= arrival) {
+            waiting.pop_front();
+        }
+        let start = server_free.max(arrival);
+        // A request the idle server picks up immediately never occupies
+        // the queue; only requests that must wait need waiting room.
+        if start > arrival && waiting.len() >= capacity {
+            records.push(RequestRecord {
+                arrival,
+                start: arrival,
+                finish: arrival,
+                dropped: true,
+            });
+            continue;
+        }
+        let finish = start + service_cycles;
+        server_free = finish;
+        waiting.push_back(start);
+        records.push(RequestRecord {
+            arrival,
+            start,
+            finish,
+            dropped: false,
+        });
+    }
+
+    summarize(records)
+}
+
+fn summarize(records: Vec<RequestRecord>) -> ServeReport {
+    let requests = records.len();
+    let completed: Vec<&RequestRecord> = records.iter().filter(|r| !r.dropped).collect();
+    let dropped = requests - completed.len();
+
+    let mut sojourns_ms: Vec<f64> = completed
+        .iter()
+        .map(|r| cycles_to_ms(r.sojourn_cycles()))
+        .collect();
+    sojourns_ms.sort_by(f64::total_cmp);
+
+    let (p50_ms, p95_ms, p99_ms, max_ms) = if sojourns_ms.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (
+            percentile_nearest_rank(&sojourns_ms, 50.0),
+            percentile_nearest_rank(&sojourns_ms, 95.0),
+            percentile_nearest_rank(&sojourns_ms, 99.0),
+            *sojourns_ms.last().unwrap(),
+        )
+    };
+    let n = completed.len().max(1) as f64;
+    let mean_wait_ms = completed
+        .iter()
+        .map(|r| cycles_to_ms(r.wait_cycles()))
+        .sum::<f64>()
+        / n;
+    let mean_service_ms = completed
+        .iter()
+        .map(|r| cycles_to_ms(r.service_cycles()))
+        .sum::<f64>()
+        / n;
+    let makespan_cycles = completed.iter().map(|r| r.finish).max().unwrap_or(0);
+
+    ServeReport {
+        requests,
+        completed: completed.len(),
+        dropped,
+        p50_ms,
+        p95_ms,
+        p99_ms,
+        max_ms,
+        mean_wait_ms,
+        mean_service_ms,
+        makespan_cycles,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_arrivals_are_evenly_spaced() {
+        let a = ArrivalProcess::Fixed { gap: 100 }.arrivals(4);
+        assert_eq!(a, vec![0, 100, 200, 300]);
+        let closed = ArrivalProcess::closed_loop().arrivals(3);
+        assert_eq!(closed, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_rate_matched() {
+        let p = ArrivalProcess::Poisson {
+            mean_gap: 1000.0,
+            seed: 7,
+        };
+        let a = p.arrivals(5000);
+        assert_eq!(a, p.arrivals(5000), "same seed, same trace");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        let mean_gap = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (900.0..1100.0).contains(&mean_gap),
+            "empirical mean gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn onoff_trace_alternates_bursts_and_idles() {
+        let p = ArrivalProcess::OnOff {
+            mean_burst: 8.0,
+            burst_gap: 10,
+            mean_idle_gap: 10_000.0,
+            seed: 3,
+        };
+        let a = p.arrivals(2000);
+        let gaps: Vec<Cycle> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let in_burst = gaps.iter().filter(|&&g| g == 10).count();
+        let idle = gaps.iter().filter(|&&g| g > 1000).count();
+        assert!(in_burst > idle, "most gaps inside bursts");
+        assert!(idle > 50, "bursts do end: {idle} idle gaps");
+    }
+
+    #[test]
+    fn rate_constructors_convert_to_cycles() {
+        let ArrivalProcess::Fixed { gap } = ArrivalProcess::fixed_rate(300_000.0) else {
+            panic!("fixed_rate builds Fixed");
+        };
+        assert_eq!(gap, 1000); // 300 MHz / 300k per second
+        let ArrivalProcess::Poisson { mean_gap, .. } = ArrivalProcess::poisson_rate(300_000.0, 1)
+        else {
+            panic!("poisson_rate builds Poisson");
+        };
+        assert!((mean_gap - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_serves_back_to_back() {
+        let service = [100, 50, 25];
+        let report = serve_trace(&service, &ServeConfig::closed_loop());
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.makespan_cycles, 175);
+        // Sojourns are the cumulative sums (everyone queued at cycle 0).
+        let sojourns: Vec<Cycle> = report.records.iter().map(|r| r.sojourn_cycles()).collect();
+        assert_eq!(sojourns, vec![100, 150, 175]);
+    }
+
+    #[test]
+    fn slow_arrivals_never_wait() {
+        let service = [100, 100, 100];
+        let report = serve_trace(
+            &service,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed { gap: 1000 },
+                queue: QueuePolicy::Bounded(1),
+            },
+        );
+        assert_eq!(report.dropped, 0);
+        assert!(report.records.iter().all(|r| r.wait_cycles() == 0));
+        assert_eq!(report.mean_wait_ms, 0.0);
+        assert!((report.mean_service_ms - cycles_to_ms(100)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overload_with_bounded_queue_drops() {
+        // Service 10x slower than arrivals, queue of 2: the first request
+        // is served immediately, two wait, the rest mostly drop.
+        let service = vec![1000u64; 20];
+        let report = serve_trace(
+            &service,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed { gap: 100 },
+                queue: QueuePolicy::Bounded(2),
+            },
+        );
+        assert!(report.dropped > 0, "overload must drop");
+        assert!(report.completed + report.dropped == 20);
+        assert!(report.drop_rate() > 0.5, "rate {}", report.drop_rate());
+        // Completed requests' waits are bounded by queue depth x service.
+        for r in report.records.iter().filter(|r| !r.dropped) {
+            assert!(r.wait_cycles() <= 2 * 1000 + 1000);
+        }
+    }
+
+    #[test]
+    fn unbounded_overload_completes_everything_with_growing_waits() {
+        let service = vec![1000u64; 50];
+        let report = serve_trace(
+            &service,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed { gap: 100 },
+                queue: QueuePolicy::Unbounded,
+            },
+        );
+        assert_eq!(report.dropped, 0);
+        let first = report.records.first().unwrap().wait_cycles();
+        let last = report.records.last().unwrap().wait_cycles();
+        assert!(last > first, "queueing delay builds up under overload");
+        assert!(report.p99_ms > report.p50_ms);
+    }
+
+    #[test]
+    fn drops_do_not_pollute_latency_stats() {
+        let service = vec![1000u64; 10];
+        let bounded = serve_trace(
+            &service,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed { gap: 0 },
+                queue: QueuePolicy::Bounded(0),
+            },
+        );
+        // Capacity 0: first request goes straight to the idle server, the
+        // rest arrive at cycle 0 with no waiting room.
+        assert_eq!(bounded.completed, 1);
+        assert_eq!(bounded.dropped, 9);
+        assert!((bounded.max_ms - cycles_to_ms(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percentile_is_exact_on_small_sorted_inputs() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_nearest_rank(&v, 25.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&v, 50.0), 2.0);
+        assert_eq!(percentile_nearest_rank(&v, 75.0), 3.0);
+        assert_eq!(percentile_nearest_rank(&v, 99.0), 4.0);
+        assert_eq!(percentile_nearest_rank(&v, 100.0), 4.0);
+        // Ranks clamp at the extremes.
+        assert_eq!(percentile_nearest_rank(&v, 0.0), 1.0);
+        let one = [7.5];
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_nearest_rank(&one, p), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_returns_sample_values_only() {
+        let v = [0.5, 10.0, 100.0];
+        for p in [1.0, 33.0, 50.0, 66.0, 95.0, 99.0] {
+            assert!(v.contains(&percentile_nearest_rank(&v, p)), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        percentile_nearest_rank(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty request trace")]
+    fn serve_rejects_empty_trace() {
+        serve_trace(&[], &ServeConfig::closed_loop());
+    }
+
+    #[test]
+    fn ms_cycle_round_trip() {
+        assert_eq!(ms_to_cycles(1.0), 300_000);
+        assert_eq!(ms_to_cycles(cycles_to_ms(12_345)), 12_345);
+    }
+}

@@ -1,10 +1,21 @@
 //! Streaming evaluation: graphs processed back-to-back at batch size 1.
+//!
+//! Since the serving-layer refactor this is a thin wrapper over
+//! [`crate::serve`]: closed-loop streaming is exactly the open-loop
+//! serving loop at its degenerate point (every request pending at cycle
+//! 0, unbounded admission queue), so [`Accelerator::run_stream`] builds a
+//! per-graph service trace and pushes it through
+//! [`serve_trace`](crate::serve::serve_trace) under
+//! [`ServeConfig::closed_loop`]. The reports it returns are cycle-exact
+//! identical to the pre-refactor direct loop (pinned by
+//! `tests/differential.rs`).
 
 use flowgnn_desim::{cycles_to_ms, Cycle};
 use flowgnn_graph::GraphStream;
 
 use crate::engine::Accelerator;
 use crate::exec::SimScratch;
+use crate::serve::{serve_trace, ServeConfig, ServeReport};
 
 /// Latency statistics over a stream of graphs (all in milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,49 +52,82 @@ impl StreamReport {
 
     /// Throughput in graphs per second (without weight-load amortisation).
     pub fn graphs_per_second(&self) -> f64 {
-        if self.total_cycles == 0 {
+        let elapsed_ms = cycles_to_ms(self.total_cycles);
+        if elapsed_ms <= 0.0 {
             return 0.0;
         }
-        self.graphs as f64 / (cycles_to_ms(self.total_cycles) / 1e3)
+        self.graphs as f64 / (elapsed_ms / 1e3)
     }
 }
 
 impl Accelerator {
+    /// Cycle-exact per-graph service times for up to `limit` graphs of
+    /// `stream`: each graph run end-to-end through the engine at batch
+    /// size 1, reusing one scratch allocation across the stream. This is
+    /// the service trace both the closed-loop wrapper
+    /// ([`Accelerator::run_stream`]) and the open-loop server
+    /// ([`Accelerator::serve`]) feed into the queueing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    pub(crate) fn service_cycles(&self, stream: GraphStream, limit: usize) -> Vec<Cycle> {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot evaluate an empty graph stream");
+        let mut scratch = SimScratch::default();
+        stream
+            .map(|g| {
+                let prepared = self.prepare_owned(g);
+                self.run_prepared(&prepared, &mut scratch).total_cycles
+            })
+            .collect()
+    }
+
     /// Streams up to `limit` graphs through the accelerator, batch size 1,
     /// exactly as the paper's on-board evaluation does ("graphs are
     /// consecutively streamed into the accelerator ... with zero CPU
     /// intervention").
     ///
+    /// Implemented as the closed-loop special case of the serving layer:
+    /// every graph is pending at cycle 0 and the server never idles, so
+    /// per-request service times are the per-graph latencies and the
+    /// makespan is their sum.
+    ///
     /// # Panics
     ///
     /// Panics if the stream (after the limit) is empty.
     pub fn run_stream(&self, stream: GraphStream, limit: usize) -> StreamReport {
-        let stream = stream.take_prefix(limit);
-        assert!(!stream.is_empty(), "cannot evaluate an empty graph stream");
-        let mut graphs = 0usize;
-        let mut total: Cycle = 0;
+        let service = self.service_cycles(stream, limit);
+        let report = serve_trace(&service, &ServeConfig::closed_loop());
         let mut min_ms = f64::INFINITY;
         let mut max_ms: f64 = 0.0;
-        let mut scratch = SimScratch::default();
-        for g in stream {
-            let prepared = self.prepare_owned(g);
-            let report = self.run_prepared(&prepared, &mut scratch);
-            total += report.total_cycles;
-            let ms = report.latency_ms();
+        for r in &report.records {
+            let ms = cycles_to_ms(r.service_cycles());
             min_ms = min_ms.min(ms);
             max_ms = max_ms.max(ms);
-            graphs += 1;
         }
         StreamReport {
-            graphs,
+            graphs: report.completed,
             weight_load_cycles: self.weight_load_cycles(),
-            total_cycles: total,
+            total_cycles: report.makespan_cycles,
             latency: LatencyStats {
-                mean_ms: cycles_to_ms(total) / graphs as f64,
+                mean_ms: cycles_to_ms(report.makespan_cycles) / report.completed as f64,
                 min_ms,
                 max_ms,
             },
         }
+    }
+
+    /// Serves up to `limit` graphs of `stream` as an open-loop request
+    /// trace: graphs arrive per `config.arrivals`, wait in the bounded
+    /// admission queue, and are serviced one at a time with cycle-exact
+    /// engine latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    pub fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
+        serve_trace(&self.service_cycles(stream, limit), config)
     }
 
     /// Streams graphs with *inter-graph pipelining*: the next graph's COO
@@ -143,6 +187,7 @@ impl Accelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::{ArrivalProcess, QueuePolicy};
     use crate::ArchConfig;
     use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
     use flowgnn_models::GnnModel;
@@ -179,6 +224,68 @@ mod tests {
     #[should_panic(expected = "empty graph stream")]
     fn empty_stream_panics() {
         acc().run_stream(GraphStream::from_graphs(vec![]), 10);
+    }
+
+    #[test]
+    fn zero_graph_report_has_zero_throughput() {
+        // Guard on elapsed time, not cycle count: a report whose cycles
+        // round to zero milliseconds must not divide by zero.
+        let report = StreamReport {
+            graphs: 0,
+            weight_load_cycles: 0,
+            total_cycles: 0,
+            latency: LatencyStats {
+                mean_ms: 0.0,
+                min_ms: 0.0,
+                max_ms: 0.0,
+            },
+        };
+        assert_eq!(report.graphs_per_second(), 0.0);
+        assert_eq!(report.amortized_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn serve_slow_arrivals_match_isolated_latency() {
+        // Arrivals far slower than service: no queueing, every sojourn is
+        // the bare per-graph latency, so p-max equals the stream max.
+        let stream = || MoleculeLike::new(12.0, 4).stream(6);
+        let a = acc();
+        let closed = a.run_stream(stream(), 6);
+        let served = a.serve(
+            stream(),
+            6,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed {
+                    gap: closed.total_cycles, // one full stream per gap
+                },
+                queue: QueuePolicy::Bounded(4),
+            },
+        );
+        assert_eq!(served.dropped, 0);
+        assert_eq!(served.mean_wait_ms, 0.0);
+        assert!((served.max_ms - closed.latency.max_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_under_overload_builds_queueing_tail() {
+        let stream = || MoleculeLike::new(12.0, 4).stream(12);
+        let a = acc();
+        // Arrivals 4x faster than the mean service rate: waits accumulate.
+        let mean_service = a.run_stream(stream(), 12).total_cycles / 12;
+        let served = a.serve(
+            stream(),
+            12,
+            &ServeConfig {
+                arrivals: ArrivalProcess::Fixed {
+                    gap: (mean_service / 4).max(1),
+                },
+                queue: QueuePolicy::Unbounded,
+            },
+        );
+        assert_eq!(served.dropped, 0);
+        assert!(served.mean_wait_ms > 0.0);
+        assert!(served.p99_ms >= served.p50_ms);
+        assert!(served.max_ms > served.mean_service_ms);
     }
 
     #[test]

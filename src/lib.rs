@@ -46,7 +46,8 @@ pub use flowgnn_models as models;
 pub use flowgnn_tensor as tensor;
 
 pub use flowgnn_core::{
-    Accelerator, ArchConfig, EngineMode, ExecutionMode, PipelineStrategy, RunReport,
+    Accelerator, ArchConfig, ArrivalProcess, EngineMode, ExecutionMode, PipelineStrategy,
+    QueuePolicy, RunReport, ServeConfig, ServeReport,
 };
 pub use flowgnn_graph::{Graph, GraphStream};
 pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};

@@ -9,11 +9,14 @@
 //! workload-zoo graph families, and pipeline strategies. Any divergence,
 //! even one cycle or one ULP, is a bug in the horizon computation.
 
+use flowgnn::graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn::graph::generators::{
     ChungLu, ErdosRenyi, GraphGenerator, GridMesh, KnnPointCloud, MoleculeLike, SmallWorld,
 };
 use flowgnn::graph::Graph;
-use flowgnn::{Accelerator, ArchConfig, EngineMode, GnnModel, PipelineStrategy, RunReport};
+use flowgnn::{
+    Accelerator, ArchConfig, EngineMode, GnnModel, PipelineStrategy, RunReport, ServeConfig,
+};
 
 fn zoo() -> Vec<(&'static str, Graph)> {
     vec![
@@ -167,6 +170,65 @@ fn fast_forward_matches_traced_per_cycle_run() {
         assert_eq!(fast.total_cycles, traced.total_cycles);
         assert_eq!(fast.nt_busy_cycles, traced.nt_busy_cycles);
         assert_eq!(fast.mp_busy_cycles, traced.mp_busy_cycles);
+    }
+}
+
+#[test]
+fn closed_loop_serve_is_bit_identical_to_run_stream() {
+    // The serving-layer refactor claims closed-loop streaming is the
+    // degenerate point of the open-loop server (gap-0 fixed arrivals,
+    // unbounded queue). Pin that on three datasets against an
+    // *independent* reference: a plain per-graph `run()` loop computing
+    // the pre-refactor StreamReport aggregates directly.
+    use flowgnn::desim::cycles_to_ms;
+
+    let limit = 12;
+    for kind in [DatasetKind::MolHiv, DatasetKind::MolPcba, DatasetKind::Hep] {
+        let spec = DatasetSpec::standard(kind);
+        let model = GnnModel::gcn(spec.node_feat_dim(), 57);
+        let acc = Accelerator::new(model, ArchConfig::default());
+
+        // Independent reference: the pre-refactor direct loop.
+        let mut per_graph = Vec::new();
+        let mut total = 0u64;
+        let mut min_ms = f64::INFINITY;
+        let mut max_ms: f64 = 0.0;
+        for g in spec.stream().take_prefix(limit) {
+            let r = acc.run(&g);
+            per_graph.push(r.total_cycles);
+            total += r.total_cycles;
+            let ms = r.latency_ms();
+            min_ms = min_ms.min(ms);
+            max_ms = max_ms.max(ms);
+        }
+        let n = per_graph.len();
+        assert_eq!(n, limit, "{kind:?}: stream shorter than limit");
+
+        // The closed-loop wrapper must reproduce the direct loop exactly.
+        let stream = acc.run_stream(spec.stream(), limit);
+        assert_eq!(stream.graphs, n, "{kind:?}: graphs");
+        assert_eq!(stream.total_cycles, total, "{kind:?}: total_cycles");
+        assert_eq!(stream.latency.min_ms, min_ms, "{kind:?}: min_ms");
+        assert_eq!(stream.latency.max_ms, max_ms, "{kind:?}: max_ms");
+        assert_eq!(
+            stream.latency.mean_ms,
+            cycles_to_ms(total) / n as f64,
+            "{kind:?}: mean_ms"
+        );
+
+        // And the explicit gap-0 serve must be the same schedule: every
+        // request back-to-back, zero drops, makespan = sum of services.
+        let served = acc.serve(spec.stream(), limit, &ServeConfig::closed_loop());
+        assert_eq!(served.completed, n, "{kind:?}: served count");
+        assert_eq!(served.dropped, 0, "{kind:?}: drops");
+        assert_eq!(served.makespan_cycles, total, "{kind:?}: makespan");
+        let mut finish = 0u64;
+        for (i, (rec, &cycles)) in served.records.iter().zip(&per_graph).enumerate() {
+            assert_eq!(rec.arrival, 0, "{kind:?}[{i}]: arrival");
+            assert_eq!(rec.start, finish, "{kind:?}[{i}]: back-to-back start");
+            assert_eq!(rec.service_cycles(), cycles, "{kind:?}[{i}]: service");
+            finish = rec.finish;
+        }
     }
 }
 
