@@ -7,7 +7,7 @@
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              banking scorecard serve throughput all
+//!              banking scorecard serve scale throughput all
 //!              (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
@@ -39,6 +39,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "banking",
     "scorecard",
     "serve",
+    "scale",
     "throughput",
 ];
 
@@ -219,6 +220,16 @@ fn main() {
                 );
                 if let Some(dir) = &csv_dir {
                     let path = dir.join("BENCH_serve_tail_latency.json");
+                    if let Err(e) = std::fs::write(&path, study.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
+            "scale" => {
+                let study = experiments::scale_out(sample);
+                emit("scale_out", &study.table(), Some(study.sustainable_note()));
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_scale_out.json");
                     if let Err(e) = std::fs::write(&path, study.to_json()) {
                         eprintln!("cannot write {}: {e}", path.display());
                     }

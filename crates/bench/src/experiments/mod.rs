@@ -9,6 +9,7 @@ mod gcn_accel;
 mod imbalance;
 mod latency;
 mod resources;
+mod scale;
 mod scorecard;
 mod serve;
 mod virtual_node;
@@ -27,6 +28,10 @@ pub use latency::{
     fig7, fig8, table5, BatchSweep, Fig7, Fig8, Fig8Row, Table5, Table5Row, PAPER_TABLE5,
 };
 pub use resources::{table3, Table3, Table3Row, PAPER_TABLE3};
+pub use scale::{
+    scale_out, ScalePoint, ScaleStudy, ScaleSustainable, REPLICA_COUNTS, SCALE_LOADS,
+    SCALE_POLICIES, SCALE_PROCESSES,
+};
 pub use scorecard::{scorecard, Claim, Scorecard};
 pub use serve::{
     serve_tail_latency, ServePoint, ServeStudy, SustainableRate, OFFERED_LOADS, PROCESSES,

@@ -12,10 +12,7 @@
 //! rate*.
 
 use flowgnn_baselines::{AwbGcnBackend, CpuBackend, GpuBackend, IGcnBackend};
-use flowgnn_core::{
-    Accelerator, ArchConfig, ArrivalProcess, ExecutionMode, InferenceBackend, QueuePolicy,
-    ServeConfig,
-};
+use flowgnn_core::prelude::*;
 use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn_models::GnnModel;
 
@@ -283,10 +280,10 @@ pub fn serve_tail_latency(sample: SampleSize) -> ServeStudy {
             }
             other => unreachable!("unknown process {other}"),
         };
-        let config = ServeConfig {
-            arrivals,
-            queue: QueuePolicy::Bounded(QUEUE_CAPACITY),
-        };
+        let config = ServeConfig::builder()
+            .arrivals(arrivals)
+            .queue_capacity(QUEUE_CAPACITY)
+            .build();
         let report = backend.serve(spec.stream(), requests, &config);
         ServePoint {
             backend: backend.name().to_string(),

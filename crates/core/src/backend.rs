@@ -133,10 +133,12 @@ pub trait InferenceBackend {
     }
 
     /// Serves up to `limit` graphs of `stream` as an *open-loop* request
-    /// trace: graphs arrive per `config.arrivals`, wait in the bounded
-    /// admission queue, and are serviced one at a time. Returns the
-    /// tail-latency decomposition ([`ServeReport`]): queueing wait plus
-    /// service per request, p50/p95/p99/max sojourns, and the drop rate.
+    /// trace: graphs arrive per `config.arrivals`, are dispatched across
+    /// `config.replicas` replicas by `config.policy`, wait in per-replica
+    /// bounded admission queues, and are serviced (optionally in
+    /// micro-batches). Returns the tail-latency decomposition
+    /// ([`ServeReport`]): queueing wait plus service per request,
+    /// p50/p95/p99/max sojourns, drop rate, and per-replica accounting.
     ///
     /// The default derives each request's service time from
     /// [`Self::run_graph`]'s millisecond latency, quantised to cycles —
@@ -145,14 +147,16 @@ pub trait InferenceBackend {
     ///
     /// # Panics
     ///
-    /// Panics if the stream (after the limit) is empty.
+    /// Panics if the stream (after the limit) is empty, or if `config`
+    /// violates an invariant the builder enforces (zero replicas, zero
+    /// batch size).
     fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         let stream = stream.take_prefix(limit);
         assert!(!stream.is_empty(), "cannot serve an empty graph stream");
         let service: Vec<_> = stream
             .map(|g| ms_to_cycles(self.run_graph(&g).latency_ms))
             .collect();
-        serve_trace(&service, config)
+        serve_trace(&service, config).expect("non-empty trace with a validated config")
     }
 }
 
@@ -263,7 +267,7 @@ mod tests {
 
     #[test]
     fn default_serve_reflects_per_graph_latency() {
-        use crate::serve::{ArrivalProcess, QueuePolicy};
+        use crate::serve::ArrivalProcess;
         struct Fixed;
         impl InferenceBackend for Fixed {
             fn name(&self) -> &str {
@@ -278,12 +282,12 @@ mod tests {
         let report = Fixed.serve(
             MoleculeLike::new(12.0, 4).stream(5),
             5,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed {
+            &ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed {
                     gap: ms_to_cycles(3.0),
-                },
-                queue: QueuePolicy::Bounded(8),
-            },
+                })
+                .queue_capacity(8)
+                .build(),
         );
         assert_eq!(report.completed, 5);
         assert_eq!(report.dropped, 0);
@@ -296,7 +300,7 @@ mod tests {
     fn accelerator_serve_override_is_cycle_exact() {
         let a = acc();
         let stream = || MoleculeLike::new(12.0, 4).stream(4);
-        let cfg = ServeConfig::closed_loop();
+        let cfg = ServeConfig::builder().build();
         let native = Accelerator::serve(&a, stream(), 4, &cfg);
         let via_trait = InferenceBackend::serve(&a, stream(), 4, &cfg);
         assert_eq!(native, via_trait);

@@ -71,6 +71,30 @@ pub use engine::{Accelerator, PreparedGraph, RunReport};
 pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
-pub use serve::{ArrivalProcess, QueuePolicy, RequestRecord, ServeConfig, ServeReport};
+pub use serve::{
+    ArrivalProcess, BatchConfig, DispatchPolicy, QueuePolicy, ReplicaStats, RequestRecord,
+    ServeConfig, ServeConfigBuilder, ServeError, ServeReport,
+};
 pub use stream::{LatencyStats, StreamReport};
 pub use trace::{LaneSymbol, RegionTrace, Trace};
+
+pub mod prelude {
+    //! One-stop import of the engine / backend / serving surface.
+    //!
+    //! Experiment drivers, tests, and examples typically touch all three
+    //! layers at once (build an accelerator, treat it as a backend, push
+    //! a trace through the serving loop); `use flowgnn_core::prelude::*;`
+    //! brings the whole surface in without a long import list.
+
+    pub use crate::backend::{BackendReport, InferenceBackend};
+    pub use crate::config::{
+        ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy,
+    };
+    pub use crate::engine::{Accelerator, PreparedGraph, RunReport};
+    pub use crate::serve::{
+        ms_to_cycles, percentile_nearest_rank, serve_trace, ArrivalProcess, BatchConfig,
+        DispatchPolicy, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig, ServeConfigBuilder,
+        ServeError, ServeReport,
+    };
+    pub use crate::stream::{LatencyStats, StreamReport};
+}

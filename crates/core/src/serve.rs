@@ -1,28 +1,57 @@
-//! Open-loop serving: request arrivals, admission queueing, and
-//! tail-latency accounting.
+//! Open-loop serving: request arrivals, replica pools, admission
+//! queueing, and tail-latency accounting.
 //!
 //! The paper's evaluation is *closed-loop*: the next graph enters the
 //! accelerator the instant the previous one finishes, so only service
 //! time is visible. A real deployment is *open-loop* — requests arrive on
-//! their own schedule, queue behind the server, and experience
+//! their own schedule, queue behind the servers, and experience
 //! `wait + service` sojourn times whose tail (p99, max) is the metric an
-//! SLO is written against. This module models that regime:
+//! SLO is written against. This module models that regime, scaled out
+//! across a pool of accelerator replicas:
 //!
 //! - [`ArrivalProcess`] generates deterministic request-arrival traces:
 //!   fixed-rate, Poisson (exponential gaps), and bursty on-off, all
 //!   driven by the in-tree xoshiro PRNG so a seed pins the trace;
-//! - [`QueuePolicy`] bounds the admission queue: a request arriving to a
-//!   full queue is dropped (rejected immediately, never served);
+//! - [`DispatchPolicy`] routes each arriving request to one of `R`
+//!   independent replicas: round-robin, join-shortest-queue, or
+//!   power-of-two-choices (seeded, deterministic);
+//! - [`QueuePolicy`] bounds each replica's admission queue: a request
+//!   dispatched to a replica whose queue is full is dropped (rejected
+//!   immediately, never served, never redispatched);
+//! - [`BatchConfig`] optionally micro-batches: a replica that comes free
+//!   admits up to `max_size` queued requests as *one* service event,
+//!   paying a fixed batch-overhead cycle cost per event;
 //! - [`serve_trace`] pushes a per-request service-time trace through the
-//!   single-server FIFO queue and returns a [`ServeReport`] that
-//!   decomposes every request into queueing wait plus service time and
-//!   summarises the sojourn distribution at p50/p95/p99/max.
+//!   pool and returns a [`ServeReport`] that decomposes every request
+//!   into queueing wait plus service time, summarises the sojourn
+//!   distribution at p50/p95/p99/max, and accounts per-replica
+//!   utilization and load imbalance.
 //!
 //! The closed-loop streaming evaluation is the degenerate point of this
-//! model — every request arrives at cycle 0 ([`ArrivalProcess::closed_loop`])
-//! with an unbounded queue — and `Accelerator::run_stream` is implemented
-//! as exactly that special case, so the paper-reproduction path and the
-//! serving path cannot drift apart.
+//! model — one replica, round-robin, no batching, every request arriving
+//! at cycle 0 ([`ArrivalProcess::closed_loop`]) with an unbounded queue —
+//! and `Accelerator::run_stream` is implemented as exactly that special
+//! case, so the paper-reproduction path and the serving path cannot
+//! drift apart (`tests/differential.rs` pins both equivalences).
+//!
+//! Configurations are built fluently:
+//!
+//! ```
+//! use flowgnn_core::prelude::*;
+//!
+//! let config = ServeConfig::builder()
+//!     .arrivals(ArrivalProcess::poisson_rate(50_000.0, 7))
+//!     .queue_capacity(64)
+//!     .replicas(4)
+//!     .policy(DispatchPolicy::JoinShortestQueue)
+//!     .build();
+//! let report = serve_trace(&[600, 580, 660, 620, 590, 610], &config).unwrap();
+//! assert_eq!(report.completed + report.dropped, 6);
+//! assert_eq!(report.per_replica.len(), 4);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
 
 use flowgnn_desim::{cycles_to_ms, Cycle, CLOCK_HZ};
 use flowgnn_rng::Rng;
@@ -34,10 +63,44 @@ pub fn ms_to_cycles(ms: f64) -> Cycle {
     (ms * CLOCK_HZ / 1e3).round() as Cycle
 }
 
-/// How requests arrive at the accelerator, as inter-arrival gaps in
-/// cycles. All processes are deterministic: the same process generates
-/// the same trace every time (random processes carry an explicit seed
-/// into the in-tree xoshiro256** PRNG).
+/// Why a serving-layer computation could not produce a result.
+///
+/// The serving layer reports malformed inputs as typed errors instead of
+/// panicking, so sweep drivers can surface a configuration mistake
+/// without tearing down the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// [`serve_trace`] was given an empty service-time trace: there is
+    /// nothing to serve and no meaningful report to build.
+    EmptyTrace,
+    /// [`percentile_nearest_rank`] was given an empty sample: no rank
+    /// exists to select.
+    EmptySample,
+    /// [`ServeConfig::replicas`] was zero: a pool needs at least one
+    /// replica to serve anything.
+    ZeroReplicas,
+    /// [`BatchConfig::max_size`] was zero: a service event must admit at
+    /// least one request.
+    ZeroBatch,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptyTrace => write!(f, "cannot serve an empty request trace"),
+            ServeError::EmptySample => write!(f, "percentile of an empty sample"),
+            ServeError::ZeroReplicas => write!(f, "replica pool must have at least one replica"),
+            ServeError::ZeroBatch => write!(f, "batch size must be at least one request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How requests arrive at the pool, as inter-arrival gaps in cycles. All
+/// processes are deterministic: the same process generates the same trace
+/// every time (random processes carry an explicit seed into the in-tree
+/// xoshiro256** PRNG).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Deterministic arrivals every `gap` cycles (gap 0 = all requests
@@ -157,16 +220,18 @@ fn exponential_cycles(rng: &mut Rng, mean: f64) -> Cycle {
     (-(1.0 - u).ln() * mean).round() as Cycle
 }
 
-/// Admission-queue bound. The queue holds requests that have arrived but
-/// not yet started service (the request *in* service occupies the server,
-/// not the queue). A request arriving while the queue is full is dropped:
-/// rejected at arrival, never served, counted in the drop rate.
+/// Admission-queue bound, applied *per replica*. The queue holds requests
+/// that have been dispatched to the replica but have not yet started
+/// service (requests *in* service occupy the replica, not its queue). A
+/// request dispatched to a replica whose queue is full is dropped:
+/// rejected at arrival, never served, never redispatched, counted in the
+/// drop rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueuePolicy {
     /// No bound: every request is eventually served.
     Unbounded,
-    /// At most this many requests may wait; arrivals beyond that are
-    /// dropped.
+    /// At most this many requests may wait per replica; arrivals beyond
+    /// that are dropped.
     Bounded(usize),
 }
 
@@ -179,34 +244,186 @@ impl QueuePolicy {
     }
 }
 
-/// An open-loop serving scenario: the arrival process plus the admission
-/// queue bound.
+/// How arriving requests are routed across the replica pool. Every
+/// policy is deterministic: given the same configuration and service
+/// trace, the assignment sequence is identical run to run (the random
+/// policy carries an explicit seed).
+///
+/// A replica's *backlog* as observed by the load-aware policies is its
+/// waiting-queue length plus one if a service event is in flight — the
+/// number of service events that must start or finish before a newly
+/// dispatched request could begin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Request `i` goes to replica `i mod R`, unconditionally (dropped
+    /// requests still consume their slot). Load-blind but perfectly fair
+    /// in request counts.
+    RoundRobin,
+    /// Each request joins the replica with the smallest backlog at its
+    /// arrival cycle; ties break to the lowest replica index.
+    JoinShortestQueue,
+    /// Each request samples two replica indices from a seeded xoshiro
+    /// stream (two draws per request, dropped or not) and joins the one
+    /// with the smaller backlog; ties break to the lower sampled index.
+    /// The classic randomized load balancer: most of JSQ's benefit at a
+    /// fraction of its coordination cost.
+    PowerOfTwoChoices {
+        /// PRNG seed pinning the choice sequence.
+        seed: u64,
+    },
+}
+
+/// Micro-batching: when a replica comes free with requests waiting, it
+/// admits up to `max_size` of them (FIFO order, whatever is queued at
+/// that moment — it never idles to wait for a fuller batch) as **one**
+/// service event. The event costs `overhead_cycles` plus the sum of the
+/// members' service times, and every member finishes when the event
+/// does. A request dispatched to an *idle* replica starts immediately as
+/// a batch of one, still paying the per-event overhead.
+///
+/// Batching therefore trades per-request latency (co-batched requests
+/// wait for each other) for per-event overhead amortisation — the same
+/// trade the paper's batch-size sweeps (Fig. 7) make on-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most requests one service event may admit (≥ 1).
+    pub max_size: usize,
+    /// Fixed cycle cost added to every service event.
+    pub overhead_cycles: Cycle,
+}
+
+/// An open-loop serving scenario: the arrival process, the per-replica
+/// admission-queue bound, the replica count, the dispatch policy, and
+/// optional micro-batching.
+///
+/// Build one fluently with [`ServeConfig::builder`]; the default
+/// configuration is the closed-loop degenerate point (gap-0 arrivals,
+/// unbounded queue, one replica, round-robin, no batching).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// How requests arrive.
     pub arrivals: ArrivalProcess,
-    /// How many may wait.
+    /// How many may wait, per replica.
     pub queue: QueuePolicy,
+    /// How many independent replicas serve the trace (≥ 1).
+    pub replicas: usize,
+    /// How arriving requests are routed across replicas.
+    pub policy: DispatchPolicy,
+    /// Optional micro-batching of queued requests into service events.
+    pub batch: Option<BatchConfig>,
 }
 
-impl ServeConfig {
-    /// The closed-loop configuration: gap-0 fixed-rate arrivals and an
-    /// unbounded queue. Serving under this config is cycle-exact
-    /// equivalent to the paper's back-to-back streaming.
-    pub fn closed_loop() -> Self {
+impl Default for ServeConfig {
+    /// The closed-loop degenerate point: every request pending at cycle
+    /// 0, one replica, unbounded queue, no batching.
+    fn default() -> Self {
         Self {
             arrivals: ArrivalProcess::closed_loop(),
             queue: QueuePolicy::Unbounded,
+            replicas: 1,
+            policy: DispatchPolicy::RoundRobin,
+            batch: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a fluent builder from the closed-loop defaults (gap-0
+    /// arrivals, unbounded queue, one replica, round-robin, no batching).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
         }
     }
 
+    /// The closed-loop configuration: gap-0 fixed-rate arrivals and an
+    /// unbounded queue on a single replica.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeConfig::builder().build()` (the builder defaults are closed-loop)"
+    )]
+    pub fn closed_loop() -> Self {
+        Self::builder().build()
+    }
+
     /// An open-loop configuration over any arrival process with a bounded
-    /// admission queue.
+    /// admission queue on a single replica.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeConfig::builder().arrivals(..).queue_capacity(..).build()`"
+    )]
     pub fn open_loop(arrivals: ArrivalProcess, queue_capacity: usize) -> Self {
-        Self {
-            arrivals,
-            queue: QueuePolicy::Bounded(queue_capacity),
-        }
+        Self::builder()
+            .arrivals(arrivals)
+            .queue_capacity(queue_capacity)
+            .build()
+    }
+}
+
+/// Fluent builder for [`ServeConfig`], so new serving knobs (replicas,
+/// dispatch policy, batching) never multiply constructor arity. Created
+/// by [`ServeConfig::builder`]; every setter returns `self` by value.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the per-replica admission-queue policy.
+    pub fn queue(mut self, queue: QueuePolicy) -> Self {
+        self.config.queue = queue;
+        self
+    }
+
+    /// Bounds each replica's admission queue to `capacity` waiting
+    /// requests (shorthand for `.queue(QueuePolicy::Bounded(capacity))`).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue = QueuePolicy::Bounded(capacity);
+        self
+    }
+
+    /// Sets the replica-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "replica pool must have at least one replica");
+        self.config.replicas = replicas;
+        self
+    }
+
+    /// Sets the dispatch policy routing requests across replicas.
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables micro-batching: up to `max_size` queued requests per
+    /// service event, each event costing `overhead_cycles` on top of its
+    /// members' service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn batch(mut self, max_size: usize, overhead_cycles: Cycle) -> Self {
+        assert!(max_size >= 1, "batch size must be at least one request");
+        self.config.batch = Some(BatchConfig {
+            max_size,
+            overhead_cycles,
+        });
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServeConfig {
+        self.config
     }
 }
 
@@ -215,12 +432,18 @@ impl ServeConfig {
 pub struct RequestRecord {
     /// Cycle the request arrived.
     pub arrival: Cycle,
-    /// Cycle service began (equals `arrival` for dropped requests).
+    /// Cycle service began (equals `arrival` for dropped requests). Under
+    /// micro-batching this is the start of the request's service event.
     pub start: Cycle,
     /// Cycle service finished (equals `arrival` for dropped requests).
+    /// Under micro-batching every member of a service event finishes when
+    /// the event does.
     pub finish: Cycle,
-    /// Whether the request was rejected by the admission queue.
+    /// Whether the request was rejected by its replica's admission queue.
     pub dropped: bool,
+    /// Index of the replica the request was dispatched to (also set for
+    /// dropped requests: the replica whose full queue rejected them).
+    pub replica: usize,
 }
 
 impl RequestRecord {
@@ -229,7 +452,9 @@ impl RequestRecord {
         self.start - self.arrival
     }
 
-    /// Cycles spent in service.
+    /// Cycles spent in service. Under micro-batching this is the whole
+    /// service event's duration (batch overhead plus every co-batched
+    /// request's service time).
     pub fn service_cycles(&self) -> Cycle {
         self.finish - self.start
     }
@@ -238,6 +463,15 @@ impl RequestRecord {
     pub fn sojourn_cycles(&self) -> Cycle {
         self.finish - self.arrival
     }
+}
+
+/// Per-replica accounting of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Requests this replica served to completion.
+    pub completed: usize,
+    /// Cycles this replica spent in service events (busy time).
+    pub busy_cycles: Cycle,
 }
 
 /// Tail-latency summary of one open-loop serving run.
@@ -252,7 +486,7 @@ pub struct ServeReport {
     pub requests: usize,
     /// Requests served to completion.
     pub completed: usize,
-    /// Requests rejected by the admission queue.
+    /// Requests rejected by the admission queues.
     pub dropped: usize,
     /// Median sojourn latency in milliseconds.
     pub p50_ms: f64,
@@ -268,6 +502,8 @@ pub struct ServeReport {
     pub mean_service_ms: f64,
     /// Cycle the last completed request finished.
     pub makespan_cycles: Cycle,
+    /// Per-replica completion counts and busy cycles, indexed by replica.
+    pub per_replica: Vec<ReplicaStats>,
     /// Per-request lifecycle records, in arrival order.
     pub records: Vec<RequestRecord>,
 }
@@ -289,6 +525,43 @@ impl ServeReport {
         }
         self.completed as f64 / (ms / 1e3)
     }
+
+    /// Each replica's utilization: busy cycles as a fraction of the
+    /// run's makespan (all zeros when the makespan is zero).
+    pub fn replica_utilization(&self) -> Vec<f64> {
+        let span = self.makespan_cycles;
+        self.per_replica
+            .iter()
+            .map(|r| {
+                if span == 0 {
+                    0.0
+                } else {
+                    r.busy_cycles as f64 / span as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Load imbalance across replicas in percent: `(max − mean) / mean`
+    /// over per-replica busy cycles (the Table VII convention applied to
+    /// the pool). Zero for a single replica or an all-idle pool.
+    pub fn load_imbalance_percent(&self) -> f64 {
+        let n = self.per_replica.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let busy: Vec<f64> = self
+            .per_replica
+            .iter()
+            .map(|r| r.busy_cycles as f64)
+            .collect();
+        let mean = busy.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        (max - mean) / mean * 100.0
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample: the value at
@@ -296,69 +569,221 @@ impl ServeReport {
 /// `[1, 2, 3, 4]` is `2` and `p = 100` is the maximum. Exact sample
 /// values are always returned — no interpolation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `sorted` is empty.
-pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
+/// Returns [`ServeError::EmptySample`] if `sorted` is empty.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> Result<f64, ServeError> {
+    if sorted.is_empty() {
+        return Err(ServeError::EmptySample);
+    }
     let n = sorted.len();
     let rank = ((p / 100.0) * n as f64).ceil() as usize;
-    sorted[rank.clamp(1, n) - 1]
+    Ok(sorted[rank.clamp(1, n) - 1])
 }
 
-/// Runs one service-time trace through the single-server FIFO admission
-/// queue under `config` and summarises the result.
+/// One replica's simulation state: when its current service event ends,
+/// which requests are waiting, and its running accounting.
+struct ReplicaSim {
+    /// Cycle the replica's in-flight service event finishes (busy until
+    /// then; idle if `free_at <= now` and the queue is empty).
+    free_at: Cycle,
+    /// Indices of dispatched requests that have not started service.
+    waiting: VecDeque<usize>,
+    busy_cycles: Cycle,
+    completed: usize,
+}
+
+impl ReplicaSim {
+    fn new() -> Self {
+        Self {
+            free_at: 0,
+            waiting: VecDeque::new(),
+            busy_cycles: 0,
+            completed: 0,
+        }
+    }
+
+    /// Starts every service event due by `now` (all remaining events when
+    /// `None`): whenever the replica comes free with requests waiting, it
+    /// admits up to one batch and runs it to completion. Queued requests
+    /// always arrived before the replica's current `free_at`, so starts
+    /// are never earlier than arrivals.
+    fn advance(
+        &mut self,
+        now: Option<Cycle>,
+        replica: usize,
+        batch: Option<BatchConfig>,
+        arrivals: &[Cycle],
+        service: &[Cycle],
+        records: &mut [RequestRecord],
+    ) {
+        while !self.waiting.is_empty() && now.is_none_or(|t| self.free_at <= t) {
+            let start = self.free_at;
+            let take = batch.map_or(1, |b| b.max_size).min(self.waiting.len());
+            let mut duration = batch.map_or(0, |b| b.overhead_cycles);
+            for k in 0..take {
+                duration += service[self.waiting[k]];
+            }
+            let finish = start + duration;
+            for _ in 0..take {
+                let i = self.waiting.pop_front().expect("take <= waiting.len()");
+                records[i] = RequestRecord {
+                    arrival: arrivals[i],
+                    start,
+                    finish,
+                    dropped: false,
+                    replica,
+                };
+            }
+            self.free_at = finish;
+            self.busy_cycles += duration;
+            self.completed += take;
+        }
+    }
+
+    /// The backlog the load-aware dispatch policies observe at `now`:
+    /// waiting requests plus one if a service event is in flight.
+    fn backlog(&self, now: Cycle) -> usize {
+        self.waiting.len() + usize::from(self.free_at > now)
+    }
+
+    /// Serves `i` immediately at `now` as a batch of one (the replica is
+    /// idle: `free_at <= now` with nothing waiting).
+    fn serve_now(
+        &mut self,
+        i: usize,
+        now: Cycle,
+        replica: usize,
+        batch: Option<BatchConfig>,
+        service: &[Cycle],
+        records: &mut [RequestRecord],
+    ) {
+        let duration = batch.map_or(0, |b| b.overhead_cycles) + service[i];
+        records[i] = RequestRecord {
+            arrival: now,
+            start: now,
+            finish: now + duration,
+            dropped: false,
+            replica,
+        };
+        self.free_at = now + duration;
+        self.busy_cycles += duration;
+        self.completed += 1;
+    }
+}
+
+/// Runs one service-time trace through the replica pool under `config`
+/// and summarises the result.
 ///
 /// `service[i]` is the service time, in cycles, request `i` will need if
 /// admitted. Arrivals come from `config.arrivals` (one per service
-/// entry); a request arriving when `config.queue` is full is dropped.
-/// The simulation is a deterministic O(n) scan, so sweeping arrival
-/// rates over a fixed service trace costs nothing beyond the scan.
+/// entry); each arrival is routed to a replica by `config.policy`, and a
+/// request dispatched to a replica whose admission queue is full is
+/// dropped. The simulation is a deterministic `O(n × R)` scan, so
+/// sweeping arrival rates, replica counts, and policies over a fixed
+/// service trace costs nothing beyond the scan.
 ///
-/// # Panics
+/// With one replica, round-robin dispatch, and no batching this is
+/// exactly the classic single-server FIFO queue; `tests/differential.rs`
+/// pins that case bit-identical to the pre-pool implementation.
 ///
-/// Panics if `service` is empty.
-pub fn serve_trace(service: &[Cycle], config: &ServeConfig) -> ServeReport {
-    assert!(!service.is_empty(), "cannot serve an empty request trace");
+/// # Errors
+///
+/// Returns [`ServeError::EmptyTrace`] for an empty `service` trace,
+/// [`ServeError::ZeroReplicas`] if `config.replicas` is zero, and
+/// [`ServeError::ZeroBatch`] if batching is enabled with a zero
+/// `max_size` (the builder enforces both invariants at construction).
+pub fn serve_trace(service: &[Cycle], config: &ServeConfig) -> Result<ServeReport, ServeError> {
+    if service.is_empty() {
+        return Err(ServeError::EmptyTrace);
+    }
+    if config.replicas == 0 {
+        return Err(ServeError::ZeroReplicas);
+    }
+    if config.batch.is_some_and(|b| b.max_size == 0) {
+        return Err(ServeError::ZeroBatch);
+    }
     let arrivals = config.arrivals.arrivals(service.len());
     let capacity = config.queue.capacity();
+    let batch = config.batch;
+    let replicas = config.replicas;
 
-    let mut records = Vec::with_capacity(service.len());
-    // Start cycles of admitted requests that may still be waiting; the
-    // front is popped once service has begun by the current arrival time.
-    let mut waiting: std::collections::VecDeque<Cycle> = std::collections::VecDeque::new();
-    let mut server_free: Cycle = 0;
-    for (&arrival, &service_cycles) in arrivals.iter().zip(service) {
-        while waiting.front().is_some_and(|&start| start <= arrival) {
-            waiting.pop_front();
+    let mut pool: Vec<ReplicaSim> = (0..replicas).map(|_| ReplicaSim::new()).collect();
+    let mut rng = match config.policy {
+        DispatchPolicy::PowerOfTwoChoices { seed } => Some(Rng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let placeholder = RequestRecord {
+        arrival: 0,
+        start: 0,
+        finish: 0,
+        dropped: true,
+        replica: 0,
+    };
+    let mut records = vec![placeholder; service.len()];
+
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        // Bring every replica up to date first, so the load-aware
+        // policies observe fresh backlogs at this arrival cycle.
+        for (r, rep) in pool.iter_mut().enumerate() {
+            rep.advance(Some(arrival), r, batch, &arrivals, service, &mut records);
         }
-        let start = server_free.max(arrival);
-        // A request the idle server picks up immediately never occupies
-        // the queue; only requests that must wait need waiting room.
-        if start > arrival && waiting.len() >= capacity {
-            records.push(RequestRecord {
+        let target = match config.policy {
+            DispatchPolicy::RoundRobin => i % replicas,
+            DispatchPolicy::JoinShortestQueue => {
+                // min_by_key keeps the first minimum: ties break to the
+                // lowest replica index, deterministically.
+                pool.iter()
+                    .enumerate()
+                    .min_by_key(|(_, rep)| rep.backlog(arrival))
+                    .map(|(r, _)| r)
+                    .expect("pool is non-empty")
+            }
+            DispatchPolicy::PowerOfTwoChoices { .. } => {
+                let rng = rng.as_mut().expect("p2c carries an rng");
+                let a = rng.bounded_u64(replicas as u64) as usize;
+                let b = rng.bounded_u64(replicas as u64) as usize;
+                let (lo, hi) = (a.min(b), a.max(b));
+                // Smaller backlog wins; ties break to the lower index.
+                if pool[hi].backlog(arrival) < pool[lo].backlog(arrival) {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        let rep = &mut pool[target];
+        if rep.free_at <= arrival {
+            // Idle replica (advance drained its queue): serve on arrival.
+            rep.serve_now(i, arrival, target, batch, service, &mut records);
+        } else if rep.waiting.len() >= capacity {
+            records[i] = RequestRecord {
                 arrival,
                 start: arrival,
                 finish: arrival,
                 dropped: true,
-            });
-            continue;
+                replica: target,
+            };
+        } else {
+            rep.waiting.push_back(i);
         }
-        let finish = start + service_cycles;
-        server_free = finish;
-        waiting.push_back(start);
-        records.push(RequestRecord {
-            arrival,
-            start,
-            finish,
-            dropped: false,
-        });
+    }
+    // No more arrivals: run every queue dry.
+    for (r, rep) in pool.iter_mut().enumerate() {
+        rep.advance(None, r, batch, &arrivals, service, &mut records);
     }
 
-    summarize(records)
+    let per_replica = pool
+        .iter()
+        .map(|rep| ReplicaStats {
+            completed: rep.completed,
+            busy_cycles: rep.busy_cycles,
+        })
+        .collect();
+    Ok(summarize(records, per_replica))
 }
 
-fn summarize(records: Vec<RequestRecord>) -> ServeReport {
+fn summarize(records: Vec<RequestRecord>, per_replica: Vec<ReplicaStats>) -> ServeReport {
     let requests = records.len();
     let completed: Vec<&RequestRecord> = records.iter().filter(|r| !r.dropped).collect();
     let dropped = requests - completed.len();
@@ -372,10 +797,11 @@ fn summarize(records: Vec<RequestRecord>) -> ServeReport {
     let (p50_ms, p95_ms, p99_ms, max_ms) = if sojourns_ms.is_empty() {
         (0.0, 0.0, 0.0, 0.0)
     } else {
+        let pct = |p| percentile_nearest_rank(&sojourns_ms, p).expect("non-empty sample");
         (
-            percentile_nearest_rank(&sojourns_ms, 50.0),
-            percentile_nearest_rank(&sojourns_ms, 95.0),
-            percentile_nearest_rank(&sojourns_ms, 99.0),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
             *sojourns_ms.last().unwrap(),
         )
     };
@@ -403,6 +829,7 @@ fn summarize(records: Vec<RequestRecord>) -> ServeReport {
         mean_wait_ms,
         mean_service_ms,
         makespan_cycles,
+        per_replica,
         records,
     }
 }
@@ -410,6 +837,14 @@ fn summarize(records: Vec<RequestRecord>) -> ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Shorthand: single replica, explicit arrivals and queue.
+    fn single(arrivals: ArrivalProcess, queue: QueuePolicy) -> ServeConfig {
+        ServeConfig::builder()
+            .arrivals(arrivals)
+            .queue(queue)
+            .build()
+    }
 
     #[test]
     fn fixed_arrivals_are_evenly_spaced() {
@@ -465,9 +900,67 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_are_the_closed_loop_point() {
+        let c = ServeConfig::builder().build();
+        assert_eq!(c.arrivals, ArrivalProcess::Fixed { gap: 0 });
+        assert_eq!(c.queue, QueuePolicy::Unbounded);
+        assert_eq!(c.replicas, 1);
+        assert_eq!(c.policy, DispatchPolicy::RoundRobin);
+        assert_eq!(c.batch, None);
+        assert_eq!(c, ServeConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 50 })
+            .queue_capacity(8)
+            .replicas(4)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .batch(16, 200)
+            .build();
+        assert_eq!(c.arrivals, ArrivalProcess::Fixed { gap: 50 });
+        assert_eq!(c.queue, QueuePolicy::Bounded(8));
+        assert_eq!(c.replicas, 4);
+        assert_eq!(c.policy, DispatchPolicy::JoinShortestQueue);
+        assert_eq!(
+            c.batch,
+            Some(BatchConfig {
+                max_size: 16,
+                overhead_cycles: 200
+            })
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder() {
+        assert_eq!(ServeConfig::closed_loop(), ServeConfig::builder().build());
+        assert_eq!(
+            ServeConfig::open_loop(ArrivalProcess::Fixed { gap: 9 }, 3),
+            ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed { gap: 9 })
+                .queue_capacity(3)
+                .build()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn builder_rejects_zero_replicas() {
+        let _ = ServeConfig::builder().replicas(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn builder_rejects_zero_batch() {
+        let _ = ServeConfig::builder().batch(0, 10);
+    }
+
+    #[test]
     fn closed_loop_serves_back_to_back() {
         let service = [100, 50, 25];
-        let report = serve_trace(&service, &ServeConfig::closed_loop());
+        let report = serve_trace(&service, &ServeConfig::builder().build()).unwrap();
         assert_eq!(report.completed, 3);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.makespan_cycles, 175);
@@ -481,11 +974,9 @@ mod tests {
         let service = [100, 100, 100];
         let report = serve_trace(
             &service,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed { gap: 1000 },
-                queue: QueuePolicy::Bounded(1),
-            },
-        );
+            &single(ArrivalProcess::Fixed { gap: 1000 }, QueuePolicy::Bounded(1)),
+        )
+        .unwrap();
         assert_eq!(report.dropped, 0);
         assert!(report.records.iter().all(|r| r.wait_cycles() == 0));
         assert_eq!(report.mean_wait_ms, 0.0);
@@ -499,11 +990,9 @@ mod tests {
         let service = vec![1000u64; 20];
         let report = serve_trace(
             &service,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed { gap: 100 },
-                queue: QueuePolicy::Bounded(2),
-            },
-        );
+            &single(ArrivalProcess::Fixed { gap: 100 }, QueuePolicy::Bounded(2)),
+        )
+        .unwrap();
         assert!(report.dropped > 0, "overload must drop");
         assert!(report.completed + report.dropped == 20);
         assert!(report.drop_rate() > 0.5, "rate {}", report.drop_rate());
@@ -518,11 +1007,9 @@ mod tests {
         let service = vec![1000u64; 50];
         let report = serve_trace(
             &service,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed { gap: 100 },
-                queue: QueuePolicy::Unbounded,
-            },
-        );
+            &single(ArrivalProcess::Fixed { gap: 100 }, QueuePolicy::Unbounded),
+        )
+        .unwrap();
         assert_eq!(report.dropped, 0);
         let first = report.records.first().unwrap().wait_cycles();
         let last = report.records.last().unwrap().wait_cycles();
@@ -535,11 +1022,9 @@ mod tests {
         let service = vec![1000u64; 10];
         let bounded = serve_trace(
             &service,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed { gap: 0 },
-                queue: QueuePolicy::Bounded(0),
-            },
-        );
+            &single(ArrivalProcess::Fixed { gap: 0 }, QueuePolicy::Bounded(0)),
+        )
+        .unwrap();
         // Capacity 0: first request goes straight to the idle server, the
         // rest arrive at cycle 0 with no waiting room.
         assert_eq!(bounded.completed, 1);
@@ -548,18 +1033,147 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_pool_splits_requests_in_turn() {
+        // Three replicas, everything pending at cycle 0: request i lands
+        // on replica i mod 3 regardless of load.
+        let service = vec![100u64; 9];
+        let config = ServeConfig::builder().replicas(3).build();
+        let report = serve_trace(&service, &config).unwrap();
+        assert_eq!(report.dropped, 0);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.replica, i % 3, "request {i}");
+        }
+        // Each replica serves its three requests back-to-back.
+        assert_eq!(report.makespan_cycles, 300);
+        for stats in &report.per_replica {
+            assert_eq!(stats.completed, 3);
+            assert_eq!(stats.busy_cycles, 300);
+        }
+        assert_eq!(report.load_imbalance_percent(), 0.0);
+        assert_eq!(report.replica_utilization(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jsq_prefers_idle_replicas_and_breaks_ties_low() {
+        // Two replicas; requests arrive faster than service. JSQ sends
+        // the first to replica 0 (tie, lowest index wins), the second to
+        // the idle replica 1, and keeps alternating while both stay
+        // equally loaded.
+        let service = vec![1000u64; 6];
+        let config = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 100 })
+            .replicas(2)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .build();
+        let report = serve_trace(&service, &config).unwrap();
+        let assigned: Vec<usize> = report.records.iter().map(|r| r.replica).collect();
+        assert_eq!(assigned, vec![0, 1, 0, 1, 0, 1]);
+        // Determinism: a second run reproduces the assignment exactly.
+        let again = serve_trace(&service, &config).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn jsq_routes_around_a_long_job() {
+        // Replica 0 gets stuck on one huge request; JSQ steers the
+        // following short requests to replica 1 until backlogs even out.
+        let service = vec![10_000, 100, 100, 100];
+        let config = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 200 })
+            .replicas(2)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .build();
+        let report = serve_trace(&service, &config).unwrap();
+        let assigned: Vec<usize> = report.records.iter().map(|r| r.replica).collect();
+        assert_eq!(assigned[0], 0, "first request ties to replica 0");
+        // Replica 0 is busy with the long job at every later arrival, so
+        // the idle replica 1 wins each time.
+        assert_eq!(&assigned[1..], &[1, 1, 1]);
+        assert!(report.records[1..].iter().all(|r| r.wait_cycles() == 0));
+    }
+
+    #[test]
+    fn power_of_two_is_seed_deterministic() {
+        let service = vec![500u64; 40];
+        let config = |seed| {
+            ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed { gap: 100 })
+                .replicas(4)
+                .policy(DispatchPolicy::PowerOfTwoChoices { seed })
+                .build()
+        };
+        let a = serve_trace(&service, &config(9)).unwrap();
+        let b = serve_trace(&service, &config(9)).unwrap();
+        assert_eq!(a, b, "same seed, same assignment sequence");
+        let c = serve_trace(&service, &config(10)).unwrap();
+        let seq = |r: &ServeReport| r.records.iter().map(|x| x.replica).collect::<Vec<_>>();
+        assert_ne!(seq(&a), seq(&c), "different seeds explore differently");
+        assert!(seq(&a).iter().all(|&r| r < 4), "assignments in range");
+    }
+
+    #[test]
+    fn pool_beats_single_server_on_tail() {
+        // Same offered trace, 4x the servers: waits can only shrink.
+        let service = vec![1000u64; 40];
+        let arrivals = ArrivalProcess::Fixed { gap: 300 };
+        let one = serve_trace(&service, &single(arrivals, QueuePolicy::Unbounded)).unwrap();
+        let four = serve_trace(
+            &service,
+            &ServeConfig::builder()
+                .arrivals(arrivals)
+                .replicas(4)
+                .policy(DispatchPolicy::JoinShortestQueue)
+                .build(),
+        )
+        .unwrap();
+        assert!(four.p99_ms < one.p99_ms);
+        assert!(four.mean_wait_ms < one.mean_wait_ms);
+        assert_eq!(four.per_replica.len(), 4);
+    }
+
+    #[test]
+    fn batching_amortises_overhead_into_shared_events() {
+        // Everything pending at cycle 0, batch of 2 with overhead 10.
+        // Request 0 is picked up solo on arrival; {1, 2} and {3} batch.
+        let service = vec![100u64; 4];
+        let config = ServeConfig::builder().batch(2, 10).build();
+        let report = serve_trace(&service, &config).unwrap();
+        let r = &report.records;
+        assert_eq!((r[0].start, r[0].finish), (0, 110));
+        assert_eq!((r[1].start, r[1].finish), (110, 320));
+        assert_eq!((r[2].start, r[2].finish), (110, 320), "co-batched");
+        assert_eq!((r[3].start, r[3].finish), (320, 430));
+        assert_eq!(report.makespan_cycles, 430);
+        assert_eq!(report.per_replica[0].busy_cycles, 430);
+    }
+
+    #[test]
+    fn batch_of_one_only_adds_the_overhead() {
+        // max_size 1: same schedule as unbatched, shifted by the per-event
+        // overhead cost.
+        let service = [100, 50, 25];
+        let plain = serve_trace(&service, &ServeConfig::builder().build()).unwrap();
+        let batched = serve_trace(&service, &ServeConfig::builder().batch(1, 7).build()).unwrap();
+        for (p, b) in plain.records.iter().zip(&batched.records) {
+            assert_eq!(b.service_cycles(), p.service_cycles() + 7);
+        }
+        assert_eq!(batched.makespan_cycles, plain.makespan_cycles + 3 * 7);
+    }
+
+    #[test]
     fn percentile_is_exact_on_small_sorted_inputs() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile_nearest_rank(&v, 25.0), 1.0);
-        assert_eq!(percentile_nearest_rank(&v, 50.0), 2.0);
-        assert_eq!(percentile_nearest_rank(&v, 75.0), 3.0);
-        assert_eq!(percentile_nearest_rank(&v, 99.0), 4.0);
-        assert_eq!(percentile_nearest_rank(&v, 100.0), 4.0);
+        let pct = |p| percentile_nearest_rank(&v, p).unwrap();
+        assert_eq!(pct(25.0), 1.0);
+        assert_eq!(pct(50.0), 2.0);
+        assert_eq!(pct(75.0), 3.0);
+        assert_eq!(pct(99.0), 4.0);
+        assert_eq!(pct(100.0), 4.0);
         // Ranks clamp at the extremes.
-        assert_eq!(percentile_nearest_rank(&v, 0.0), 1.0);
+        assert_eq!(pct(0.0), 1.0);
         let one = [7.5];
         for p in [0.0, 50.0, 99.0, 100.0] {
-            assert_eq!(percentile_nearest_rank(&one, p), 7.5);
+            assert_eq!(percentile_nearest_rank(&one, p).unwrap(), 7.5);
         }
     }
 
@@ -567,20 +1181,67 @@ mod tests {
     fn percentile_returns_sample_values_only() {
         let v = [0.5, 10.0, 100.0];
         for p in [1.0, 33.0, 50.0, 66.0, 95.0, 99.0] {
-            assert!(v.contains(&percentile_nearest_rank(&v, p)), "p={p}");
+            assert!(
+                v.contains(&percentile_nearest_rank(&v, p).unwrap()),
+                "p={p}"
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "empty sample")]
     fn percentile_rejects_empty() {
-        percentile_nearest_rank(&[], 50.0);
+        assert_eq!(
+            percentile_nearest_rank(&[], 50.0),
+            Err(ServeError::EmptySample)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "empty request trace")]
     fn serve_rejects_empty_trace() {
-        serve_trace(&[], &ServeConfig::closed_loop());
+        assert_eq!(
+            serve_trace(&[], &ServeConfig::builder().build()),
+            Err(ServeError::EmptyTrace)
+        );
+    }
+
+    #[test]
+    fn serve_rejects_malformed_hand_built_configs() {
+        // The builder forbids these at construction; hand-built structs
+        // surface the same invariants as typed errors.
+        let zero_replicas = ServeConfig {
+            replicas: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            serve_trace(&[10], &zero_replicas),
+            Err(ServeError::ZeroReplicas)
+        );
+        let zero_batch = ServeConfig {
+            batch: Some(BatchConfig {
+                max_size: 0,
+                overhead_cycles: 5,
+            }),
+            ..ServeConfig::default()
+        };
+        assert_eq!(serve_trace(&[10], &zero_batch), Err(ServeError::ZeroBatch));
+    }
+
+    #[test]
+    fn serve_errors_render_for_humans() {
+        let messages: Vec<String> = [
+            ServeError::EmptyTrace,
+            ServeError::EmptySample,
+            ServeError::ZeroReplicas,
+            ServeError::ZeroBatch,
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        for m in &messages {
+            assert!(!m.is_empty());
+        }
+        assert!(messages[0].contains("empty request trace"));
+        assert!(messages[1].contains("empty sample"));
     }
 
     #[test]

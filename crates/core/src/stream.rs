@@ -5,8 +5,8 @@
 //! serving loop at its degenerate point (every request pending at cycle
 //! 0, unbounded admission queue), so [`Accelerator::run_stream`] builds a
 //! per-graph service trace and pushes it through
-//! [`serve_trace`](crate::serve::serve_trace) under
-//! [`ServeConfig::closed_loop`]. The reports it returns are cycle-exact
+//! [`serve_trace`](crate::serve::serve_trace) under the closed-loop
+//! [`ServeConfig::default`]. The reports it returns are cycle-exact
 //! identical to the pre-refactor direct loop (pinned by
 //! `tests/differential.rs`).
 
@@ -66,12 +66,15 @@ impl Accelerator {
     /// size 1, reusing one scratch allocation across the stream. This is
     /// the service trace both the closed-loop wrapper
     /// ([`Accelerator::run_stream`]) and the open-loop server
-    /// ([`Accelerator::serve`]) feed into the queueing model.
+    /// ([`Accelerator::serve`]) feed into the queueing model. Public so
+    /// sweep drivers can compute the trace once and replay it across
+    /// many serving configurations (replica counts, dispatch policies,
+    /// offered loads) without re-simulating the engine.
     ///
     /// # Panics
     ///
     /// Panics if the stream (after the limit) is empty.
-    pub(crate) fn service_cycles(&self, stream: GraphStream, limit: usize) -> Vec<Cycle> {
+    pub fn service_trace(&self, stream: GraphStream, limit: usize) -> Vec<Cycle> {
         let stream = stream.take_prefix(limit);
         assert!(!stream.is_empty(), "cannot evaluate an empty graph stream");
         let mut scratch = SimScratch::default();
@@ -97,8 +100,9 @@ impl Accelerator {
     ///
     /// Panics if the stream (after the limit) is empty.
     pub fn run_stream(&self, stream: GraphStream, limit: usize) -> StreamReport {
-        let service = self.service_cycles(stream, limit);
-        let report = serve_trace(&service, &ServeConfig::closed_loop());
+        let service = self.service_trace(stream, limit);
+        let report =
+            serve_trace(&service, &ServeConfig::default()).expect("non-empty service trace");
         let mut min_ms = f64::INFINITY;
         let mut max_ms: f64 = 0.0;
         for r in &report.records {
@@ -119,15 +123,19 @@ impl Accelerator {
     }
 
     /// Serves up to `limit` graphs of `stream` as an open-loop request
-    /// trace: graphs arrive per `config.arrivals`, wait in the bounded
-    /// admission queue, and are serviced one at a time with cycle-exact
-    /// engine latencies.
+    /// trace: graphs arrive per `config.arrivals`, are dispatched across
+    /// the replica pool by `config.policy`, wait in per-replica bounded
+    /// admission queues, and are serviced with cycle-exact engine
+    /// latencies.
     ///
     /// # Panics
     ///
-    /// Panics if the stream (after the limit) is empty.
+    /// Panics if the stream (after the limit) is empty, or if `config`
+    /// violates an invariant the builder enforces (zero replicas, zero
+    /// batch size).
     pub fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
-        serve_trace(&self.service_cycles(stream, limit), config)
+        serve_trace(&self.service_trace(stream, limit), config)
+            .expect("non-empty trace with a validated config")
     }
 
     /// Streams graphs with *inter-graph pipelining*: the next graph's COO
@@ -254,12 +262,12 @@ mod tests {
         let served = a.serve(
             stream(),
             6,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed {
+            &ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed {
                     gap: closed.total_cycles, // one full stream per gap
-                },
-                queue: QueuePolicy::Bounded(4),
-            },
+                })
+                .queue_capacity(4)
+                .build(),
         );
         assert_eq!(served.dropped, 0);
         assert_eq!(served.mean_wait_ms, 0.0);
@@ -275,12 +283,12 @@ mod tests {
         let served = a.serve(
             stream(),
             12,
-            &ServeConfig {
-                arrivals: ArrivalProcess::Fixed {
+            &ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed {
                     gap: (mean_service / 4).max(1),
-                },
-                queue: QueuePolicy::Unbounded,
-            },
+                })
+                .queue(QueuePolicy::Unbounded)
+                .build(),
         );
         assert_eq!(served.dropped, 0);
         assert!(served.mean_wait_ms > 0.0);

@@ -7,9 +7,7 @@
 //! cargo run --release --example hep_realtime
 //! ```
 
-use flowgnn::graph::datasets::{DatasetKind, DatasetSpec};
-use flowgnn::models::ModelKind;
-use flowgnn::{Accelerator, ArchConfig, ExecutionMode, GnnModel};
+use flowgnn::prelude::*;
 
 /// The latency budget per event (a generous trigger-level budget; the
 /// point is that every event must meet it, not just the average).

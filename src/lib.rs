@@ -46,8 +46,31 @@ pub use flowgnn_models as models;
 pub use flowgnn_tensor as tensor;
 
 pub use flowgnn_core::{
-    Accelerator, ArchConfig, ArrivalProcess, EngineMode, ExecutionMode, PipelineStrategy,
-    QueuePolicy, RunReport, ServeConfig, ServeReport,
+    Accelerator, ArchConfig, ArrivalProcess, BatchConfig, DispatchPolicy, EngineMode,
+    ExecutionMode, PipelineStrategy, QueuePolicy, ReplicaStats, RunReport, ServeConfig, ServeError,
+    ServeReport,
 };
 pub use flowgnn_graph::{Graph, GraphStream};
 pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};
+
+pub mod prelude {
+    //! One-stop import for applications: the core engine / backend /
+    //! serving surface plus the graph, dataset, and model entry points.
+    //!
+    //! ```
+    //! use flowgnn::prelude::*;
+    //!
+    //! let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    //! let acc = Accelerator::new(
+    //!     GnnModel::gcn(spec.node_feat_dim(), 7),
+    //!     ArchConfig::default(),
+    //! );
+    //! let report = acc.serve(spec.stream(), 8, &ServeConfig::builder().build());
+    //! assert_eq!(report.completed, 8);
+    //! ```
+
+    pub use flowgnn_core::prelude::*;
+    pub use flowgnn_graph::datasets::{DatasetKind, DatasetSpec};
+    pub use flowgnn_graph::{Graph, GraphStream};
+    pub use flowgnn_models::{GnnModel, ModelKind};
+}

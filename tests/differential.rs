@@ -9,14 +9,10 @@
 //! workload-zoo graph families, and pipeline strategies. Any divergence,
 //! even one cycle or one ULP, is a bug in the horizon computation.
 
-use flowgnn::graph::datasets::{DatasetKind, DatasetSpec};
 use flowgnn::graph::generators::{
     ChungLu, ErdosRenyi, GraphGenerator, GridMesh, KnnPointCloud, MoleculeLike, SmallWorld,
 };
-use flowgnn::graph::Graph;
-use flowgnn::{
-    Accelerator, ArchConfig, EngineMode, GnnModel, PipelineStrategy, RunReport, ServeConfig,
-};
+use flowgnn::prelude::*;
 
 fn zoo() -> Vec<(&'static str, Graph)> {
     vec![
@@ -218,7 +214,7 @@ fn closed_loop_serve_is_bit_identical_to_run_stream() {
 
         // And the explicit gap-0 serve must be the same schedule: every
         // request back-to-back, zero drops, makespan = sum of services.
-        let served = acc.serve(spec.stream(), limit, &ServeConfig::closed_loop());
+        let served = acc.serve(spec.stream(), limit, &ServeConfig::builder().build());
         assert_eq!(served.completed, n, "{kind:?}: served count");
         assert_eq!(served.dropped, 0, "{kind:?}: drops");
         assert_eq!(served.makespan_cycles, total, "{kind:?}: makespan");
@@ -228,6 +224,100 @@ fn closed_loop_serve_is_bit_identical_to_run_stream() {
             assert_eq!(rec.start, finish, "{kind:?}[{i}]: back-to-back start");
             assert_eq!(rec.service_cycles(), cycles, "{kind:?}[{i}]: service");
             finish = rec.finish;
+        }
+    }
+}
+
+#[test]
+fn single_replica_pool_is_bit_identical_to_the_pre_pool_scan() {
+    // The replica-pool generalisation claims the old single-server FIFO
+    // is its R = 1 / round-robin / no-batching special case. Pin that
+    // against an *independent* reference: an inline copy of the pre-pool
+    // single-server scan, over cycle-exact accelerator service traces and
+    // a matrix of arrival processes and queue bounds.
+
+    /// The pre-pool `serve_trace` scan, verbatim semantics: one server,
+    /// FIFO, queue capacity counts only waiting (not in-service) requests.
+    fn old_scan(service: &[u64], arrivals: &[u64], capacity: usize) -> Vec<(u64, u64, u64, bool)> {
+        let mut records = Vec::with_capacity(service.len());
+        let mut server_free: u64 = 0;
+        let mut waiting: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        for (&arrival, &dur) in arrivals.iter().zip(service) {
+            while let Some(&front) = waiting.front() {
+                if front <= arrival {
+                    waiting.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let start = server_free.max(arrival);
+            if start > arrival && waiting.len() >= capacity {
+                records.push((arrival, arrival, arrival, true));
+                continue;
+            }
+            if start > arrival {
+                waiting.push_back(start);
+            }
+            records.push((arrival, start, start + dur, false));
+            server_free = start + dur;
+        }
+        records
+    }
+
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let acc = Accelerator::new(
+        GnnModel::gcn(spec.node_feat_dim(), 57),
+        ArchConfig::default(),
+    );
+    let service = acc.service_trace(spec.stream(), 40);
+    let mean = service.iter().sum::<u64>() / service.len() as u64;
+
+    let processes = [
+        ArrivalProcess::Fixed { gap: 0 },
+        ArrivalProcess::Fixed { gap: mean / 2 },
+        ArrivalProcess::Fixed { gap: mean * 2 },
+        ArrivalProcess::Poisson {
+            mean_gap: mean as f64,
+            seed: 11,
+        },
+        ArrivalProcess::OnOff {
+            mean_burst: 6.0,
+            burst_gap: mean / 8,
+            mean_idle_gap: mean as f64 * 4.0,
+            seed: 12,
+        },
+    ];
+    for arrivals_proc in processes {
+        for queue in [
+            QueuePolicy::Unbounded,
+            QueuePolicy::Bounded(0),
+            QueuePolicy::Bounded(2),
+            QueuePolicy::Bounded(64),
+        ] {
+            let config = ServeConfig::builder()
+                .arrivals(arrivals_proc)
+                .queue(queue)
+                .build();
+            assert_eq!(config.replicas, 1, "builder defaults to one replica");
+            assert_eq!(config.policy, DispatchPolicy::RoundRobin);
+            let report = serve_trace(&service, &config).unwrap();
+            let arrivals = arrivals_proc.arrivals(service.len());
+            let capacity = match queue {
+                QueuePolicy::Unbounded => usize::MAX,
+                QueuePolicy::Bounded(c) => c,
+            };
+            let reference = old_scan(&service, &arrivals, capacity);
+            let what = format!("{arrivals_proc:?} / {queue:?}");
+            assert_eq!(report.records.len(), reference.len(), "{what}: count");
+            for (i, (rec, &(arr, start, finish, dropped))) in
+                report.records.iter().zip(&reference).enumerate()
+            {
+                assert_eq!(rec.arrival, arr, "{what}[{i}]: arrival");
+                assert_eq!(rec.start, start, "{what}[{i}]: start");
+                assert_eq!(rec.finish, finish, "{what}[{i}]: finish");
+                assert_eq!(rec.dropped, dropped, "{what}[{i}]: dropped");
+                assert_eq!(rec.replica, 0, "{what}[{i}]: replica");
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 use flowgnn::core::{bank_workloads, imbalance_percent};
 use flowgnn::graph::generators::{ErdosRenyi, GraphGenerator};
 use flowgnn::models::reference;
-use flowgnn::{Accelerator, ArchConfig, ExecutionMode, GnnModel, PipelineStrategy};
+use flowgnn::prelude::*;
 use flowgnn_rng::Rng;
 
 fn random_arch(rng: &mut Rng) -> ArchConfig {
@@ -164,6 +164,79 @@ fn stream_latency_stats_invariants() {
         assert!(ovl.latency.mean_ms > 0.0);
         assert!(ovl.latency.mean_ms <= ovl.latency.max_ms, "{ovl:?}");
         assert!(ovl.amortized_latency_ms() >= ovl.latency.mean_ms);
+    }
+}
+
+/// An `R`-replica round-robin pool is exactly `R` interleaved independent
+/// single servers: replica `r` of a pool fed `Fixed { gap }` arrivals
+/// sees requests `r, r+R, r+2R, …` at cycles `(r + kR)·gap`, which is the
+/// single-server run over the subsampled service trace with `Fixed { gap:
+/// R·gap }` arrivals, time-shifted by `r·gap`. Checked over random pool
+/// sizes, gaps, queue bounds, and service traces — including bounded
+/// queues, where the drop *pattern* must also shift-match.
+#[test]
+fn round_robin_pool_is_r_interleaved_single_servers() {
+    let mut rng = Rng::seed_from_u64(0xF10_0007);
+    for _ in 0..32 {
+        let replicas = rng.gen_range(1usize..6);
+        let gap = rng.gen_range(1u64..2000);
+        let n = rng.gen_range(1usize..120);
+        let capacity = if rng.gen_bool(0.5) {
+            QueuePolicy::Unbounded
+        } else {
+            QueuePolicy::Bounded(rng.gen_range(0usize..4))
+        };
+        let service: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..5000)).collect();
+
+        let pool = serve_trace(
+            &service,
+            &ServeConfig::builder()
+                .arrivals(ArrivalProcess::Fixed { gap })
+                .queue(capacity)
+                .replicas(replicas)
+                .build(),
+        )
+        .unwrap();
+
+        for r in 0..replicas {
+            let sub: Vec<u64> = service.iter().skip(r).step_by(replicas).copied().collect();
+            if sub.is_empty() {
+                continue;
+            }
+            let single = serve_trace(
+                &sub,
+                &ServeConfig::builder()
+                    .arrivals(ArrivalProcess::Fixed {
+                        gap: gap * replicas as u64,
+                    })
+                    .queue(capacity)
+                    .build(),
+            )
+            .unwrap();
+            let shift = r as u64 * gap;
+            for (k, single_rec) in single.records.iter().enumerate() {
+                let pool_rec = &pool.records[r + k * replicas];
+                let what = format!("R={replicas} gap={gap} {capacity:?} r={r} k={k}");
+                assert_eq!(pool_rec.replica, r, "{what}: replica");
+                assert_eq!(pool_rec.dropped, single_rec.dropped, "{what}: dropped");
+                assert_eq!(
+                    pool_rec.arrival,
+                    single_rec.arrival + shift,
+                    "{what}: arrival"
+                );
+                assert_eq!(pool_rec.start, single_rec.start + shift, "{what}: start");
+                assert_eq!(pool_rec.finish, single_rec.finish + shift, "{what}: finish");
+            }
+            // Per-replica accounting matches the single server's totals.
+            assert_eq!(
+                pool.per_replica[r].completed, single.completed,
+                "R={replicas} r={r}: completed"
+            );
+            assert_eq!(
+                pool.per_replica[r].busy_cycles, single.per_replica[0].busy_cycles,
+                "R={replicas} r={r}: busy"
+            );
+        }
     }
 }
 
