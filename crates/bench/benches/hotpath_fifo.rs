@@ -1,0 +1,64 @@
+//! Hot-path bench: the ring-buffer FIFO at dataflow-loop granularity.
+//!
+//! The registered FIFO is the innermost data structure of the cycle
+//! engine — every flit and every aggregate token crosses one — so its
+//! per-operation cost bounds the simulator's cycles/second. This bench
+//! drives the push → commit → pop cycle the unit schedulers perform,
+//! at a queue depth matching [`flowgnn_core::ArchConfig`]'s default.
+
+use flowgnn_bench::microbench::Microbench;
+use flowgnn_desim::Fifo;
+
+fn bench(c: &mut Microbench) {
+    let mut group = c.benchmark_group("hotpath_fifo");
+
+    // One producer/consumer cycle: stage a burst, commit, drain.
+    group.bench_function("push_commit_pop_burst8", |b| {
+        let mut q: Fifo<u64> = Fifo::new(16);
+        b.iter(|| {
+            for i in 0..8u64 {
+                q.push(i);
+            }
+            q.commit();
+            let mut sum = 0u64;
+            while let Some(x) = q.pop() {
+                sum += x;
+            }
+            std::hint::black_box(sum)
+        });
+    });
+
+    // Steady-state single-slot traffic (the common dataflow pattern:
+    // one flit in, one flit out per simulated cycle).
+    group.bench_function("steady_state_depth1", |b| {
+        let mut q: Fifo<u64> = Fifo::new(16);
+        q.push(0);
+        q.commit();
+        b.iter(|| {
+            q.push(1);
+            q.commit();
+            std::hint::black_box(q.pop())
+        });
+    });
+
+    // Backpressure probing: the full/empty checks unit horizons perform.
+    group.bench_function("occupancy_probes", |b| {
+        let mut q: Fifo<u64> = Fifo::new(16);
+        for i in 0..8 {
+            q.push(i);
+        }
+        q.commit();
+        b.iter(|| {
+            std::hint::black_box(q.is_full());
+            std::hint::black_box(q.is_empty());
+            std::hint::black_box(q.len() + q.ready_len())
+        });
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

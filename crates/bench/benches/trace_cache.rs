@@ -1,0 +1,59 @@
+//! Service-trace cache bench: cached vs uncached replay of a repeated
+//! graph stream.
+//!
+//! Serving sweeps replay the same stream across many configurations;
+//! the cache turns every replay after the first into fingerprint
+//! lookups. This bench measures both sides of that trade on a small
+//! MolHIV-like stream: the uncached engine pass, the cached replay
+//! (all hits), and the raw fingerprint cost.
+
+use flowgnn_bench::microbench::Microbench;
+use flowgnn_core::{graph_fingerprint, Accelerator, ArchConfig, ExecutionMode, ServiceTraceCache};
+use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
+use flowgnn_graph::GraphStream;
+use flowgnn_models::GnnModel;
+
+const GRAPHS: usize = 8;
+
+fn stream() -> GraphStream {
+    GraphStream::from_graphs(
+        (0..GRAPHS)
+            .map(|i| MoleculeLike::new(20.0, 7).generate(i))
+            .collect(),
+    )
+}
+
+fn acc() -> Accelerator {
+    Accelerator::new(
+        GnnModel::gcn(9, 11),
+        ArchConfig::default().with_execution(ExecutionMode::TimingOnly),
+    )
+}
+
+fn bench(c: &mut Microbench) {
+    let mut group = c.benchmark_group("trace_cache");
+
+    let uncached = acc();
+    group.bench_function("service_trace_uncached", |b| {
+        b.iter(|| std::hint::black_box(uncached.service_trace(stream(), GRAPHS)))
+    });
+
+    let cache = ServiceTraceCache::new(GRAPHS);
+    let cached = acc().with_trace_cache(cache.clone());
+    cached.service_trace(stream(), GRAPHS); // warm: one engine pass
+    group.bench_function("service_trace_all_hits", |b| {
+        b.iter(|| std::hint::black_box(cached.service_trace(stream(), GRAPHS)))
+    });
+
+    let g = MoleculeLike::new(20.0, 7).generate(0);
+    group.bench_function("graph_fingerprint", |b| {
+        b.iter(|| std::hint::black_box(graph_fingerprint(&g)))
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut c = Microbench::from_env();
+    bench(&mut c);
+}

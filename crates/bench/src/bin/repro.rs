@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro [experiment ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]
+//!       [--no-trace-cache]
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
@@ -14,6 +15,9 @@
 //! --csv DIR    additionally write each table as DIR/<name>.csv
 //! --jobs N     worker threads for the parallel sweeps (default: all cores)
 //! --filter S   run only experiments whose name contains the substring S
+//! --no-trace-cache   disable the service-trace cache in the serve/scale
+//!                    sweeps (output is byte-identical either way; CI
+//!                    `cmp`s the two to pin that)
 //! ```
 
 use std::path::PathBuf;
@@ -49,6 +53,7 @@ fn main() {
     let mut full = false;
     let mut csv_dir: Option<PathBuf> = None;
     let mut filter: Option<String> = None;
+    let mut trace_cache = true;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -79,9 +84,10 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--no-trace-cache" => trace_cache = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]",
+                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S] [--no-trace-cache]",
                     ALL_EXPERIMENTS.join("|")
                 );
                 return;
@@ -212,7 +218,7 @@ fn main() {
             ),
             "scorecard" => emit("scorecard", &experiments::scorecard(sample).table(), None),
             "serve" => {
-                let study = experiments::serve_tail_latency(sample);
+                let study = experiments::serve_tail_latency_with(sample, trace_cache);
                 emit(
                     "serve_tail_latency",
                     &study.table(),
@@ -226,7 +232,7 @@ fn main() {
                 }
             }
             "scale" => {
-                let study = experiments::scale_out(sample);
+                let study = experiments::scale_out_with(sample, trace_cache);
                 emit("scale_out", &study.table(), Some(study.sustainable_note()));
                 if let Some(dir) = &csv_dir {
                     let path = dir.join("BENCH_scale_out.json");

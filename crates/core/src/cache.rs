@@ -1,0 +1,344 @@
+//! Content-addressed service-trace cache.
+//!
+//! Serving sweeps replay the *same* graph stream against many serving
+//! configurations (replica counts, dispatch policies, offered loads), and
+//! every replay re-simulates the engine even though the cycle-exact
+//! per-graph latency depends only on the graph's content and the
+//! [`ArchConfig`]. The [`ServiceTraceCache`] memoises that mapping: the
+//! key is a content fingerprint of the graph (structure + features)
+//! crossed with the architecture configuration, the value is the
+//! end-to-end cycle count the engine produced. A hit returns the exact
+//! cycles a fresh simulation would compute, so cached and uncached
+//! serving reports are identical (pinned by `tests/differential.rs`).
+//!
+//! The cache is a cloneable handle over shared state, so sweep drivers
+//! hand the *same* cache to every [`crate::Accelerator`] instance they
+//! construct for a model. It must never be shared across *models*: the
+//! key does not identify the model, because one `Accelerator` is one
+//! compiled kernel and owns its cache (mirroring the paper's
+//! one-kernel-per-GNN deployment).
+//!
+//! Eviction is least-recently-used over a configurable capacity; a
+//! monotonic access tick makes every entry's recency distinct, so the
+//! eviction order is deterministic regardless of hash-map iteration
+//! order. Hit / miss / eviction counters are surfaced through
+//! [`CacheStats`] and attached to [`crate::ServeReport`]s produced by a
+//! cache-carrying accelerator.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use flowgnn_desim::Cycle;
+use flowgnn_graph::{FeatureSource, Graph};
+
+use crate::config::ArchConfig;
+
+/// Content fingerprint of a graph: a 64-bit FNV-1a hash over the node
+/// count, the edge list, and the feature content.
+///
+/// Procedural feature sources hash their *description* (rows, dim, seed,
+/// density) rather than materialising rows — procedural rows are pure
+/// functions of `(seed, i)`, so equal descriptions generate equal
+/// features. Dense matrices and edge-feature matrices hash their value
+/// bits. Two graphs with equal fingerprints therefore present identical
+/// inputs to the engine (modulo 64-bit hash collisions, which at the
+/// stream sizes the sweeps use are negligible).
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(g.num_nodes() as u64);
+    h.write_u64(g.num_edges() as u64);
+    for &(s, d) in g.edges() {
+        h.write_u64(((s as u64) << 32) | d as u64);
+    }
+    match g.node_features() {
+        FeatureSource::Dense(m) => {
+            h.write_u64(0xD0);
+            h.write_u64(m.rows() as u64);
+            h.write_u64(m.cols() as u64);
+            for &x in m.as_slice() {
+                h.write_u64(x.to_bits() as u64);
+            }
+        }
+        FeatureSource::Procedural { rows, dim, seed } => {
+            h.write_u64(0x9C);
+            h.write_u64(*rows as u64);
+            h.write_u64(*dim as u64);
+            h.write_u64(*seed);
+        }
+        FeatureSource::SparseProcedural {
+            rows,
+            dim,
+            density,
+            seed,
+        } => {
+            h.write_u64(0x5B);
+            h.write_u64(*rows as u64);
+            h.write_u64(*dim as u64);
+            h.write_u64(density.to_bits());
+            h.write_u64(*seed);
+        }
+    }
+    if let Some(ef) = g.edge_feature_matrix() {
+        h.write_u64(0xEF);
+        h.write_u64(ef.rows() as u64);
+        h.write_u64(ef.cols() as u64);
+        for &x in ef.as_slice() {
+            h.write_u64(x.to_bits() as u64);
+        }
+    }
+    h.finish()
+}
+
+/// 64-bit FNV-1a, fed `u64`s a byte at a time.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters describing a [`ServiceTraceCache`]'s lifetime activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and were followed by an insert).
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    cycles: Cycle,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<(u64, ArchConfig), Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A shared, LRU-bounded memo of `(graph fingerprint, ArchConfig) →
+/// service cycles`. Cloning the handle shares the underlying cache.
+///
+/// See the [module docs](crate::cache) for the contract: one cache per
+/// compiled model, identical cycles whether hit or recomputed.
+#[derive(Debug, Clone)]
+pub struct ServiceTraceCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ServiceTraceCache {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace cache capacity must be at least 1");
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                map: HashMap::new(),
+                capacity,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Looks up the service cycles for `(fingerprint, config)`, counting
+    /// a hit (and refreshing recency) or a miss.
+    pub(crate) fn lookup(&self, fingerprint: u64, config: &ArchConfig) -> Option<Cycle> {
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(fingerprint, *config)) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let cycles = entry.cycles;
+                inner.hits += 1;
+                Some(cycles)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts the freshly simulated cycles for `(fingerprint, config)`,
+    /// evicting the least-recently-used entry if the cache is full.
+    pub(crate) fn insert(&self, fingerprint: u64, config: &ArchConfig, cycles: Cycle) {
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (fingerprint, *config);
+        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
+            // Every `last_used` is a distinct tick, so the minimum — and
+            // therefore the eviction order — is deterministic.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            inner.map.remove(&victim);
+            inner.evictions += 1;
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                cycles,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("trace cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace cache poisoned").map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::default()
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_entries() {
+        let cache = ServiceTraceCache::new(8);
+        let c = cfg();
+        assert_eq!(cache.lookup(1, &c), None);
+        cache.insert(1, &c, 100);
+        assert_eq!(cache.lookup(1, &c), Some(100));
+        assert_eq!(cache.lookup(2, &c), None);
+        cache.insert(2, &c, 200);
+        assert_eq!(cache.lookup(2, &c), Some(200));
+        assert_eq!(cache.lookup(1, &c), Some(100));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, 8);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_in_order() {
+        let cache = ServiceTraceCache::new(2);
+        let c = cfg();
+        cache.insert(1, &c, 10);
+        cache.insert(2, &c, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.lookup(1, &c), Some(10));
+        cache.insert(3, &c, 30); // evicts 2
+        assert_eq!(cache.lookup(2, &c), None);
+        assert_eq!(cache.lookup(1, &c), Some(10));
+        assert_eq!(cache.lookup(3, &c), Some(30));
+        // 1 is now LRU (3 was touched last).
+        assert_eq!(cache.lookup(3, &c), Some(30));
+        cache.insert(4, &c, 40); // evicts 1
+        assert_eq!(cache.lookup(1, &c), None);
+        assert_eq!(cache.lookup(4, &c), Some(40));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_evict() {
+        let cache = ServiceTraceCache::new(2);
+        let c = cfg();
+        cache.insert(1, &c, 10);
+        cache.insert(2, &c, 20);
+        cache.insert(1, &c, 11); // update in place at capacity
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(1, &c), Some(11));
+        assert_eq!(cache.lookup(2, &c), Some(20));
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_keys() {
+        let cache = ServiceTraceCache::new(8);
+        let a = ArchConfig::default();
+        let b = ArchConfig::default().with_parallelism(4, 4, 4, 8);
+        cache.insert(7, &a, 111);
+        cache.insert(7, &b, 222);
+        assert_eq!(cache.lookup(7, &a), Some(111));
+        assert_eq!(cache.lookup(7, &b), Some(222));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        ServiceTraceCache::new(0);
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_features() {
+        let g0 = MoleculeLike::new(14.0, 7).generate(0);
+        let g1 = MoleculeLike::new(14.0, 7).generate(1);
+        assert_eq!(graph_fingerprint(&g0), graph_fingerprint(&g0));
+        assert_ne!(graph_fingerprint(&g0), graph_fingerprint(&g1));
+        // Clones fingerprint identically (content-addressed, not identity).
+        assert_eq!(graph_fingerprint(&g0), graph_fingerprint(&g0.clone()));
+    }
+
+    #[test]
+    fn shared_handle_sees_the_same_state() {
+        let cache = ServiceTraceCache::new(4);
+        let clone = cache.clone();
+        cache.insert(9, &cfg(), 99);
+        assert_eq!(clone.lookup(9, &cfg()), Some(99));
+        assert_eq!(clone.stats().hits, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -13,6 +13,7 @@ use flowgnn_models::reference::ReferenceOutput;
 use flowgnn_models::{Dataflow, GnnModel, GraphContext};
 use flowgnn_tensor::Matrix;
 
+use crate::cache::ServiceTraceCache;
 use crate::config::{ArchConfig, ExecutionMode};
 use crate::exec::{ExecState, SimScratch};
 use crate::pipeline::region_label;
@@ -127,6 +128,7 @@ pub struct Accelerator {
     model: GnnModel,
     config: ArchConfig,
     regions: Vec<Region>,
+    trace_cache: Option<ServiceTraceCache>,
 }
 
 impl Accelerator {
@@ -137,7 +139,32 @@ impl Accelerator {
             model,
             config,
             regions,
+            trace_cache: None,
         }
+    }
+
+    /// Attaches a [`ServiceTraceCache`]: subsequent
+    /// [`Accelerator::service_trace`] calls (and everything built on them
+    /// — [`Accelerator::run_stream`], [`Accelerator::serve`]) answer
+    /// repeated graphs from the cache instead of re-simulating, and
+    /// [`Accelerator::serve`] reports the cache counters in
+    /// [`crate::ServeReport::cache`]. Cached cycles are the exact values
+    /// a fresh simulation produces, so results are bit-identical either
+    /// way.
+    ///
+    /// The handle is shared: cloning a cache and attaching it to several
+    /// accelerator instances of the *same* model and configuration family
+    /// lets sweep drivers reuse traces across instances. Never share one
+    /// cache across different models — the key covers only the graph and
+    /// the [`ArchConfig`].
+    pub fn with_trace_cache(mut self, cache: ServiceTraceCache) -> Self {
+        self.trace_cache = Some(cache);
+        self
+    }
+
+    /// The attached service-trace cache, if any.
+    pub fn trace_cache(&self) -> Option<&ServiceTraceCache> {
+        self.trace_cache.as_ref()
     }
 
     /// The deployed model.

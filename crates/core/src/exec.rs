@@ -10,10 +10,12 @@
 //! strategy, engine mode, and unit schedule computes the *same* function;
 //! only the timing differs.
 
+use flowgnn_desim::Fifo;
 use flowgnn_graph::{Adjacency, Graph, NodeId};
 use flowgnn_models::{AggState, GnnModel, GraphContext, MessageCtx, NodeCtx};
 
 use crate::regions::{NtOp, Region};
+use crate::units::adapter::Flit;
 
 /// Reusable simulation buffers, carried across regions and across graphs
 /// in a stream so the per-run allocation cost is amortised away.
@@ -29,6 +31,25 @@ pub struct SimScratch {
     next_states: Vec<Option<AggState>>,
     msg_buf: Vec<f32>,
     out_buf: Vec<f32>,
+    /// The scatter adapter's queue grid, reused across regions and runs
+    /// (ring buffers keep their backing stores through `reset`).
+    scatter_queues: Vec<Fifo<Flit>>,
+    /// The gather path's aggregate-token queue grid.
+    gather_queues: Vec<Fifo<NodeId>>,
+}
+
+/// Reshapes a reusable queue grid: keeps the ring allocations when the
+/// capacity matches, rebuilds them when it doesn't, and resets every
+/// retained queue to empty.
+fn prepare_queue_grid<T: Default>(queues: &mut Vec<Fifo<T>>, count: usize, capacity: usize) {
+    if queues.first().is_some_and(|q| q.capacity() != capacity) {
+        queues.clear();
+    }
+    queues.truncate(count);
+    for q in queues.iter_mut() {
+        q.reset();
+    }
+    queues.resize_with(count, || Fifo::new(capacity));
 }
 
 /// The functional execution state of one run: embeddings, aggregation
@@ -49,6 +70,10 @@ pub(crate) struct ExecState<'a> {
     /// Scratch buffers.
     msg_buf: Vec<f32>,
     out_buf: Vec<f32>,
+    /// Queue grids parked here between regions (the region scheduler
+    /// borrows them for the duration of one dataflow region).
+    scatter_queues: Vec<Fifo<Flit>>,
+    gather_queues: Vec<Fifo<NodeId>>,
 }
 
 impl<'a> ExecState<'a> {
@@ -84,6 +109,8 @@ impl<'a> ExecState<'a> {
             next_states,
             msg_buf: std::mem::take(&mut scratch.msg_buf),
             out_buf: std::mem::take(&mut scratch.out_buf),
+            scatter_queues: std::mem::take(&mut scratch.scatter_queues),
+            gather_queues: std::mem::take(&mut scratch.gather_queues),
         }
     }
 
@@ -95,6 +122,38 @@ impl<'a> ExecState<'a> {
         scratch.next_states = self.next_states;
         scratch.msg_buf = self.msg_buf;
         scratch.out_buf = self.out_buf;
+        scratch.scatter_queues = self.scatter_queues;
+        scratch.gather_queues = self.gather_queues;
+    }
+
+    /// Borrows the scatter adapter's queue grid for one region, reshaped
+    /// to `count` queues of `capacity` (backing stores are reused).
+    pub(crate) fn take_scatter_queues(&mut self, count: usize, capacity: usize) -> Vec<Fifo<Flit>> {
+        let mut queues = std::mem::take(&mut self.scatter_queues);
+        prepare_queue_grid(&mut queues, count, capacity);
+        queues
+    }
+
+    /// Returns the scatter queue grid after the region completes.
+    pub(crate) fn put_scatter_queues(&mut self, queues: Vec<Fifo<Flit>>) {
+        self.scatter_queues = queues;
+    }
+
+    /// Borrows the gather path's queue grid for one region (see
+    /// [`ExecState::take_scatter_queues`]).
+    pub(crate) fn take_gather_queues(
+        &mut self,
+        count: usize,
+        capacity: usize,
+    ) -> Vec<Fifo<NodeId>> {
+        let mut queues = std::mem::take(&mut self.gather_queues);
+        prepare_queue_grid(&mut queues, count, capacity);
+        queues
+    }
+
+    /// Returns the gather queue grid after the region completes.
+    pub(crate) fn put_gather_queues(&mut self, queues: Vec<Fifo<NodeId>>) {
+        self.gather_queues = queues;
     }
 
     /// Copies `src` into `row`, reusing `row`'s existing capacity.

@@ -50,6 +50,7 @@
 
 mod analytic;
 mod backend;
+pub mod cache;
 mod config;
 mod energy;
 mod engine;
@@ -65,6 +66,7 @@ mod units;
 
 pub use analytic::{analytic_cycles, AnalyticModel};
 pub use backend::{BackendReport, InferenceBackend};
+pub use cache::{graph_fingerprint, CacheStats, ServiceTraceCache};
 pub use config::{ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy};
 pub use energy::{graphs_per_kj, EnergyModel, FPGA_STATIC_WATTS};
 pub use engine::{Accelerator, PreparedGraph, RunReport};
@@ -87,6 +89,7 @@ pub mod prelude {
     //! brings the whole surface in without a long import list.
 
     pub use crate::backend::{BackendReport, InferenceBackend};
+    pub use crate::cache::{graph_fingerprint, CacheStats, ServiceTraceCache};
     pub use crate::config::{
         ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy,
     };

@@ -9,7 +9,7 @@
 //! reference mode, the fast-forward mode, and the tracer all execute the
 //! same unit code.
 
-use flowgnn_desim::{Cycle, Fifo};
+use flowgnn_desim::Cycle;
 use flowgnn_graph::{Adjacency, Graph, NodeId};
 
 use crate::config::{EngineMode, GatherBanking, PipelineStrategy};
@@ -310,7 +310,7 @@ impl Accelerator {
         if let Some(layer) = region.scatter_layer {
             for v in 0..n as NodeId {
                 for k in 0..banked.p_edge() {
-                    for &(dst, eid) in banked.edges(k, v) {
+                    for (dst, eid) in banked.edges(k, v).iter() {
                         exec.mp_process_edge(self.model(), layer, v, dst, eid);
                     }
                 }
@@ -420,10 +420,9 @@ impl Accelerator {
         let scatter = region.scatter_layer;
 
         let mut ctx = ScatterCtx {
-            // One queue per (NT, MP) pair.
-            queues: (0..p_node * p_edge)
-                .map(|_| Fifo::new(self.config().queue_capacity))
-                .collect(),
+            // One queue per (NT, MP) pair, borrowed from the scratch so
+            // the ring allocations persist across regions and runs.
+            queues: exec.take_scatter_queues(p_node * p_edge, self.config().queue_capacity),
             p_edge,
             intake: (self.config().p_apply / self.config().p_scatter).max(1),
             flits_total: self.flits_per_node(region),
@@ -446,7 +445,7 @@ impl Accelerator {
             Vec::new()
         };
         let fast_forward = self.config().engine == EngineMode::FastForward && trace.is_none();
-        run_dataflow(
+        let stats = run_dataflow(
             &mut mps,
             &mut nts,
             &mut ctx,
@@ -455,7 +454,9 @@ impl Accelerator {
             self.runaway_limit(g),
             fast_forward,
             RegionKind::Scatter,
-        )
+        );
+        exec.put_scatter_queues(ctx.queues);
+        stats
     }
 
     // ----- gather-style regions (MP→NT models) ---------------------------
@@ -646,9 +647,7 @@ impl Accelerator {
         let out = self.out_cycles(region);
 
         let mut ctx = GatherCtx {
-            queues: (0..p_edge * p_node)
-                .map(|_| Fifo::new(self.config().queue_capacity))
-                .collect(),
+            queues: exec.take_gather_queues(p_edge * p_node, self.config().queue_capacity),
             p_node,
             p_edge,
             chunks: self.chunks_per_edge(layer),
@@ -661,7 +660,7 @@ impl Accelerator {
         let mut nts: Vec<GatherNt> = (0..p_node).map(|i| GatherNt::new(i, n, p_node)).collect();
         let mut mps: Vec<GatherMp> = (0..p_edge).map(|k| GatherMp::new(k, n, p_edge)).collect();
         let fast_forward = self.config().engine == EngineMode::FastForward && trace.is_none();
-        run_dataflow(
+        let stats = run_dataflow(
             &mut nts,
             &mut mps,
             &mut ctx,
@@ -670,6 +669,8 @@ impl Accelerator {
             self.runaway_limit(g),
             fast_forward,
             RegionKind::Gather,
-        )
+        );
+        exec.put_gather_queues(ctx.queues);
+        stats
     }
 }

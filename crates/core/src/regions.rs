@@ -130,12 +130,58 @@ pub(crate) fn lower(model: &GnnModel) -> Vec<Region> {
 /// (`dest mod P_edge`) and grouped by source node — exactly the layout MP
 /// unit *k* sees: "each MP will process only those edges and scatter to
 /// only those nodes within its own bank" (Sec. III-D1).
+///
+/// The storage is struct-of-arrays: destinations and edge ids live in two
+/// flat parallel lanes indexed by one bank-major offset table, so an MP
+/// unit chewing through a source's edges (which touches only the
+/// destination lane until the functional call needs the edge id) walks
+/// contiguous memory, and the whole structure costs three allocations
+/// regardless of `P_edge`. The per-source multicast targets are also
+/// precomputed as a CSR, so the adapter's routing decision is a slice
+/// lookup rather than a per-node scan-and-collect.
 #[derive(Debug, Clone)]
 pub(crate) struct BankedEdges {
     p_edge: usize,
-    /// Per bank: CSR over sources.
-    offsets: Vec<Vec<usize>>,
-    entries: Vec<Vec<(NodeId, u32)>>,
+    n: usize,
+    /// Bank-major CSR over sources: bank `k`, source `s` spans
+    /// `offsets[k*(n+1)+s]..offsets[k*(n+1)+s+1]` of the lanes below
+    /// (offsets are global lane indices, so no per-bank base is needed).
+    offsets: Vec<usize>,
+    /// Destination lane.
+    dests: Vec<NodeId>,
+    /// Edge-id lane, parallel to `dests`.
+    eids: Vec<u32>,
+    /// CSR of multicast targets per source: source `s` streams to banks
+    /// `target_banks[target_offsets[s]..target_offsets[s+1]]`.
+    target_offsets: Vec<usize>,
+    target_banks: Vec<usize>,
+}
+
+/// The edges of one source within one bank: two parallel slices over the
+/// [`BankedEdges`] lanes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EdgeSlice<'a> {
+    /// Destination nodes.
+    pub dests: &'a [NodeId],
+    /// Edge ids, parallel to `dests`.
+    pub eids: &'a [u32],
+}
+
+impl<'a> EdgeSlice<'a> {
+    /// Number of edges in the slice.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// The `(dst, edge_id)` pair at `i`.
+    pub fn get(&self, i: usize) -> (NodeId, u32) {
+        (self.dests[i], self.eids[i])
+    }
+
+    /// Iterates `(dst, edge_id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + 'a {
+        self.dests.iter().copied().zip(self.eids.iter().copied())
+    }
 }
 
 impl BankedEdges {
@@ -143,31 +189,53 @@ impl BankedEdges {
     /// the same on-the-fly cost as CSR construction.
     pub fn new(graph: &Graph, p_edge: usize) -> Self {
         let n = graph.num_nodes();
-        let mut counts = vec![vec![0usize; n + 1]; p_edge];
+        let e = graph.num_edges();
+        // Counting sort into the flat bank-major offset table. Slot
+        // `k*(n+1) + s + 1` first holds the count for (bank k, source s);
+        // the running prefix sum then turns the table into global lane
+        // offsets (bank k's region starts where bank k-1's ended).
+        let mut offsets = vec![0usize; p_edge * (n + 1) + 1];
         for &(src, dst) in graph.edges() {
-            counts[dst as usize % p_edge][src as usize + 1] += 1;
+            offsets[(dst as usize % p_edge) * (n + 1) + src as usize + 1] += 1;
         }
-        for bank in counts.iter_mut() {
-            for i in 0..n {
-                bank[i + 1] += bank[i];
-            }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
         }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut entries: Vec<Vec<(NodeId, u32)>> = offsets
-            .iter()
-            .map(|o| vec![(0, 0); *o.last().unwrap_or(&0)])
-            .collect();
+        offsets.truncate(p_edge * (n + 1));
+        let mut cursor: Vec<usize> = offsets.clone();
+        let mut dests = vec![0 as NodeId; e];
+        let mut eids = vec![0u32; e];
         for (eid, &(src, dst)) in graph.edges().iter().enumerate() {
             let k = dst as usize % p_edge;
-            let slot = cursor[k][src as usize];
-            cursor[k][src as usize] += 1;
-            entries[k][slot] = (dst, eid as u32);
+            let slot = cursor[k * (n + 1) + src as usize];
+            cursor[k * (n + 1) + src as usize] += 1;
+            dests[slot] = dst;
+            eids[slot] = eid as u32;
+        }
+        // Multicast-target CSR: for each source, the banks holding >= 1
+        // of its out-edges, in bank order.
+        let mut target_offsets = vec![0usize; n + 1];
+        let mut target_banks = Vec::new();
+        let span = |k: usize, s: usize| {
+            let base = k * (n + 1) + s;
+            offsets[base + 1] - offsets[base]
+        };
+        for s in 0..n {
+            for k in 0..p_edge {
+                if span(k, s) > 0 {
+                    target_banks.push(k);
+                }
+            }
+            target_offsets[s + 1] = target_banks.len();
         }
         Self {
             p_edge,
+            n,
             offsets,
-            entries,
+            dests,
+            eids,
+            target_offsets,
+            target_banks,
         }
     }
 
@@ -176,24 +244,29 @@ impl BankedEdges {
         self.p_edge
     }
 
-    /// Edges `(dst, edge_id)` of source `src` landing in bank `k`.
-    pub fn edges(&self, k: usize, src: NodeId) -> &[(NodeId, u32)] {
-        let s = src as usize;
-        &self.entries[k][self.offsets[k][s]..self.offsets[k][s + 1]]
+    /// Edges `(dst, edge_id)` of source `src` landing in bank `k`, as
+    /// parallel destination/edge-id lanes.
+    pub fn edges(&self, k: usize, src: NodeId) -> EdgeSlice<'_> {
+        let base = k * (self.n + 1) + src as usize;
+        let (lo, hi) = (self.offsets[base], self.offsets[base + 1]);
+        EdgeSlice {
+            dests: &self.dests[lo..hi],
+            eids: &self.eids[lo..hi],
+        }
     }
 
     /// Banks that source `src` multicasts to (those holding ≥ 1 of its
-    /// out-edges) — the adapter's routing decision.
-    pub fn targets(&self, src: NodeId) -> Vec<usize> {
-        (0..self.p_edge)
-            .filter(|&k| !self.edges(k, src).is_empty())
-            .collect()
+    /// out-edges) — the adapter's routing decision, precomputed.
+    pub fn targets(&self, src: NodeId) -> &[usize] {
+        let s = src as usize;
+        &self.target_banks[self.target_offsets[s]..self.target_offsets[s + 1]]
     }
 
     /// Total edges in bank `k`.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn bank_size(&self, k: usize) -> usize {
-        self.entries[k].len()
+        let base = k * (self.n + 1);
+        self.offsets[base + self.n] - self.offsets[base]
     }
 }
 
@@ -244,12 +317,13 @@ mod tests {
     fn banked_edges_match_fig5_example() {
         // With 2 banks: bank 1 gets dests {1, 3}, bank 0 gets dest {2}.
         let be = BankedEdges::new(&graph(), 2);
-        assert_eq!(be.edges(1, 0), &[(1, 0)]); // 0→1 in bank 1
-        assert_eq!(be.edges(0, 1), &[(2, 1)]); // 1→2 in bank 0
-        assert_eq!(be.edges(1, 1), &[(3, 2)]); // 1→3 in bank 1
-        assert_eq!(be.targets(1), vec![0, 1]); // node 1 multicasts to both
-        assert_eq!(be.targets(0), vec![1]); // node 0 only to bank 1
-        assert_eq!(be.targets(3), Vec::<usize>::new()); // no out-edges
+        let pairs = |k, s| be.edges(k, s).iter().collect::<Vec<_>>();
+        assert_eq!(pairs(1, 0), vec![(1, 0)]); // 0→1 in bank 1
+        assert_eq!(pairs(0, 1), vec![(2, 1)]); // 1→2 in bank 0
+        assert_eq!(pairs(1, 1), vec![(3, 2)]); // 1→3 in bank 1
+        assert_eq!(be.targets(1), &[0, 1]); // node 1 multicasts to both
+        assert_eq!(be.targets(0), &[1]); // node 0 only to bank 1
+        assert!(be.targets(3).is_empty()); // no out-edges
     }
 
     #[test]
@@ -263,7 +337,7 @@ mod tests {
     fn single_bank_holds_everything() {
         let be = BankedEdges::new(&graph(), 1);
         assert_eq!(be.bank_size(0), 4);
-        assert_eq!(be.targets(1), vec![0]);
+        assert_eq!(be.targets(1), &[0]);
     }
 
     #[test]

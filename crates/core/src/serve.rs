@@ -335,29 +335,6 @@ impl ServeConfig {
             config: Self::default(),
         }
     }
-
-    /// The closed-loop configuration: gap-0 fixed-rate arrivals and an
-    /// unbounded queue on a single replica.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeConfig::builder().build()` (the builder defaults are closed-loop)"
-    )]
-    pub fn closed_loop() -> Self {
-        Self::builder().build()
-    }
-
-    /// An open-loop configuration over any arrival process with a bounded
-    /// admission queue on a single replica.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeConfig::builder().arrivals(..).queue_capacity(..).build()`"
-    )]
-    pub fn open_loop(arrivals: ArrivalProcess, queue_capacity: usize) -> Self {
-        Self::builder()
-            .arrivals(arrivals)
-            .queue_capacity(queue_capacity)
-            .build()
-    }
 }
 
 /// Fluent builder for [`ServeConfig`], so new serving knobs (replicas,
@@ -506,6 +483,12 @@ pub struct ServeReport {
     pub per_replica: Vec<ReplicaStats>,
     /// Per-request lifecycle records, in arrival order.
     pub records: Vec<RequestRecord>,
+    /// Service-trace cache counters, when the backend that produced the
+    /// service trace carries a [`crate::ServiceTraceCache`]. Always `None`
+    /// from [`serve_trace`] itself — the queueing model never touches the
+    /// engine, so only trace-producing callers (e.g.
+    /// [`crate::Accelerator::serve`]) can attach cache activity.
+    pub cache: Option<crate::CacheStats>,
 }
 
 impl ServeReport {
@@ -831,6 +814,7 @@ fn summarize(records: Vec<RequestRecord>, per_replica: Vec<ReplicaStats>) -> Ser
         makespan_cycles,
         per_replica,
         records,
+        cache: None,
     }
 }
 
@@ -929,19 +913,6 @@ mod tests {
                 max_size: 16,
                 overhead_cycles: 200
             })
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_the_builder() {
-        assert_eq!(ServeConfig::closed_loop(), ServeConfig::builder().build());
-        assert_eq!(
-            ServeConfig::open_loop(ArrivalProcess::Fixed { gap: 9 }, 3),
-            ServeConfig::builder()
-                .arrivals(ArrivalProcess::Fixed { gap: 9 })
-                .queue_capacity(3)
-                .build()
         );
     }
 

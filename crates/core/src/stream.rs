@@ -13,6 +13,7 @@
 use flowgnn_desim::{cycles_to_ms, Cycle};
 use flowgnn_graph::GraphStream;
 
+use crate::cache::{graph_fingerprint, ServiceTraceCache};
 use crate::engine::Accelerator;
 use crate::exec::SimScratch;
 use crate::serve::{serve_trace, ServeConfig, ServeReport};
@@ -71,6 +72,13 @@ impl Accelerator {
     /// many serving configurations (replica counts, dispatch policies,
     /// offered loads) without re-simulating the engine.
     ///
+    /// When a [`crate::ServiceTraceCache`] is attached
+    /// ([`Accelerator::with_trace_cache`]), each graph is first looked up
+    /// by content fingerprint; hits skip the simulation entirely and
+    /// return the exact cycles a fresh run would produce. The fingerprint
+    /// is taken on the *incoming* graph — before any virtual-node
+    /// augmentation — so cache keys match what the caller streams in.
+    ///
     /// # Panics
     ///
     /// Panics if the stream (after the limit) is empty.
@@ -79,9 +87,20 @@ impl Accelerator {
         assert!(!stream.is_empty(), "cannot evaluate an empty graph stream");
         let mut scratch = SimScratch::default();
         stream
-            .map(|g| {
-                let prepared = self.prepare_owned(g);
-                self.run_prepared(&prepared, &mut scratch).total_cycles
+            .map(|g| match self.trace_cache() {
+                Some(cache) => {
+                    let fp = graph_fingerprint(&g);
+                    cache.lookup(fp, self.config()).unwrap_or_else(|| {
+                        let prepared = self.prepare_owned(g);
+                        let cycles = self.run_prepared(&prepared, &mut scratch).total_cycles;
+                        cache.insert(fp, self.config(), cycles);
+                        cycles
+                    })
+                }
+                None => {
+                    let prepared = self.prepare_owned(g);
+                    self.run_prepared(&prepared, &mut scratch).total_cycles
+                }
             })
             .collect()
     }
@@ -133,9 +152,15 @@ impl Accelerator {
     /// Panics if the stream (after the limit) is empty, or if `config`
     /// violates an invariant the builder enforces (zero replicas, zero
     /// batch size).
+    ///
+    /// If a [`crate::ServiceTraceCache`] is attached, the returned
+    /// report's [`ServeReport::cache`] carries the cache's counters as of
+    /// the end of this call.
     pub fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
-        serve_trace(&self.service_trace(stream, limit), config)
-            .expect("non-empty trace with a validated config")
+        let mut report = serve_trace(&self.service_trace(stream, limit), config)
+            .expect("non-empty trace with a validated config");
+        report.cache = self.trace_cache().map(ServiceTraceCache::stats);
+        report
     }
 
     /// Streams graphs with *inter-graph pipelining*: the next graph's COO

@@ -16,7 +16,7 @@ use crate::units::{AccCost, DataflowCtx};
 
 /// A flit through the NT-to-MP adapter: `P_scatter` embedding elements of
 /// one node (values live in the execution state; flits carry timing).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Flit {
     pub(crate) node: NodeId,
 }

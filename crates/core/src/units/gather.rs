@@ -57,12 +57,15 @@ impl DataflowCtx for GatherCtx<'_> {
     }
 }
 
-/// Gather-path MP unit: owns destinations `v ≡ index (mod P_edge)` and
-/// walks each one's in-edges, emitting one aggregate token per node.
+/// Gather-path MP unit: owns destinations `v ≡ index (mod P_edge)`,
+/// enumerated arithmetically (`index + j·P_edge`, no materialised list),
+/// and walks each one's in-edges, emitting one aggregate token per node.
 #[derive(Debug)]
 pub(crate) struct GatherMp {
     index: usize,
-    dests: Vec<NodeId>,
+    p_edge: usize,
+    /// Number of owned destinations.
+    count: usize,
     next: usize,
     remaining: u64,
 }
@@ -71,13 +74,20 @@ impl GatherMp {
     pub(crate) fn new(index: usize, n: usize, p_edge: usize) -> Self {
         Self {
             index,
-            dests: (0..n)
-                .filter(|v| v % p_edge == index)
-                .map(|v| v as NodeId)
-                .collect(),
+            p_edge,
+            count: if n > index {
+                (n - index).div_ceil(p_edge)
+            } else {
+                0
+            },
             next: 0,
             remaining: 0,
         }
+    }
+
+    /// The `j`-th destination this unit owns.
+    fn dest_at(&self, j: usize) -> NodeId {
+        (self.index + j * self.p_edge) as NodeId
     }
 }
 
@@ -88,11 +98,11 @@ impl<'a> UnitStep<GatherCtx<'a>> for GatherMp {
         exec: &mut ExecState<'_>,
         stats: &mut RegionStats,
     ) -> LaneSymbol {
-        if self.next >= self.dests.len() {
+        if self.next >= self.count {
             return LaneSymbol::Idle;
         }
         let mut sym = LaneSymbol::Busy;
-        let v = self.dests[self.next];
+        let v = self.dest_at(self.next);
         if self.remaining == 0 {
             // Start this destination's gather.
             self.remaining = ctx.csc.degree(v) as u64 * ctx.chunks + 1;
@@ -120,14 +130,14 @@ impl<'a> UnitStep<GatherCtx<'a>> for GatherMp {
     /// Pure-cycle horizon (see the NT unit's variant): cycles where only
     /// `remaining` counts down, or a frozen stall/idle.
     fn pure_horizon(&self, ctx: &GatherCtx<'a>) -> (u64, PureClass) {
-        if self.next >= self.dests.len() {
+        if self.next >= self.count {
             return (HORIZON_INF, PureClass::Idle);
         }
         match self.remaining {
             // Starts (or retries) a destination this cycle.
             0 => (0, PureClass::Busy),
             1 => {
-                let v = self.dests[self.next] as usize;
+                let v = self.dest_at(self.next) as usize;
                 if ctx.queues[ctx.qid(self.index, v % ctx.p_node)].is_full() {
                     // The retry loop leaves `remaining == 1` and
                     // accrues a stall until the queue drains.
@@ -161,7 +171,7 @@ impl<'a> UnitStep<GatherCtx<'a>> for GatherMp {
     }
 
     fn done(&self, _ctx: &GatherCtx<'a>) -> bool {
-        self.next >= self.dests.len()
+        self.next >= self.count
     }
 }
 
@@ -184,7 +194,11 @@ impl GatherNt {
             job: None,
             rr: 0,
             completed: 0,
-            expected: (0..n).filter(|v| v % p_node == index).count(),
+            expected: if n > index {
+                (n - index).div_ceil(p_node)
+            } else {
+                0
+            },
         }
     }
 }

@@ -4,8 +4,6 @@
 //! the multicast adapter and folding one `P_scatter`-element message chunk
 //! per cycle into the destination aggregates.
 
-use std::collections::VecDeque;
-
 use flowgnn_graph::NodeId;
 
 use crate::exec::ExecState;
@@ -18,10 +16,12 @@ use crate::units::{outcome_symbol, PureClass, RegionStats, StepOutcome, UnitStep
 pub(crate) struct MpUnit {
     index: usize,
     rr: usize,
-    /// Active job (front) plus at most one prefetching job: the MP unit's
-    /// local embedding buffer is ping-ponged, so the next node's flits are
-    /// received while the current node's edges are still processing.
-    jobs: VecDeque<MpJob>,
+    /// Active job (slot 0) plus at most one prefetching job (slot 1): the
+    /// MP unit's local embedding buffer is ping-ponged, so the next
+    /// node's flits are received while the current node's edges are still
+    /// processing. Two inline slots — the hardware has exactly two
+    /// buffers, and the simulator allocates nothing per unit.
+    jobs: [Option<MpJob>; 2],
 }
 
 #[derive(Debug)]
@@ -41,12 +41,39 @@ impl MpUnit {
         Self {
             index,
             rr: 0,
-            jobs: VecDeque::with_capacity(Self::MAX_JOBS),
+            jobs: [None, None],
         }
     }
 
+    fn job_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_some()).count()
+    }
+
+    /// The youngest job (the one still receiving flits).
+    fn back_mut(&mut self) -> Option<&mut MpJob> {
+        let slot = if self.jobs[1].is_some() { 1 } else { 0 };
+        self.jobs[slot].as_mut()
+    }
+
+    fn back(&self) -> Option<&MpJob> {
+        let slot = if self.jobs[1].is_some() { 1 } else { 0 };
+        self.jobs[slot].as_ref()
+    }
+
+    /// Appends a job (caller checks `job_count() < MAX_JOBS`).
+    fn push_back(&mut self, job: MpJob) {
+        let slot = if self.jobs[0].is_some() { 1 } else { 0 };
+        debug_assert!(self.jobs[slot].is_none(), "job slots full");
+        self.jobs[slot] = Some(job);
+    }
+
+    /// Retires the front job; the prefetching job becomes active.
+    fn pop_front(&mut self) {
+        self.jobs[0] = self.jobs[1].take();
+    }
+
     fn is_drained(&self, ctx: &ScatterCtx<'_>) -> bool {
-        self.jobs.is_empty()
+        self.jobs[0].is_none()
             && (0..ctx.queues.len() / ctx.p_edge)
                 .all(|nt| ctx.queues[nt * ctx.p_edge + self.index].is_empty())
     }
@@ -60,7 +87,7 @@ impl MpUnit {
         // youngest job until its embedding is complete, then opens a
         // prefetch job from any non-empty queue.
         for _ in 0..ctx.intake {
-            let receiving = self.jobs.back_mut().filter(|j| j.flits_recv < flits_total);
+            let receiving = self.back_mut().filter(|j| j.flits_recv < flits_total);
             match receiving {
                 Some(job) => match ctx.queues[job.queue].pop() {
                     Some(flit) => {
@@ -70,7 +97,7 @@ impl MpUnit {
                     None => break,
                 },
                 None => {
-                    if self.jobs.len() >= Self::MAX_JOBS {
+                    if self.job_count() >= Self::MAX_JOBS {
                         break;
                     }
                     let mut started = false;
@@ -79,7 +106,7 @@ impl MpUnit {
                         let q = nt * ctx.p_edge + self.index;
                         if let Some(flit) = ctx.queues[q].pop() {
                             self.rr = (nt + 1) % p_node;
-                            self.jobs.push_back(MpJob {
+                            self.push_back(MpJob {
                                 node: flit.node,
                                 queue: q,
                                 flits_recv: 1,
@@ -99,7 +126,8 @@ impl MpUnit {
 
         // Processing: one message chunk per cycle on the front job.
         let mut active = false;
-        if let Some(job) = self.jobs.front_mut() {
+        let mut retire = false;
+        if let Some(job) = self.jobs[0].as_mut() {
             let edges = ctx.banked.edges(self.index, job.node);
             if job.edge_cursor < edges.len() {
                 let required = if ctx.node_granularity {
@@ -114,7 +142,7 @@ impl MpUnit {
                     job.chunk += 1;
                     active = true;
                     if job.chunk == chunks_per_edge {
-                        let (dst, eid) = edges[job.edge_cursor];
+                        let (dst, eid) = edges.get(job.edge_cursor);
                         exec.mp_process_edge(ctx.model, layer, job.node, dst, eid);
                         job.edge_cursor += 1;
                         job.chunk = 0;
@@ -122,12 +150,15 @@ impl MpUnit {
                 }
             }
             if job.edge_cursor == edges.len() && job.flits_recv == flits_total {
-                self.jobs.pop_front();
+                retire = true;
             }
+        }
+        if retire {
+            self.pop_front();
         }
         if active {
             StepOutcome::Busy
-        } else if self.jobs.is_empty() {
+        } else if self.jobs[0].is_none() {
             StepOutcome::Idle
         } else {
             // A job exists but no chunk advanced: starved for flits.
@@ -161,7 +192,7 @@ impl<'a> UnitStep<ScatterCtx<'a>> for MpUnit {
         let p_node = ctx.queues.len() / ctx.p_edge;
         let owned_nonempty =
             (0..p_node).any(|nt| !ctx.queues[nt * ctx.p_edge + self.index].is_empty());
-        let Some(front) = self.jobs.front() else {
+        let Some(front) = self.jobs[0].as_ref() else {
             return if owned_nonempty {
                 (0, PureClass::Busy) // would open a job this cycle
             } else {
@@ -169,12 +200,12 @@ impl<'a> UnitStep<ScatterCtx<'a>> for MpUnit {
             };
         };
         // Intake: any possible pop this cycle pins the horizon at zero.
-        let back = self.jobs.back().expect("front exists");
+        let back = self.back().expect("front exists");
         if back.flits_recv < flits_total {
             if !ctx.queues[back.queue].is_empty() {
                 return (0, PureClass::Busy);
             }
-        } else if self.jobs.len() < Self::MAX_JOBS && owned_nonempty {
+        } else if self.job_count() < Self::MAX_JOBS && owned_nonempty {
             return (0, PureClass::Busy);
         }
         // No intake possible (queues are frozen while every unit is pure),
@@ -225,7 +256,7 @@ impl<'a> UnitStep<ScatterCtx<'a>> for MpUnit {
     ) {
         match class {
             PureClass::Busy => {
-                if let Some(job) = self.jobs.front_mut() {
+                if let Some(job) = self.jobs[0].as_mut() {
                     let layer = ctx.scatter.expect("MP unit in a region without scatter");
                     let chunks_per_edge = ctx.chunks.expect("MP unit in a region without chunks");
                     // Replay the per-cycle recurrence in closed form:
@@ -236,7 +267,7 @@ impl<'a> UnitStep<ScatterCtx<'a>> for MpUnit {
                     let progress = job.chunk + delta;
                     job.chunk = progress % chunks_per_edge;
                     for _ in 0..progress / chunks_per_edge {
-                        let (dst, eid) = edges[job.edge_cursor];
+                        let (dst, eid) = edges.get(job.edge_cursor);
                         exec.mp_process_edge(ctx.model, layer, job.node, dst, eid);
                         job.edge_cursor += 1;
                     }

@@ -10,27 +10,35 @@ use crate::trace::LaneSymbol;
 use crate::units::adapter::{qindex, Flit, ScatterCtx};
 use crate::units::{outcome_symbol, PureClass, RegionStats, StepOutcome, UnitStep, HORIZON_INF};
 
-/// One NT unit: owns nodes `v ≡ index (mod P_node)`.
+/// One NT unit: owns nodes `v ≡ index (mod P_node)`, enumerated
+/// arithmetically (`index + j·P_node`) so no per-region node list is ever
+/// materialised.
 #[derive(Debug)]
 pub(crate) struct NtUnit {
     index: usize,
-    nodes: Vec<NodeId>,
+    p_node: usize,
+    /// Number of owned nodes.
+    count: usize,
     next: usize,
     /// Accumulate stage: `(node, cycles remaining)`; 0 remaining = waiting
     /// to move into the output stage.
     acc: Option<(NodeId, u64)>,
     out: Option<OutJob>,
+    /// Flits delivered to each of the current job's target queues
+    /// (independent progress per queue — atomic multicast would deadlock:
+    /// two MP units each waiting on a different NT's flits can fill the
+    /// cross queues). Unit-owned and reused across nodes; the target
+    /// banks themselves are the precomputed `BankedEdges::targets` slice.
+    pushed: Vec<usize>,
     finished_nodes: usize,
 }
 
 #[derive(Debug)]
 struct OutJob {
     node: NodeId,
-    targets: Vec<usize>,
-    /// Flits delivered to each target queue (independent progress per
-    /// queue — atomic multicast would deadlock: two MP units each waiting
-    /// on a different NT's flits can fill the cross queues).
-    pushed: Vec<usize>,
+    /// Whether the job multicasts into the adapter (scatter regions) or
+    /// only spends output cycles (NT-only regions).
+    has_targets: bool,
     /// Embedding elements produced so far (`P_apply` per cycle).
     elems_produced: usize,
 }
@@ -39,19 +47,36 @@ impl NtUnit {
     pub(crate) fn new(index: usize, n: usize, p_node: usize) -> Self {
         Self {
             index,
-            nodes: (0..n)
-                .filter(|v| v % p_node == index)
-                .map(|v| v as NodeId)
-                .collect(),
+            p_node,
+            count: if n > index {
+                (n - index).div_ceil(p_node)
+            } else {
+                0
+            },
             next: 0,
             acc: None,
             out: None,
+            pushed: Vec::new(),
             finished_nodes: 0,
         }
     }
 
+    /// The `j`-th node this unit owns.
+    fn node_at(&self, j: usize) -> NodeId {
+        (self.index + j * self.p_node) as NodeId
+    }
+
+    /// The current job's multicast targets (empty for NT-only jobs).
+    fn targets<'b>(job: &OutJob, ctx: &ScatterCtx<'b>) -> &'b [usize] {
+        if job.has_targets {
+            ctx.banked.targets(job.node)
+        } else {
+            &[]
+        }
+    }
+
     fn is_done(&self) -> bool {
-        self.finished_nodes == self.nodes.len()
+        self.finished_nodes == self.count
     }
 
     fn step_outcome(&mut self, ctx: &mut ScatterCtx<'_>, exec: &mut ExecState<'_>) -> StepOutcome {
@@ -64,6 +89,7 @@ impl NtUnit {
         // Each target queue makes progress independently; a full queue
         // backpressures only its own copy of the multicast.
         if let Some(job) = &mut self.out {
+            let targets = Self::targets(job, ctx);
             if job.elems_produced < payload {
                 job.elems_produced = (job.elems_produced + ctx.p_apply).min(payload);
                 active = true;
@@ -75,7 +101,7 @@ impl NtUnit {
             };
             let per_cycle = ctx.p_apply.div_ceil(ctx.p_scatter).max(1);
             let mut all_delivered = true;
-            for (pushed, &k) in job.pushed.iter_mut().zip(&job.targets) {
+            for (pushed, &k) in self.pushed.iter_mut().zip(targets) {
                 let q = &mut ctx.queues[qindex(unit, k, ctx.p_edge)];
                 let mut budget = per_cycle;
                 while *pushed < flits_avail && budget > 0 && q.try_push(Flit { node: job.node }) {
@@ -111,22 +137,23 @@ impl NtUnit {
                 if *rem == 0 && self.out.is_none() {
                     let v = *v;
                     exec.nt_finalize(ctx.model, ctx.region, v);
-                    let targets = if ctx.scatter.is_some() {
-                        ctx.banked.targets(v)
+                    let has_targets = ctx.scatter.is_some();
+                    let n_targets = if has_targets {
+                        ctx.banked.targets(v).len()
                     } else {
-                        Vec::new()
+                        0
                     };
-                    if targets.is_empty() && ctx.scatter.is_some() {
+                    if n_targets == 0 && has_targets {
                         // No out-edges in any bank: nothing to stream.
                         self.finished_nodes += 1;
                     } else {
                         // NT-only regions stream to no queues: the output
                         // cycles still elapse (embedding-buffer write).
-                        let pushed = vec![0; targets.len()];
+                        self.pushed.clear();
+                        self.pushed.resize(n_targets, 0);
                         self.out = Some(OutJob {
                             node: v,
-                            targets,
-                            pushed,
+                            has_targets,
                             elems_produced: 0,
                         });
                     }
@@ -134,8 +161,8 @@ impl NtUnit {
                 }
             }
             None => {
-                if self.next < self.nodes.len() {
-                    let v = self.nodes[self.next];
+                if self.next < self.count {
+                    let v = self.node_at(self.next);
                     self.next += 1;
                     self.acc = Some((v, ctx.acc.get(v).max(1)));
                     active = true;
@@ -179,13 +206,14 @@ impl<'a> UnitStep<ScatterCtx<'a>> for NtUnit {
         let Some(job) = &self.out else {
             return match &self.acc {
                 Some((_, rem)) => (rem.saturating_sub(1), PureClass::Busy),
-                None if self.next < self.nodes.len() => (0, PureClass::Busy),
+                None if self.next < self.count => (0, PureClass::Busy),
                 None => (HORIZON_INF, PureClass::Idle),
             };
         };
         // A push happens whenever some undelivered target queue has room
         // (for a no-target NT-only job, `all` is vacuously true).
-        let blocked = job.pushed.iter().zip(&job.targets).all(|(&pushed, &k)| {
+        let targets = Self::targets(job, ctx);
+        let blocked = self.pushed.iter().zip(targets).all(|(&pushed, &k)| {
             pushed >= ctx.flits_total || ctx.queues[qindex(self.index, k, ctx.p_edge)].is_full()
         });
         if !blocked {
@@ -196,7 +224,7 @@ impl<'a> UnitStep<ScatterCtx<'a>> for NtUnit {
             // Busy until the cycle on which production completes, which
             // can retire the job. The accumulate counter runs alongside
             // and sits at zero if it finishes first — no constraint.
-            if self.acc.is_none() && self.next < self.nodes.len() {
+            if self.acc.is_none() && self.next < self.count {
                 return (0, PureClass::Busy); // fetches a node this cycle
             }
             let remaining_elems = (ctx.payload - job.elems_produced) as u64;
@@ -210,7 +238,7 @@ impl<'a> UnitStep<ScatterCtx<'a>> for NtUnit {
         match &self.acc {
             Some((_, rem)) if *rem >= 1 => (*rem, PureClass::Busy),
             Some(_) => (HORIZON_INF, PureClass::StallFull),
-            None if self.next < self.nodes.len() => (0, PureClass::Busy),
+            None if self.next < self.count => (0, PureClass::Busy),
             None => (HORIZON_INF, PureClass::StallFull),
         }
     }

@@ -1,6 +1,10 @@
 //! Bounded registered FIFOs and a pool for routing between units.
-
-use std::collections::VecDeque;
+//!
+//! The FIFO is the single hottest structure in the cycle engine: every
+//! simulated cycle pushes, pops, and commits through the NT→MP queue
+//! grid. It is therefore backed by a fixed, power-of-two ring buffer
+//! rather than a growable deque — one allocation at construction, index
+//! arithmetic by bit-mask, and an `O(1)` cycle-boundary commit.
 
 /// A bounded FIFO with hardware-register semantics.
 ///
@@ -10,6 +14,24 @@ use std::collections::VecDeque;
 /// [`Fifo::commit`]. This models a synchronous FIFO with one-cycle
 /// forwarding latency and prevents accidental zero-latency pass-through of
 /// a token through an entire pipeline in a single simulated cycle.
+///
+/// # Memory layout
+///
+/// Ready and staged items live in one contiguous ring whose length is the
+/// capacity rounded up to a power of two, so slot indices wrap by mask.
+/// The ring is split by three counters rather than by separate
+/// containers — `head` (oldest ready slot), `ready` (committed items),
+/// and `staged` (items pushed since the last commit, stored directly
+/// behind the ready region):
+///
+/// ```text
+///   [ .. | ready items | staged items | .. ]   (indices mod 2^k)
+///          ^head         ^head+ready
+/// ```
+///
+/// [`Fifo::commit`] just folds the staged count into the ready count — no
+/// items move, no memory is touched. Elements are required to be
+/// [`Default`] so popped slots can be vacated without `unsafe`.
 ///
 /// The FIFO also records occupancy statistics used for queue-sizing
 /// analyses.
@@ -27,40 +49,76 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
+    buf: Box<[T]>,
+    mask: usize,
     capacity: usize,
-    ready: VecDeque<T>,
-    staged: Vec<T>,
+    head: usize,
+    ready: usize,
+    staged: usize,
     total_pushed: u64,
     total_popped: u64,
     max_occupancy: usize,
 }
 
-impl<T> Fifo<T> {
-    /// Creates a FIFO holding at most `capacity` items.
+impl<T: Default> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items. The backing ring
+    /// is `capacity.next_power_of_two()` slots; the *logical* capacity
+    /// enforced by [`Fifo::is_full`] stays exactly as requested.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a FIFO needs capacity of at least 1");
+        let slots = capacity.next_power_of_two();
         Self {
+            buf: (0..slots).map(|_| T::default()).collect(),
+            mask: slots - 1,
             capacity,
-            ready: VecDeque::with_capacity(capacity),
-            staged: Vec::new(),
+            head: 0,
+            ready: 0,
+            staged: 0,
             total_pushed: 0,
             total_popped: 0,
             max_occupancy: 0,
         }
     }
 
-    /// The configured capacity.
+    /// Pops the oldest *committed* item.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.ready == 0 {
+            return None;
+        }
+        let item = std::mem::take(&mut self.buf[self.head]);
+        self.head = (self.head + 1) & self.mask;
+        self.ready -= 1;
+        self.total_popped += 1;
+        Some(item)
+    }
+
+    /// Removes all items and resets statistics (reuse between runs).
+    pub fn reset(&mut self) {
+        for i in 0..self.ready + self.staged {
+            self.buf[(self.head + i) & self.mask] = T::default();
+        }
+        self.head = 0;
+        self.ready = 0;
+        self.staged = 0;
+        self.total_pushed = 0;
+        self.total_popped = 0;
+        self.max_occupancy = 0;
+    }
+}
+
+impl<T> Fifo<T> {
+    /// The configured (logical) capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Total occupancy including staged items.
     pub fn len(&self) -> usize {
-        self.ready.len() + self.staged.len()
+        self.ready + self.staged
     }
 
     /// Whether the FIFO holds no items (ready or staged).
@@ -75,7 +133,7 @@ impl<T> Fifo<T> {
 
     /// Number of items currently poppable (committed).
     pub fn ready_len(&self) -> usize {
-        self.ready.len()
+        self.ready
     }
 
     /// Stages an item for the next cycle.
@@ -89,7 +147,9 @@ impl<T> Fifo<T> {
             !self.is_full(),
             "push into full FIFO (missing backpressure check)"
         );
-        self.staged.push(item);
+        let tail = (self.head + self.ready + self.staged) & self.mask;
+        self.buf[tail] = item;
+        self.staged += 1;
         self.total_pushed += 1;
         self.max_occupancy = self.max_occupancy.max(self.len());
     }
@@ -104,23 +164,17 @@ impl<T> Fifo<T> {
         }
     }
 
-    /// Pops the oldest *committed* item.
-    pub fn pop(&mut self) -> Option<T> {
-        let item = self.ready.pop_front();
-        if item.is_some() {
-            self.total_popped += 1;
-        }
-        item
-    }
-
     /// Peeks at the oldest committed item without removing it.
     pub fn peek(&self) -> Option<&T> {
-        self.ready.front()
+        (self.ready > 0).then(|| &self.buf[self.head])
     }
 
-    /// Cycle boundary: makes all staged items poppable.
+    /// Cycle boundary: makes all staged items poppable. Staged items
+    /// already sit contiguously behind the ready region, so this is a
+    /// counter fold — `O(1)`, no data movement.
     pub fn commit(&mut self) {
-        self.ready.extend(self.staged.drain(..));
+        self.ready += self.staged;
+        self.staged = 0;
     }
 
     /// Total items ever pushed (staged or committed).
@@ -136,15 +190,6 @@ impl<T> Fifo<T> {
     /// High-water mark of occupancy.
     pub fn max_occupancy(&self) -> usize {
         self.max_occupancy
-    }
-
-    /// Removes all items and resets statistics (reuse between runs).
-    pub fn reset(&mut self) {
-        self.ready.clear();
-        self.staged.clear();
-        self.total_pushed = 0;
-        self.total_popped = 0;
-        self.max_occupancy = 0;
     }
 }
 
@@ -175,16 +220,25 @@ pub struct FifoPool<T> {
     fifos: Vec<Fifo<T>>,
 }
 
-impl<T> FifoPool<T> {
-    /// Creates an empty pool.
-    pub fn new() -> Self {
-        Self { fifos: Vec::new() }
-    }
-
+impl<T: Default> FifoPool<T> {
     /// Allocates a new FIFO of the given capacity and returns its id.
     pub fn alloc(&mut self, capacity: usize) -> FifoId {
         self.fifos.push(Fifo::new(capacity));
         FifoId(self.fifos.len() - 1)
+    }
+
+    /// Resets every FIFO.
+    pub fn reset_all(&mut self) {
+        for f in &mut self.fifos {
+            f.reset();
+        }
+    }
+}
+
+impl<T> FifoPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self { fifos: Vec::new() }
     }
 
     /// Number of FIFOs in the pool.
@@ -207,13 +261,6 @@ impl<T> FifoPool<T> {
     /// Whether every FIFO is completely empty (quiescence check).
     pub fn all_empty(&self) -> bool {
         self.fifos.iter().all(Fifo::is_empty)
-    }
-
-    /// Resets every FIFO.
-    pub fn reset_all(&mut self) {
-        for f in &mut self.fifos {
-            f.reset();
-        }
     }
 
     /// Iterates over `(id, fifo)` pairs.
@@ -323,6 +370,28 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_capacity_wraps_correctly() {
+        // Logical capacity 3 rides in a 4-slot ring; drive the indices
+        // around the ring many times with mixed occupancy.
+        let mut q = Fifo::new(3);
+        assert_eq!(q.capacity(), 3);
+        let mut expected = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for round in 0..50 {
+            for _ in 0..=(round % 3) {
+                if q.try_push(next) {
+                    expected.push_back(next);
+                    next += 1;
+                }
+            }
+            q.commit();
+            for _ in 0..=(round % 2) {
+                assert_eq!(q.pop(), expected.pop_front());
+            }
+        }
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut q = Fifo::new(2);
         q.push(9);
@@ -330,6 +399,23 @@ mod tests {
         q.reset();
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reset_vacates_slots_midway_around_the_ring() {
+        let mut q = Fifo::new(4);
+        for i in 0..3 {
+            q.push(i);
+        }
+        q.commit();
+        q.pop();
+        q.push(3); // occupied region now straddles a non-zero head
+        q.reset();
+        assert!(q.is_empty());
+        q.push(7);
+        q.commit();
+        assert_eq!(q.pop(), Some(7));
         assert_eq!(q.pop(), None);
     }
 

@@ -126,6 +126,120 @@ fn counters_reconcile() {
     }
 }
 
+/// A straightforward reference model of the registered-FIFO contract:
+/// committed items in a `VecDeque`, staged items in a `Vec`, capacity
+/// counted over both. The ring-buffer implementation must be
+/// observationally identical to this model under any operation schedule.
+struct ModelFifo {
+    capacity: usize,
+    ready: std::collections::VecDeque<u32>,
+    staged: Vec<u32>,
+    total_pushed: u64,
+    total_popped: u64,
+    max_occupancy: usize,
+}
+
+impl ModelFifo {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ready: std::collections::VecDeque::new(),
+            staged: Vec::new(),
+            total_pushed: 0,
+            total_popped: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len() + self.staged.len()
+    }
+
+    fn try_push(&mut self, v: u32) -> bool {
+        if self.len() >= self.capacity {
+            return false;
+        }
+        self.staged.push(v);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.len());
+        true
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let item = self.ready.pop_front();
+        if item.is_some() {
+            self.total_popped += 1;
+        }
+        item
+    }
+
+    fn commit(&mut self) {
+        self.ready.extend(self.staged.drain(..));
+    }
+
+    fn reset(&mut self) {
+        self.ready.clear();
+        self.staged.clear();
+        self.total_pushed = 0;
+        self.total_popped = 0;
+        self.max_occupancy = 0;
+    }
+}
+
+/// The ring-buffer FIFO agrees with the deque reference model on every
+/// observable (pop results, occupancy, readiness, fullness, peek, and
+/// statistics) through randomized push/stage/commit/pop/reset schedules
+/// across capacities both at and off powers of two.
+#[test]
+fn ring_buffer_matches_deque_reference_model() {
+    let mut rng = Rng::seed_from_u64(0xF1F0_0006);
+    for case in 0..512 {
+        let cap = rng.gen_range(1usize..33);
+        let mut q = Fifo::new(cap);
+        let mut model = ModelFifo::new(cap);
+        for step in 0..rng.gen_range(1usize..300) {
+            match rng.gen_range(0u32..8) {
+                0..=3 => {
+                    let v = rng.gen_range(0u32..1000);
+                    assert_eq!(q.try_push(v), model.try_push(v), "case {case} step {step}");
+                }
+                4..=5 => {
+                    assert_eq!(q.pop(), model.pop(), "case {case} step {step}");
+                }
+                6 => {
+                    q.commit();
+                    model.commit();
+                }
+                _ => {
+                    // Occasional reset exercises mid-ring vacation.
+                    if rng.gen_bool(0.05) {
+                        q.reset();
+                        model.reset();
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.ready_len(), model.ready.len());
+            assert_eq!(q.is_full(), model.len() >= model.capacity);
+            assert_eq!(q.is_empty(), model.len() == 0);
+            assert_eq!(q.peek(), model.ready.front());
+            assert_eq!(q.total_pushed(), model.total_pushed);
+            assert_eq!(q.total_popped(), model.total_popped);
+            assert_eq!(q.max_occupancy(), model.max_occupancy);
+        }
+        // Drain both to confirm residual contents agree element-for-element.
+        q.commit();
+        model.commit();
+        loop {
+            let (a, b) = (q.pop(), model.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// Pool-wide commit preserves per-queue independence.
 #[test]
 fn pool_queues_are_independent() {
