@@ -1,0 +1,22 @@
+//! Kernel-path bench: the SIMD study as a `cargo bench` target.
+//!
+//! Runs the scalar-vs-SIMD kernel study ([`flowgnn_bench::kernels`]) and
+//! prints its table plus the serialized JSON. `-- --smoke` runs the quick
+//! sample (CI's kernel-bench smoke); the default is the standard sample.
+
+use flowgnn_bench::{kernels, SampleSize};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sample = if smoke {
+        SampleSize::Quick
+    } else {
+        SampleSize::Standard
+    };
+    let study = kernels::measure(sample);
+    println!("{}", study.table().render());
+    if let Some(s) = study.min_saturated_speedup() {
+        println!("minimum saturated functional speedup: {s:.2}x");
+    }
+    print!("{}", study.to_json());
+}

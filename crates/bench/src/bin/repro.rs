@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! repro [experiment ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]
-//!       [--no-trace-cache]
+//!       [--no-trace-cache] [--scalar-kernels]
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              banking scorecard serve scale throughput all
+//!              banking scorecard serve scale throughput kernels all
 //!              (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
@@ -18,11 +18,15 @@
 //! --no-trace-cache   disable the service-trace cache in the serve/scale
 //!                    sweeps (output is byte-identical either way; CI
 //!                    `cmp`s the two to pin that)
+//! --scalar-kernels   run all arithmetic on the scalar reference kernels
+//!                    instead of the SIMD path (timing tables are
+//!                    byte-identical either way; functional values agree
+//!                    within the differential-test tolerance)
 //! ```
 
 use std::path::PathBuf;
 
-use flowgnn_bench::{experiments, throughput, SampleSize, TextTable};
+use flowgnn_bench::{experiments, kernels, throughput, SampleSize, TextTable};
 use flowgnn_graph::datasets::DatasetKind;
 
 const ALL_EXPERIMENTS: &[&str] = &[
@@ -45,6 +49,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "serve",
     "scale",
     "throughput",
+    "kernels",
 ];
 
 fn main() {
@@ -85,9 +90,10 @@ fn main() {
                 }
             },
             "--no-trace-cache" => trace_cache = false,
+            "--scalar-kernels" => flowgnn_tensor::simd::set_scalar_kernels(true),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S] [--no-trace-cache]",
+                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S] [--no-trace-cache] [--scalar-kernels]",
                     ALL_EXPERIMENTS.join("|")
                 );
                 return;
@@ -112,6 +118,13 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Run header: every table/CSV row below is produced on this kernel
+    // path. Timing tables are value-independent, so the CSVs themselves
+    // stay byte-identical across paths.
+    println!(
+        "repro: compute kernels = {}\n",
+        flowgnn_tensor::simd::kernel_path()
+    );
     let emit = |name: &str, table: &TextTable, note: Option<String>| {
         println!("{table}");
         if let Some(note) = note {
@@ -248,6 +261,19 @@ fn main() {
                 if let Some(dir) = &csv_dir {
                     let path = dir.join("BENCH_sim_throughput.json");
                     if let Err(e) = std::fs::write(&path, report.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
+            "kernels" => {
+                let study = kernels::measure(sample);
+                println!("{}", study.table().render());
+                if let Some(s) = study.min_saturated_speedup() {
+                    println!("minimum saturated functional speedup: {s:.2}x\n");
+                }
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_kernel_simd.json");
+                    if let Err(e) = std::fs::write(&path, study.to_json()) {
                         eprintln!("cannot write {}: {e}", path.display());
                     }
                 }

@@ -25,6 +25,7 @@
 
 pub mod experiments;
 mod json;
+pub mod kernels;
 pub mod microbench;
 pub mod par;
 mod table;

@@ -1,10 +1,13 @@
 //! Simulator-throughput benchmark: the perf trajectory artifact.
 //!
-//! Runs fixed workloads (dataset × model, timing-only) through the cycle
-//! engine and reports simulated-cycles-per-wall-second and
-//! graphs-per-second, in both engine modes (per-cycle reference vs.
-//! fast-forward), serialized as `BENCH_sim_throughput.json`. Future PRs
-//! compare against this file to keep a perf trajectory.
+//! Runs fixed workloads (dataset × model) through the cycle engine and
+//! reports simulated-cycles-per-wall-second and graphs-per-second, in both
+//! engine modes (per-cycle reference vs. fast-forward) and both execution
+//! modes (timing-only and full functional, where the arithmetic actually
+//! runs and the SIMD kernels matter), serialized as
+//! `BENCH_sim_throughput.json`. Future PRs compare against this file to
+//! keep a perf trajectory. Each row records which kernel path
+//! (`simd`/`scalar`) produced it.
 
 use crate::SampleSize;
 use flowgnn_core::{
@@ -21,6 +24,10 @@ pub struct WorkloadThroughput {
     pub name: String,
     /// Engine mode the measurement ran under.
     pub engine: EngineMode,
+    /// Execution mode: timing-only or full functional.
+    pub execution: ExecutionMode,
+    /// Kernel path (`simd`/`scalar`) active during the measurement.
+    pub kernels: &'static str,
     /// Graphs simulated.
     pub graphs: usize,
     /// Total simulated cycles across all graphs.
@@ -89,12 +96,11 @@ fn measure_one(
     model: &GnnModel,
     config: ArchConfig,
     engine: EngineMode,
+    execution: ExecutionMode,
 ) -> WorkloadThroughput {
     let acc = Accelerator::new(
         model.clone(),
-        config
-            .with_execution(ExecutionMode::TimingOnly)
-            .with_engine(engine),
+        config.with_execution(execution).with_engine(engine),
     );
     let mut scratch = SimScratch::default();
     let start = Instant::now();
@@ -106,6 +112,8 @@ fn measure_one(
     WorkloadThroughput {
         name: name.to_string(),
         engine,
+        execution,
+        kernels: flowgnn_tensor::simd::kernel_path(),
         graphs: graphs.len(),
         sim_cycles,
         wall_seconds: start.elapsed().as_secs_f64(),
@@ -114,6 +122,10 @@ fn measure_one(
 
 /// Runs the benchmark at the given sample size. Graphs are generated
 /// outside the timed section so the numbers isolate the simulator.
+///
+/// Timing-only rows cover both engine modes (the fast-forward speedup);
+/// functional rows run the arithmetic under the fast-forward engine — the
+/// rows where the kernel path (SIMD vs. scalar) moves throughput.
 pub fn measure(sample: SampleSize) -> ThroughputReport {
     let mut rows = Vec::new();
     for (name, kind, model, config) in fixed_workloads() {
@@ -121,8 +133,23 @@ pub fn measure(sample: SampleSize) -> ThroughputReport {
         let count = sample.resolve(stream.len());
         let graphs: Vec<_> = stream.take_prefix(count).collect();
         for engine in [EngineMode::Reference, EngineMode::FastForward] {
-            rows.push(measure_one(&name, &graphs, &model, config, engine));
+            rows.push(measure_one(
+                &name,
+                &graphs,
+                &model,
+                config,
+                engine,
+                ExecutionMode::TimingOnly,
+            ));
         }
+        rows.push(measure_one(
+            &name,
+            &graphs,
+            &model,
+            config,
+            EngineMode::FastForward,
+            ExecutionMode::Full,
+        ));
     }
     ThroughputReport { rows }
 }
@@ -131,12 +158,13 @@ use crate::json::json_escape;
 
 impl ThroughputReport {
     /// Fast-forward over reference speedup (wall-clock), aggregated over
-    /// all workloads. `None` until both modes are present.
+    /// the timing-only workloads (both engine modes exist only there).
+    /// `None` until both modes are present.
     pub fn aggregate_speedup(&self) -> Option<f64> {
         let total = |m: EngineMode| -> f64 {
             self.rows
                 .iter()
-                .filter(|r| r.engine == m)
+                .filter(|r| r.engine == m && r.execution == ExecutionMode::TimingOnly)
                 .map(|r| r.wall_seconds)
                 .sum()
         };
@@ -150,11 +178,14 @@ impl ThroughputReport {
         let mut out = String::from("{\n  \"benchmark\": \"sim_throughput\",\n  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"graphs\": {}, \
+                "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"execution\": \"{}\", \
+                 \"kernels\": \"{}\", \"graphs\": {}, \
                  \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \
                  \"cycles_per_second\": {:.1}, \"graphs_per_second\": {:.2}}}{}\n",
                 json_escape(&r.name),
                 r.engine.name(),
+                r.execution.name(),
+                r.kernels,
                 r.graphs,
                 r.sim_cycles,
                 r.wall_seconds,
@@ -174,15 +205,17 @@ impl ThroughputReport {
 
     /// Human-readable rendering for the repro binary.
     pub fn table(&self) -> String {
-        let mut t = String::from(
-            "sim throughput (fixed workloads, timing-only)\n\
-             workload          engine        graphs    Mcycles/s   graphs/s\n",
+        let mut t = format!(
+            "sim throughput (fixed workloads, {} kernels)\n\
+             workload          engine        execution     graphs    Mcycles/s   graphs/s\n",
+            flowgnn_tensor::simd::kernel_path(),
         );
         for r in &self.rows {
             t.push_str(&format!(
-                "{:<17} {:<12} {:>7} {:>12.2} {:>10.2}\n",
+                "{:<17} {:<12} {:<12} {:>7} {:>12.2} {:>10.2}\n",
                 r.name,
                 r.engine.name(),
+                r.execution.name(),
                 r.graphs,
                 r.cycles_per_second() / 1e6,
                 r.graphs_per_second(),
@@ -206,6 +239,8 @@ mod tests {
                 WorkloadThroughput {
                     name: "w".into(),
                     engine: EngineMode::Reference,
+                    execution: ExecutionMode::TimingOnly,
+                    kernels: "simd",
                     graphs: 10,
                     sim_cycles: 1000,
                     wall_seconds: 2.0,
@@ -213,9 +248,21 @@ mod tests {
                 WorkloadThroughput {
                     name: "w".into(),
                     engine: EngineMode::FastForward,
+                    execution: ExecutionMode::TimingOnly,
+                    kernels: "simd",
                     graphs: 10,
                     sim_cycles: 1000,
                     wall_seconds: 0.5,
+                },
+                // A functional row must not skew the engine-mode speedup.
+                WorkloadThroughput {
+                    name: "w".into(),
+                    engine: EngineMode::FastForward,
+                    execution: ExecutionMode::Full,
+                    kernels: "simd",
+                    graphs: 10,
+                    sim_cycles: 1000,
+                    wall_seconds: 100.0,
                 },
             ],
         };
@@ -223,6 +270,9 @@ mod tests {
         let j = report.to_json();
         assert!(j.contains("\"benchmark\": \"sim_throughput\""));
         assert!(j.contains("\"engine\": \"reference\""));
+        assert!(j.contains("\"execution\": \"timing-only\""));
+        assert!(j.contains("\"execution\": \"full\""));
+        assert!(j.contains("\"kernels\": \"simd\""));
         assert!(j.contains("\"fast_forward_speedup\": 4.00"));
         assert!(j.contains("\"cycles_per_second\": 500.0"));
     }
@@ -230,9 +280,21 @@ mod tests {
     #[test]
     fn measures_fixed_workloads_quickly() {
         let report = measure(SampleSize::Quick);
-        // 4 workloads x 2 engine modes.
-        assert_eq!(report.rows.len(), 8);
+        // 4 workloads x (2 timing-only engine modes + 1 functional).
+        assert_eq!(report.rows.len(), 12);
         assert!(report.rows.iter().all(|r| r.graphs > 0 && r.sim_cycles > 0));
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .filter(|r| r.execution == ExecutionMode::Full)
+                .count(),
+            4
+        );
+        // Execution mode never changes the simulated cycle counts.
+        for pair in report.rows.chunks(3) {
+            assert_eq!(pair[1].sim_cycles, pair[2].sim_cycles, "{}", pair[1].name);
+        }
         assert!(report.aggregate_speedup().is_some());
     }
 }

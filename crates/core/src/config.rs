@@ -77,6 +77,16 @@ pub enum ExecutionMode {
     TimingOnly,
 }
 
+impl ExecutionMode {
+    /// Display name used in reports and the throughput benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::Full => "full",
+            ExecutionMode::TimingOnly => "timing-only",
+        }
+    }
+}
+
 /// How the dataflow simulation loop advances time.
 ///
 /// Both modes are cycle-exact and produce byte-identical [`crate::RunReport`]s;

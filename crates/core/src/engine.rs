@@ -8,10 +8,9 @@
 //! [`RunReport`] the caller gets back.
 
 use flowgnn_desim::{cycles_to_ms, cycles_to_us, Cycle};
-use flowgnn_graph::{Adjacency, Graph};
+use flowgnn_graph::{Adjacency, FeatureArena, Graph};
 use flowgnn_models::reference::ReferenceOutput;
 use flowgnn_models::{Dataflow, GnnModel, GraphContext};
-use flowgnn_tensor::Matrix;
 
 use crate::cache::ServiceTraceCache;
 use crate::config::{ArchConfig, ExecutionMode};
@@ -41,6 +40,10 @@ pub struct PreparedGraph<'g> {
     ctx: GraphContext,
     banked: BankedEdges,
     csc: Option<Adjacency>,
+    /// Raw node features packed into one lane-padded slab, materialised
+    /// only for functional ([`ExecutionMode::Full`]) accelerators so
+    /// timing-only sweeps over huge graphs never pay the memory.
+    features: Option<FeatureArena>,
 }
 
 impl PreparedGraph<'_> {
@@ -246,12 +249,15 @@ impl Accelerator {
         } else {
             None
         };
+        let features = (self.config.execution == ExecutionMode::Full)
+            .then(|| FeatureArena::from_source(g.node_features()));
         PreparedGraph {
             g,
             pool_nodes,
             ctx,
             banked,
             csc,
+            features,
         }
     }
 
@@ -282,12 +288,19 @@ impl Accelerator {
         }
         let n = g.num_nodes();
 
-        let mut exec = ExecState::new(g, &prepared.ctx, functional, scratch);
+        let mut exec = ExecState::new(
+            g,
+            &prepared.ctx,
+            prepared.features.as_ref(),
+            functional,
+            scratch,
+        );
         let mut region_cycles = Vec::with_capacity(self.regions.len());
         let mut totals = RegionStats::default();
         let mut trace = self.config.trace.then(Trace::default);
 
         for region in &self.regions {
+            exec.begin_region(region.payload_dim);
             let mut region_trace = trace.as_ref().map(|_| {
                 let p_node = self.config.effective_p_node();
                 let p_edge = self.config.effective_p_edge();
@@ -326,11 +339,7 @@ impl Accelerator {
             load_cycles + region_cycles.iter().sum::<Cycle>() + readout_cycles;
 
         let output = if functional {
-            let dim = exec.x_cur.first().map_or(0, Vec::len);
-            let mut emb = Matrix::zeros(n, dim);
-            for (v, row) in exec.x_cur.iter().enumerate() {
-                emb.row_mut(v).copy_from_slice(row);
-            }
+            let emb = exec.x_cur.to_matrix();
             let graph_output = self
                 .model
                 .readout()

@@ -11,8 +11,10 @@
 //! only the timing differs.
 
 use flowgnn_desim::Fifo;
-use flowgnn_graph::{Adjacency, Graph, NodeId};
-use flowgnn_models::{AggState, GnnModel, GraphContext, MessageCtx, NodeCtx};
+use flowgnn_graph::{Adjacency, FeatureArena, Graph, NodeId};
+use flowgnn_models::{
+    AggState, AggregatorKind, GnnModel, GraphContext, MessageCtx, NodeCtx, NtScratch,
+};
 
 use crate::regions::{NtOp, Region};
 use crate::units::adapter::Flit;
@@ -25,17 +27,24 @@ use crate::units::adapter::Flit;
 /// re-initialises the state it reads.
 #[derive(Debug, Default)]
 pub struct SimScratch {
-    x_cur: Vec<Vec<f32>>,
-    x_next: Vec<Vec<f32>>,
+    x_cur: FeatureArena,
+    x_next: FeatureArena,
     prev_states: Vec<Option<AggState>>,
     next_states: Vec<Option<AggState>>,
     msg_buf: Vec<f32>,
     out_buf: Vec<f32>,
+    m_buf: Vec<f32>,
+    raw_buf: Vec<f32>,
+    phi_scratch: Vec<f32>,
+    nt_scratch: NtScratch,
     /// The scatter adapter's queue grid, reused across regions and runs
     /// (ring buffers keep their backing stores through `reset`).
     scatter_queues: Vec<Fifo<Flit>>,
     /// The gather path's aggregate-token queue grid.
     gather_queues: Vec<Fifo<NodeId>>,
+    /// Retired aggregation states, reused via `AggregatorKind::reinit`
+    /// so the per-node hot path never allocates fresh accumulators.
+    state_pool: Vec<AggState>,
 }
 
 /// Reshapes a reusable queue grid: keeps the ring allocations when the
@@ -57,11 +66,15 @@ fn prepare_queue_grid<T: Default>(queues: &mut Vec<Fifo<T>>, count: usize, capac
 pub(crate) struct ExecState<'a> {
     graph: &'a Graph,
     ctx: &'a GraphContext,
+    /// Raw input features packed into a lane-padded arena by
+    /// [`crate::Accelerator::prepare`] (functional runs only); when absent,
+    /// `nt_finalize` materialises rows on demand via `raw_buf`.
+    feats: Option<&'a FeatureArena>,
     functional: bool,
     /// Embeddings at region start.
-    pub(crate) x_cur: Vec<Vec<f32>>,
+    pub(crate) x_cur: FeatureArena,
     /// Embeddings produced by this region's NT.
-    x_next: Vec<Vec<f32>>,
+    x_next: FeatureArena,
     /// Aggregation states written by the previous region's MP (read by
     /// this region's γ).
     prev_states: Vec<Option<AggState>>,
@@ -70,29 +83,33 @@ pub(crate) struct ExecState<'a> {
     /// Scratch buffers.
     msg_buf: Vec<f32>,
     out_buf: Vec<f32>,
+    m_buf: Vec<f32>,
+    raw_buf: Vec<f32>,
+    phi_scratch: Vec<f32>,
+    nt_scratch: NtScratch,
     /// Queue grids parked here between regions (the region scheduler
     /// borrows them for the duration of one dataflow region).
     scatter_queues: Vec<Fifo<Flit>>,
     gather_queues: Vec<Fifo<NodeId>>,
+    /// Retired aggregation states awaiting reuse (see `fresh_state`).
+    state_pool: Vec<AggState>,
 }
 
 impl<'a> ExecState<'a> {
     pub(crate) fn new(
         graph: &'a Graph,
         ctx: &'a GraphContext,
+        feats: Option<&'a FeatureArena>,
         functional: bool,
         scratch: &mut SimScratch,
     ) -> Self {
         let n = graph.num_nodes();
         let mut x_cur = std::mem::take(&mut scratch.x_cur);
         let mut x_next = std::mem::take(&mut scratch.x_next);
-        for buf in [&mut x_cur, &mut x_next] {
-            buf.truncate(n);
-            for row in buf.iter_mut() {
-                row.clear();
-            }
-            buf.resize_with(n, Vec::new);
-        }
+        // Region dims are installed by `begin_region`; starting at dim 0
+        // keeps timing-only runs free of feature-slab traffic.
+        x_cur.reset(n, 0);
+        x_next.reset(n, 0);
         let mut prev_states = std::mem::take(&mut scratch.prev_states);
         let mut next_states = std::mem::take(&mut scratch.next_states);
         for buf in [&mut prev_states, &mut next_states] {
@@ -102,6 +119,7 @@ impl<'a> ExecState<'a> {
         Self {
             graph,
             ctx,
+            feats,
             functional,
             x_cur,
             x_next,
@@ -109,8 +127,13 @@ impl<'a> ExecState<'a> {
             next_states,
             msg_buf: std::mem::take(&mut scratch.msg_buf),
             out_buf: std::mem::take(&mut scratch.out_buf),
+            m_buf: std::mem::take(&mut scratch.m_buf),
+            raw_buf: std::mem::take(&mut scratch.raw_buf),
+            phi_scratch: std::mem::take(&mut scratch.phi_scratch),
+            nt_scratch: std::mem::take(&mut scratch.nt_scratch),
             scatter_queues: std::mem::take(&mut scratch.scatter_queues),
             gather_queues: std::mem::take(&mut scratch.gather_queues),
+            state_pool: std::mem::take(&mut scratch.state_pool),
         }
     }
 
@@ -122,8 +145,41 @@ impl<'a> ExecState<'a> {
         scratch.next_states = self.next_states;
         scratch.msg_buf = self.msg_buf;
         scratch.out_buf = self.out_buf;
+        scratch.m_buf = self.m_buf;
+        scratch.raw_buf = self.raw_buf;
+        scratch.phi_scratch = self.phi_scratch;
+        scratch.nt_scratch = self.nt_scratch;
         scratch.scatter_queues = self.scatter_queues;
         scratch.gather_queues = self.gather_queues;
+        scratch.state_pool = self.state_pool;
+    }
+
+    /// An aggregation state for `agg` at `msg_dim`: a pooled one,
+    /// reinitialised in place, when available; a fresh allocation only
+    /// while the pool warms up.
+    fn fresh_state(pool: &mut Vec<AggState>, agg: AggregatorKind, msg_dim: usize) -> AggState {
+        match pool.pop() {
+            Some(mut s) => {
+                agg.reinit(&mut s, msg_dim);
+                s
+            }
+            None => agg.init(msg_dim),
+        }
+    }
+
+    /// Sizes this region's output arena to `payload_dim` columns.
+    ///
+    /// Called once per region before any [`ExecState::nt_finalize`]; a
+    /// no-op in timing-only runs so large graphs never pay for zeroed
+    /// feature slabs they would not read.
+    pub(crate) fn begin_region(&mut self, payload_dim: usize) {
+        if !self.functional {
+            return;
+        }
+        // Every row is fully written by an NT unit (`set_row`) before
+        // anything reads it, so the reset skips the slab memset.
+        self.x_next
+            .reset_for_overwrite(self.graph.num_nodes(), payload_dim);
     }
 
     /// Borrows the scatter adapter's queue grid for one region, reshaped
@@ -156,12 +212,6 @@ impl<'a> ExecState<'a> {
         self.gather_queues = queues;
     }
 
-    /// Copies `src` into `row`, reusing `row`'s existing capacity.
-    fn write_row(row: &mut Vec<f32>, src: &[f32]) {
-        row.clear();
-        row.extend_from_slice(src);
-    }
-
     fn node_ctx(&self, v: NodeId) -> NodeCtx {
         NodeCtx {
             degree: self.ctx.in_degree(v),
@@ -178,49 +228,55 @@ impl<'a> ExecState<'a> {
         let node = self.node_ctx(v);
         match region.nt_op {
             NtOp::Encode => {
-                let raw = self.graph.node_features().row(vi);
+                let raw: &[f32] = match self.feats {
+                    Some(feats) => feats.row(vi),
+                    None => {
+                        self.raw_buf.resize(self.graph.node_feature_dim(), 0.0);
+                        self.graph.node_features().row_into(vi, &mut self.raw_buf);
+                        &self.raw_buf
+                    }
+                };
                 match model.encoder() {
                     Some(enc) => {
-                        enc.forward_into(&raw, &mut self.out_buf);
-                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
+                        enc.forward_into(raw, &mut self.out_buf);
+                        self.x_next.set_row(vi, &self.out_buf);
                     }
-                    None => self.x_next[vi] = raw,
+                    None => self.x_next.set_row(vi, raw),
                 }
             }
-            NtOp::Gamma(l) => {
+            NtOp::Gamma(l) | NtOp::Normalize(l) => {
                 let layer = &model.layers()[l];
-                let m = match self.prev_states[vi].take() {
-                    Some(state) => layer.agg().finish(&state, &node),
-                    None => vec![0.0; layer.agg_dim()],
-                };
-                layer
-                    .gamma()
-                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                Self::write_row(&mut self.x_next[vi], &self.out_buf);
+                match self.prev_states[vi].take() {
+                    Some(state) => {
+                        layer.agg().finish_into(&state, &node, &mut self.m_buf);
+                        self.state_pool.push(state);
+                    }
+                    None => {
+                        self.m_buf.clear();
+                        self.m_buf.resize(layer.agg_dim(), 0.0);
+                    }
+                }
+                layer.gamma().apply_with_scratch(
+                    self.x_cur.row(vi),
+                    &self.m_buf,
+                    &node,
+                    &mut self.out_buf,
+                    &mut self.nt_scratch,
+                );
+                self.x_next.set_row(vi, &self.out_buf);
             }
             NtOp::Project(l) => {
                 let layer = &model.layers()[l];
                 match layer.pre() {
                     Some(pre) => {
-                        pre.forward_into(&self.x_cur[vi], &mut self.out_buf);
-                        Self::write_row(&mut self.x_next[vi], &self.out_buf);
+                        pre.forward_into(self.x_cur.row(vi), &mut self.out_buf);
+                        self.x_next.set_row(vi, &self.out_buf);
                     }
                     None => {
                         let (cur, next) = (&self.x_cur, &mut self.x_next);
-                        Self::write_row(&mut next[vi], &cur[vi]);
+                        next.set_row(vi, cur.row(vi));
                     }
                 }
-            }
-            NtOp::Normalize(l) => {
-                let layer = &model.layers()[l];
-                let m = match self.prev_states[vi].take() {
-                    Some(state) => layer.agg().finish(&state, &node),
-                    None => vec![0.0; layer.agg_dim()],
-                };
-                layer
-                    .gamma()
-                    .apply(&self.x_cur[vi], &m, &node, &mut self.out_buf);
-                Self::write_row(&mut self.x_next[vi], &self.out_buf);
             }
         }
     }
@@ -241,15 +297,22 @@ impl<'a> ExecState<'a> {
         let l = &model.layers()[layer];
         let weight = l.weighting().weight(self.ctx, src, dst);
         let mctx = MessageCtx {
-            x_src: &self.x_next[src as usize],
+            x_src: self.x_next.row(src as usize),
             x_dst: None,
             edge_feat: self.graph.edge_feature(eid as usize),
             edge_weight: weight,
         };
-        l.phi().apply(&mctx, &mut self.msg_buf);
-        let state =
-            self.next_states[dst as usize].get_or_insert_with(|| l.agg().init(l.message_dim()));
-        l.agg().push(state, &self.msg_buf);
+        l.phi()
+            .apply_with_scratch(&mctx, &mut self.msg_buf, &mut self.phi_scratch);
+        let slot = &mut self.next_states[dst as usize];
+        if slot.is_none() {
+            *slot = Some(Self::fresh_state(
+                &mut self.state_pool,
+                l.agg(),
+                l.message_dim(),
+            ));
+        }
+        l.agg().push(slot.as_mut().unwrap(), &self.msg_buf);
     }
 
     /// Full gather for destination `v` in a gather region (GAT): folds all
@@ -265,16 +328,17 @@ impl<'a> ExecState<'a> {
             return;
         }
         let l = &model.layers()[layer];
-        let mut state = l.agg().init(l.message_dim());
+        let mut state = Self::fresh_state(&mut self.state_pool, l.agg(), l.message_dim());
         for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
             let weight = l.weighting().weight(self.ctx, u, v);
             let mctx = MessageCtx {
-                x_src: &self.x_cur[u as usize],
-                x_dst: Some(&self.x_cur[v as usize]),
+                x_src: self.x_cur.row(u as usize),
+                x_dst: Some(self.x_cur.row(v as usize)),
                 edge_feat: self.graph.edge_feature(eid as usize),
                 edge_weight: weight,
             };
-            l.phi().apply(&mctx, &mut self.msg_buf);
+            l.phi()
+                .apply_with_scratch(&mctx, &mut self.msg_buf, &mut self.phi_scratch);
             l.agg().push(&mut state, &self.msg_buf);
         }
         self.prev_states[v as usize] = Some(state);
@@ -286,7 +350,9 @@ impl<'a> ExecState<'a> {
         std::mem::swap(&mut self.x_cur, &mut self.x_next);
         std::mem::swap(&mut self.prev_states, &mut self.next_states);
         for s in &mut self.next_states {
-            *s = None;
+            if let Some(state) = s.take() {
+                self.state_pool.push(state);
+            }
         }
     }
 }

@@ -105,26 +105,50 @@ impl FeatureSource {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.row_into(i, &mut out);
+        out
+    }
+
+    /// Writes feature row `i` into `out` without allocating.
+    ///
+    /// Values are identical to [`FeatureSource::row`] (same per-row RNG
+    /// stream for procedural sources). Hot paths — arena materialisation
+    /// and the simulator's encode stage — use this form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()` or `out.len() != self.dim()`.
+    pub fn row_into(&self, i: usize, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.dim(),
+            "row buffer length {} does not match feature dim {}",
+            out.len(),
+            self.dim()
+        );
         match self {
-            FeatureSource::Dense(m) => m.row(i).to_vec(),
-            FeatureSource::Procedural { rows, dim, seed } => {
+            FeatureSource::Dense(m) => out.copy_from_slice(m.row(i)),
+            FeatureSource::Procedural { rows, dim: _, seed } => {
                 assert!(i < *rows, "feature row {i} out of bounds ({rows} rows)");
                 let mut rng =
                     Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
-                (0..*dim).map(|_| rng.gen_range(-1.0..=1.0)).collect()
+                for v in out {
+                    *v = rng.gen_range(-1.0..=1.0);
+                }
             }
             FeatureSource::SparseProcedural {
                 rows,
-                dim,
+                dim: _,
                 density,
                 seed,
             } => {
                 assert!(i < *rows, "feature row {i} out of bounds ({rows} rows)");
                 let mut rng =
                     Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
-                (0..*dim)
-                    .map(|_| if rng.gen_bool(*density) { 1.0 } else { 0.0 })
-                    .collect()
+                for v in out {
+                    *v = if rng.gen_bool(*density) { 1.0 } else { 0.0 };
+                }
             }
         }
     }

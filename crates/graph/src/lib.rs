@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+mod arena;
 pub mod datasets;
 mod features;
 pub mod generators;
@@ -41,6 +42,7 @@ mod stats;
 mod stream;
 
 pub use adjacency::Adjacency;
+pub use arena::FeatureArena;
 pub use features::FeatureSource;
 pub use graph::{Graph, GraphError, NodeId};
 pub use stats::GraphStats;

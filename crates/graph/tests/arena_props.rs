@@ -1,0 +1,95 @@
+//! Property test: `FeatureArena` against a `Vec<Vec<f32>>` model.
+//!
+//! The arena must behave exactly like the naive per-node row storage it
+//! replaces, across randomized shapes (including lane-multiple and
+//! lane-straddling dims), interleaved writes, and re-dimensioning.
+
+use flowgnn_graph::{FeatureArena, FeatureSource};
+use flowgnn_rng::Rng;
+use flowgnn_tensor::simd::LANES;
+
+#[test]
+fn arena_round_trips_against_vec_of_vecs_model() {
+    let mut rng = Rng::seed_from_u64(0xA2E7A);
+    for trial in 0..32 {
+        let rows = rng.gen_range(0..20usize);
+        let dim = rng.gen_range(0..40usize);
+        let mut arena = FeatureArena::new(rows, dim);
+        let mut model: Vec<Vec<f32>> = vec![vec![0.0; dim]; rows];
+
+        // Interleaved whole-row and single-element writes.
+        for _ in 0..64 {
+            if rows == 0 {
+                break;
+            }
+            let i = rng.gen_range(0..rows);
+            if dim > 0 && rng.gen_bool(0.5) {
+                let j = rng.gen_range(0..dim);
+                let v = rng.gen_range(-5.0f32..=5.0);
+                arena.row_mut(i)[j] = v;
+                model[i][j] = v;
+            } else {
+                let vals: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..=5.0)).collect();
+                arena.set_row(i, &vals);
+                model[i] = vals;
+            }
+        }
+
+        assert_eq!(arena.rows(), rows, "trial {trial}");
+        assert_eq!(arena.dim(), dim, "trial {trial}");
+        assert!(
+            dim == 0 || arena.stride().is_multiple_of(LANES),
+            "trial {trial}"
+        );
+        assert!(arena.stride() >= dim, "trial {trial}");
+        for (i, want) in model.iter().enumerate() {
+            assert_eq!(arena.row(i), &want[..], "trial {trial} row {i}");
+        }
+        let collected: Vec<Vec<f32>> = arena.iter_rows().map(<[f32]>::to_vec).collect();
+        assert_eq!(collected, model, "trial {trial} iter_rows");
+        assert_eq!(
+            arena.to_matrix().as_slice(),
+            &model.concat()[..],
+            "trial {trial} to_matrix"
+        );
+    }
+}
+
+#[test]
+fn reset_matches_a_fresh_model_every_time() {
+    let mut rng = Rng::seed_from_u64(0x5E5E7);
+    let mut arena = FeatureArena::default();
+    for _ in 0..16 {
+        let rows = rng.gen_range(0..12usize);
+        let dim = rng.gen_range(0..24usize);
+        arena.reset(rows, dim);
+        let fresh = FeatureArena::new(rows, dim);
+        assert_eq!(arena, fresh, "reset must equal a fresh arena");
+        // Dirty it so the next reset has something to scrub.
+        for i in 0..rows {
+            if dim > 0 {
+                arena.row_mut(i)[dim - 1] = 9.0;
+            }
+        }
+    }
+}
+
+#[test]
+fn from_source_equals_per_row_materialisation() {
+    for src in [
+        FeatureSource::procedural(17, 9, 3),
+        FeatureSource::sparse_procedural(11, 30, 0.2, 5),
+    ] {
+        let arena = FeatureArena::from_source(&src);
+        let model: Vec<Vec<f32>> = (0..src.rows()).map(|i| src.row(i)).collect();
+        for (i, want) in model.iter().enumerate() {
+            assert_eq!(arena.row(i), &want[..]);
+        }
+        // row_into must produce the same stream as row().
+        let mut buf = vec![0.0; src.dim()];
+        for (i, want) in model.iter().enumerate() {
+            src.row_into(i, &mut buf);
+            assert_eq!(&buf, want);
+        }
+    }
+}

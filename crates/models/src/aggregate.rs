@@ -83,6 +83,35 @@ impl AggregatorKind {
         }
     }
 
+    /// Re-initialises `state` in place for a fresh node, reusing its
+    /// buffers — the allocation-free sibling of [`AggregatorKind::init`]
+    /// for hot per-node loops recycling states through a pool. The
+    /// result is indistinguishable from a freshly `init`ed state.
+    pub fn reinit(self, state: &mut AggState, msg_dim: usize) {
+        fn refill(v: &mut Vec<f32>, len: usize, fill: f32) {
+            v.clear();
+            v.resize(len, fill);
+        }
+        state.kind = self;
+        state.dim = msg_dim;
+        state.count = 0;
+        let acc_fill = match self {
+            AggregatorKind::Max => f32::NEG_INFINITY,
+            AggregatorKind::Min => f32::INFINITY,
+            _ => 0.0,
+        };
+        refill(&mut state.acc, msg_dim, acc_fill);
+        if self == AggregatorKind::Pna {
+            refill(&mut state.sum_sq, msg_dim, 0.0);
+            refill(&mut state.max, msg_dim, f32::NEG_INFINITY);
+            refill(&mut state.min, msg_dim, f32::INFINITY);
+        } else {
+            state.sum_sq.clear();
+            state.max.clear();
+            state.min.clear();
+        }
+    }
+
     /// Folds one message into the state.
     ///
     /// # Panics
@@ -109,43 +138,56 @@ impl AggregatorKind {
     }
 
     /// Finalises the aggregate for a node.
+    ///
+    /// Allocates; the per-node hot paths use [`AggregatorKind::finish_into`].
     pub fn finish(self, state: &AggState, node: &NodeCtx) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.finish_into(state, node, &mut out);
+        out
+    }
+
+    /// Finalises the aggregate for a node into a caller-provided buffer
+    /// (cleared and resized to [`AggregatorKind::out_dim`]).
+    ///
+    /// Values are identical to [`AggregatorKind::finish`].
+    pub fn finish_into(self, state: &AggState, node: &NodeCtx, out: &mut Vec<f32>) {
         assert_eq!(state.kind, self, "aggregation state kind mismatch");
         let n = state.count;
+        out.clear();
         match self {
-            AggregatorKind::Sum => state.acc.clone(),
+            AggregatorKind::Sum => out.extend_from_slice(&state.acc),
             AggregatorKind::Mean => {
                 if n == 0 {
-                    vec![0.0; state.dim]
+                    out.resize(state.dim, 0.0);
                 } else {
-                    state.acc.iter().map(|s| s / n as f32).collect()
+                    out.extend(state.acc.iter().map(|s| s / n as f32));
                 }
             }
             AggregatorKind::Max | AggregatorKind::Min => {
                 if n == 0 {
-                    vec![0.0; state.dim]
+                    out.resize(state.dim, 0.0);
                 } else {
-                    state.acc.clone()
+                    out.extend_from_slice(&state.acc);
                 }
             }
             AggregatorKind::Pna => {
                 let dim = state.dim;
-                let mut base = Vec::with_capacity(4 * dim);
+                // Identity-scaled base block: mean, std, max, min.
                 if n == 0 {
-                    base.resize(4 * dim, 0.0);
+                    out.resize(4 * dim, 0.0);
                 } else {
                     let inv = 1.0 / n as f32;
                     // mean
                     for s in &state.acc {
-                        base.push(s * inv);
+                        out.push(s * inv);
                     }
                     // std (population, clamped against rounding)
                     for i in 0..dim {
                         let mean = state.acc[i] * inv;
-                        base.push((state.sum_sq[i] * inv - mean * mean).max(0.0).sqrt());
+                        out.push((state.sum_sq[i] * inv - mean * mean).max(0.0).sqrt());
                     }
-                    base.extend_from_slice(&state.max);
-                    base.extend_from_slice(&state.min);
+                    out.extend_from_slice(&state.max);
+                    out.extend_from_slice(&state.min);
                 }
                 // Degree scalers (Eq. 3). Isolated nodes get zero scalers
                 // for the degree-dependent channels.
@@ -153,13 +195,12 @@ impl AggregatorKind {
                 let delta = node.mean_log_degree.max(1e-6);
                 let amplify = log_d / delta;
                 let attenuate = if log_d > 1e-6 { delta / log_d } else { 0.0 };
-                let mut out = Vec::with_capacity(Self::PNA_BLOCKS * dim);
-                for &scaler in &[1.0, amplify, attenuate] {
-                    for v in &base {
+                for scaler in [amplify, attenuate] {
+                    for i in 0..4 * dim {
+                        let v = out[i];
                         out.push(scaler * v);
                     }
                 }
-                out
             }
         }
     }
@@ -201,6 +242,29 @@ mod tests {
             kind.push(&mut st, m);
         }
         kind.finish(&st, &NODE)
+    }
+
+    #[test]
+    fn reinit_matches_fresh_init_across_kinds_and_dims() {
+        for kind in [
+            AggregatorKind::Sum,
+            AggregatorKind::Mean,
+            AggregatorKind::Max,
+            AggregatorKind::Min,
+            AggregatorKind::Pna,
+        ] {
+            // Dirty a state at one dim, then reinit at another (smaller
+            // and larger) — it must be indistinguishable from init.
+            let mut st = kind.init(3);
+            kind.push(&mut st, &[1.0, -2.0, 0.5]);
+            for dim in [2, 5] {
+                kind.reinit(&mut st, dim);
+                assert_eq!(st, kind.init(dim), "{kind} dim {dim}");
+            }
+            // And a cross-kind handoff (the pool is shared).
+            AggregatorKind::Pna.reinit(&mut st, 4);
+            assert_eq!(st, AggregatorKind::Pna.init(4), "{kind} -> Pna");
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use layer::GnnLayer;
 pub use message::{MessageCtx, MessageTransform};
 pub use model::{GnnModel, ModelKind};
 pub use readout::{Pooling, Readout};
-pub use transform::{Combine, NodeCtx, NodeTransform};
+pub use transform::{Combine, NodeCtx, NodeTransform, NtScratch};
 pub use weighting::EdgeWeighting;
 
 /// Which direction a model's pipeline runs (Sec. III-D2).

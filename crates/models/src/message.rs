@@ -87,11 +87,33 @@ impl MessageTransform {
 
     /// Applies φ, writing the message into `out`.
     ///
+    /// Allocates scratch internally for the variants that need it; the
+    /// per-edge hot paths use [`MessageTransform::apply_with_scratch`].
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatches (wrong `x_src` length for the
     /// configured edge projection or attention geometry).
     pub fn apply(&self, ctx: &MessageCtx<'_>, out: &mut Vec<f32>) {
+        self.apply_with_scratch(ctx, out, &mut Vec::new());
+    }
+
+    /// Applies φ with a caller-provided scratch buffer (edge-feature
+    /// projection output / attention weights), allocation-free once the
+    /// scratch has grown to the layer dimensions.
+    ///
+    /// Values are identical to [`MessageTransform::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches (wrong `x_src` length for the
+    /// configured edge projection or attention geometry).
+    pub fn apply_with_scratch(
+        &self,
+        ctx: &MessageCtx<'_>,
+        out: &mut Vec<f32>,
+        scratch: &mut Vec<f32>,
+    ) {
         out.clear();
         match self {
             MessageTransform::WeightedCopy => {
@@ -103,8 +125,8 @@ impl MessageTransform {
             MessageTransform::ReluAddEdge { edge_proj } => {
                 out.extend_from_slice(ctx.x_src);
                 if let (Some(proj), Some(e)) = (edge_proj, ctx.edge_feat) {
-                    let embedded = proj.forward(e);
-                    ops::add_assign(out, &embedded);
+                    proj.forward_into(e, scratch);
+                    ops::add_assign(out, scratch);
                 }
                 Activation::Relu.apply_slice(out);
             }
@@ -136,7 +158,8 @@ impl MessageTransform {
                     heads * head_dim,
                     "GAT destination embedding length mismatch"
                 );
-                let mut weights = Vec::with_capacity(*heads);
+                let weights = scratch;
+                weights.clear();
                 for h in 0..*heads {
                     let lo = h * head_dim;
                     let hi = lo + head_dim;
@@ -150,7 +173,7 @@ impl MessageTransform {
                         out.push(w * z);
                     }
                 }
-                out.extend_from_slice(&weights);
+                out.extend_from_slice(weights);
             }
             MessageTransform::Custom { f, .. } => f(ctx, out),
         }

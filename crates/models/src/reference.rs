@@ -8,10 +8,10 @@
 //! `flowgnn-core`. Tests assert that the simulator's functional output
 //! matches this executor within floating-point-reordering tolerance.
 
-use flowgnn_graph::{Adjacency, Graph, NodeId};
+use flowgnn_graph::{Adjacency, FeatureArena, Graph, NodeId};
 use flowgnn_tensor::Matrix;
 
-use crate::{Dataflow, GnnModel, GraphContext, MessageCtx, NodeCtx};
+use crate::{Dataflow, GnnModel, GraphContext, MessageCtx, NodeCtx, NtScratch};
 
 /// The result of running a model on one graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,72 +69,90 @@ pub fn run_prepared(model: &GnnModel, g: &Graph, pool_nodes: usize) -> Reference
     };
     let csc = Adjacency::in_edges(g);
 
-    // Region 0: encode raw features into the hidden dimension.
+    // Region 0: encode raw features into the hidden dimension. All layer
+    // activations live in lane-padded `FeatureArena` slabs so the vectorized
+    // kernels stream contiguous rows instead of chasing per-node `Vec`s.
     let hidden = model.hidden_dim();
-    let mut x = Matrix::zeros(n, hidden);
+    let mut x = FeatureArena::new(n, hidden);
     {
         let feats = g.node_features();
+        let mut raw = vec![0.0; g.node_feature_dim()];
         let mut buf = Vec::new();
         for v in 0..n {
-            let row = feats.row(v);
+            feats.row_into(v, &mut raw);
             match model.encoder() {
                 Some(enc) => {
-                    enc.forward_into(&row, &mut buf);
-                    x.row_mut(v).copy_from_slice(&buf);
+                    enc.forward_into(&raw, &mut buf);
+                    x.set_row(v, &buf);
                 }
-                None => x.row_mut(v).copy_from_slice(&row),
+                None => x.set_row(v, &raw),
             }
         }
     }
 
-    // Message-passing layers: gather along in-edges, then transform.
+    // Message-passing layers: gather along in-edges, then transform. All
+    // per-message/per-node buffers are hoisted out of the loops.
+    let mut z = FeatureArena::default();
+    let mut next = FeatureArena::default();
     let mut msg = Vec::new();
+    let mut msg_scratch = Vec::new();
+    let mut m = Vec::new();
+    let mut out = Vec::new();
+    let mut nt_scratch = NtScratch::default();
     for layer in model.layers() {
         // Optional pre-projection (GAT's shared head projection).
-        let z = match layer.pre() {
+        let z_ref = match layer.pre() {
             Some(pre) => {
-                let mut z = Matrix::zeros(n, pre.out_dim());
-                let mut buf = Vec::new();
+                z.reset_for_overwrite(n, pre.out_dim());
                 for v in 0..n {
-                    pre.forward_into(x.row(v), &mut buf);
-                    z.row_mut(v).copy_from_slice(&buf);
+                    pre.forward_into(x.row(v), &mut out);
+                    z.set_row(v, &out);
                 }
-                z
+                &z
             }
-            None => x.clone(),
+            None => &x,
         };
 
         let msg_dim = layer.message_dim();
-        let mut next = Matrix::zeros(n, layer.out_dim());
-        let mut out = Vec::new();
+        next.reset_for_overwrite(n, layer.out_dim());
+        let mut state = layer.agg().init(msg_dim);
         for v in 0..n as NodeId {
-            let mut state = layer.agg().init(msg_dim);
+            layer.agg().reinit(&mut state, msg_dim);
             for (&u, &eid) in csc.neighbors(v).iter().zip(csc.edge_ids(v)) {
                 let mctx = MessageCtx {
-                    x_src: z.row(u as usize),
-                    x_dst: Some(z.row(v as usize)),
+                    x_src: z_ref.row(u as usize),
+                    x_dst: Some(z_ref.row(v as usize)),
                     edge_feat: g.edge_feature(eid as usize),
                     edge_weight: layer.weighting().weight(&ctx, u, v),
                 };
-                layer.phi().apply(&mctx, &mut msg);
+                layer
+                    .phi()
+                    .apply_with_scratch(&mctx, &mut msg, &mut msg_scratch);
                 layer.agg().push(&mut state, &msg);
             }
             let node_ctx = NodeCtx {
                 degree: ctx.in_degree(v),
                 mean_log_degree: ctx.mean_log_degree(),
             };
-            let m = layer.agg().finish(&state, &node_ctx);
-            layer
-                .gamma()
-                .apply(z.row(v as usize), &m, &node_ctx, &mut out);
-            next.row_mut(v as usize).copy_from_slice(&out);
+            layer.agg().finish_into(&state, &node_ctx, &mut m);
+            layer.gamma().apply_with_scratch(
+                z_ref.row(v as usize),
+                &m,
+                &node_ctx,
+                &mut out,
+                &mut nt_scratch,
+            );
+            next.set_row(v as usize, &out);
         }
-        x = next;
+        std::mem::swap(&mut x, &mut next);
     }
 
-    let graph_output = model.readout().map(|r| r.apply(&x, pool_nodes.min(n)));
+    let node_embeddings = x.to_matrix();
+    let graph_output = model
+        .readout()
+        .map(|r| r.apply(&node_embeddings, pool_nodes.min(n)));
     ReferenceOutput {
-        node_embeddings: x,
+        node_embeddings,
         graph_output,
     }
 }

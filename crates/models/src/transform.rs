@@ -68,6 +68,15 @@ impl Combine {
 /// the node's new embedding to `out`.
 pub type CustomNodeFn = Arc<dyn Fn(&[f32], &[f32], &NodeCtx, &mut Vec<f32>) + Send + Sync>;
 
+/// Reusable scratch for [`NodeTransform::apply_with_scratch`]: the
+/// combined `(x, m)` vector and the MLP ping-pong buffer. One instance
+/// per execution context keeps the per-node γ path allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct NtScratch {
+    combined: Vec<f32>,
+    tmp: Vec<f32>,
+}
+
 /// The node transformation γ of one layer (Listing 1, line 12).
 #[derive(Clone)]
 pub enum NodeTransform {
@@ -130,22 +139,43 @@ impl NodeTransform {
 
     /// Applies γ: `out = γ(x, m)`.
     ///
+    /// Allocates scratch internally; the per-node hot paths use
+    /// [`NodeTransform::apply_with_scratch`].
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatches between the configured layers and the
     /// supplied vectors.
     pub fn apply(&self, x: &[f32], m: &[f32], node: &NodeCtx, out: &mut Vec<f32>) {
+        self.apply_with_scratch(x, m, node, out, &mut NtScratch::default());
+    }
+
+    /// Applies γ with caller-provided scratch, allocation-free once the
+    /// scratch buffers have grown to the layer dimensions.
+    ///
+    /// Values are identical to [`NodeTransform::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches between the configured layers and the
+    /// supplied vectors.
+    pub fn apply_with_scratch(
+        &self,
+        x: &[f32],
+        m: &[f32],
+        node: &NodeCtx,
+        out: &mut Vec<f32>,
+        scratch: &mut NtScratch,
+    ) {
         match self {
             NodeTransform::Identity { combine } => combine.apply(x, m, node, out),
             NodeTransform::Linear { layer, combine } => {
-                let mut combined = Vec::new();
-                combine.apply(x, m, node, &mut combined);
-                layer.forward_into(&combined, out);
+                combine.apply(x, m, node, &mut scratch.combined);
+                layer.forward_into(&scratch.combined, out);
             }
             NodeTransform::Mlp { mlp, combine } => {
-                let mut combined = Vec::new();
-                combine.apply(x, m, node, &mut combined);
-                *out = mlp.forward(&combined);
+                combine.apply(x, m, node, &mut scratch.combined);
+                mlp.forward_into(&scratch.combined, out, &mut scratch.tmp);
             }
             NodeTransform::GatNormalize { heads, head_dim } => {
                 assert_eq!(
@@ -171,7 +201,8 @@ impl NodeTransform {
                 );
                 let count = m[2 * dim];
                 let sum_w = m[2 * dim + 1];
-                let mut combined = Vec::with_capacity(2 * dim);
+                let combined = &mut scratch.combined;
+                combined.clear();
                 let inv = if count > 0.0 { 1.0 / count } else { 0.0 };
                 for &v in &m[..dim] {
                     combined.push(v * inv);
@@ -179,7 +210,7 @@ impl NodeTransform {
                 for i in 0..dim {
                     combined.push((m[dim + i] - sum_w * x[i]).abs());
                 }
-                layer.forward_into(&combined, out);
+                layer.forward_into(combined, out);
             }
             NodeTransform::Custom { f, .. } => {
                 f(x, m, node, out);

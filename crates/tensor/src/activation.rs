@@ -51,12 +51,19 @@ impl Activation {
     }
 
     /// Applies the activation to every element of `xs` in place.
+    ///
+    /// ReLU — the activation on every hot per-node path — goes through
+    /// the vectorized [`crate::ops::relu`] kernel (bit-identical to the
+    /// scalar [`Activation::apply`] loop).
     pub fn apply_slice(self, xs: &mut [f32]) {
-        if self == Activation::Identity {
-            return;
-        }
-        for x in xs {
-            *x = self.apply(*x);
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => crate::ops::relu(xs),
+            _ => {
+                for x in xs {
+                    *x = self.apply(*x);
+                }
+            }
         }
     }
 

@@ -38,6 +38,7 @@ mod linear;
 mod matrix;
 mod mlp;
 pub mod ops;
+pub mod simd;
 mod stats;
 
 pub use activation::Activation;

@@ -148,13 +148,11 @@ impl Matrix {
         );
         out.clear();
         out.resize(self.rows, 0.0);
+        // One dot per row; crate::ops::dot dispatches between the lane
+        // kernel and the retained sequential loop.
         for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0;
-            for (w, xi) in row.iter().zip(x) {
-                acc += w * xi;
-            }
-            *o = acc;
+            *o = crate::ops::dot(row, x);
         }
     }
 

@@ -104,13 +104,28 @@ impl Mlp {
     ///
     /// Panics if `x.len() != self.in_dim()`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        self.forward_into(x, &mut out, &mut tmp);
+        out
+    }
+
+    /// Forward pass into caller-provided buffers: the result lands in
+    /// `out`; `tmp` is ping-pong scratch for the layer chain. Reusing
+    /// both across calls keeps per-node transformations allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward_into(&self, x: &[f32], out: &mut Vec<f32>, tmp: &mut Vec<f32>) {
+        tmp.clear();
+        tmp.extend_from_slice(x);
         for layer in &self.layers {
-            layer.forward_into(&cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
+            layer.forward_into(tmp, out);
+            std::mem::swap(tmp, out);
         }
-        cur
+        // The chain's result sits in `tmp` after the final swap.
+        std::mem::swap(tmp, out);
     }
 }
 

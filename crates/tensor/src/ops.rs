@@ -3,73 +3,414 @@
 //! These mirror the element-wise primitives the accelerator's MP units and
 //! aggregation stages execute. They are plain functions (no trait dispatch)
 //! so the hot simulation loops stay branch-predictable.
+//!
+//! Every kernel that benefits from width dispatches between an [`F32x8`]
+//! SIMD body and the retained scalar reference path in [`scalar`]; see
+//! [`crate::simd`] for the tail-masking and determinism contract. The
+//! element-wise kernels (`add_assign`, `max_assign`, `min_assign`,
+//! `scale`, `axpy`, `axpy4`, `relu`) preserve per-element evaluation
+//! order, so both paths are **bit-identical**; `dot` reassociates into a
+//! fixed lane-accumulator tree and is pinned to the scalar result within
+//! 1e-6 by the property tests.
+
+use crate::simd::{scalar_kernels, F32x8, LANES};
+
+/// The retained scalar reference path for every dispatching kernel.
+///
+/// These are the pre-SIMD loops, kept callable so the vectorized bodies
+/// can be golden-tested against them and so `force_scalar` builds (and
+/// the `--scalar-kernels` runtime toggle) reproduce historical numbers
+/// exactly.
+pub mod scalar {
+    /// Scalar `dst += src`. See [`super::add_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    /// Scalar `dst = max(dst, src)`. See [`super::max_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn max_assign(dst: &mut [f32], src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "max_assign length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.max(*s);
+        }
+    }
+
+    /// Scalar `dst = min(dst, src)`. See [`super::min_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn min_assign(dst: &mut [f32], src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "min_assign length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.min(*s);
+        }
+    }
+
+    /// Scalar `xs *= k`. See [`super::scale`].
+    pub fn scale(xs: &mut [f32], k: f32) {
+        for x in xs {
+            *x *= k;
+        }
+    }
+
+    /// Scalar `dst += k * src`. See [`super::axpy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(dst: &mut [f32], k: f32, src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += k * s;
+        }
+    }
+
+    /// Scalar four-fold axpy. See [`super::axpy4`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `dst`.
+    pub fn axpy4(dst: &mut [f32], ks: [f32; 4], srcs: [&[f32]; 4]) {
+        for src in srcs {
+            assert_eq!(dst.len(), src.len(), "axpy4 length mismatch");
+        }
+        for (i, d) in dst.iter_mut().enumerate() {
+            // Per element: the four updates apply in order, exactly as
+            // four sequential axpy calls would.
+            *d += ks[0] * srcs[0][i];
+            *d += ks[1] * srcs[1][i];
+            *d += ks[2] * srcs[2][i];
+            *d += ks[3] * srcs[3][i];
+        }
+    }
+
+    /// Scalar eight-fold axpy. See [`super::axpy8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `dst`.
+    pub fn axpy8(dst: &mut [f32], ks: [f32; 8], srcs: [&[f32]; 8]) {
+        for src in srcs {
+            assert_eq!(dst.len(), src.len(), "axpy8 length mismatch");
+        }
+        for (i, d) in dst.iter_mut().enumerate() {
+            // Per element: the eight updates apply in order, exactly as
+            // eight sequential axpy calls would.
+            for (k, src) in ks.iter().zip(&srcs) {
+                *d += k * src[i];
+            }
+        }
+    }
+
+    /// Scalar sequential dot product. See [`super::dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Scalar `xs = max(xs, 0)`. See [`super::relu`].
+    pub fn relu(xs: &mut [f32]) {
+        for x in xs {
+            *x = x.max(0.0);
+        }
+    }
+}
+
+/// Shared zip-into-`dst` loop for the binary element-wise kernels:
+/// four lane chunks per iteration (matching the unroll LLVM gives the
+/// scalar references), then single chunks, then a scalar tail. `lane`
+/// and `tail` must compute the same per-element function, which keeps
+/// every caller bit-identical to its scalar reference.
+#[inline(always)]
+fn zip_lanes(
+    dst: &mut [f32],
+    src: &[f32],
+    lane: impl Fn(F32x8, F32x8) -> F32x8,
+    tail: impl Fn(f32, f32) -> f32,
+) {
+    let len = dst.len();
+    let mut i = 0;
+    while i + 4 * LANES <= len {
+        let r0 = lane(F32x8::load(&dst[i..]), F32x8::load(&src[i..]));
+        let r1 = lane(
+            F32x8::load(&dst[i + LANES..]),
+            F32x8::load(&src[i + LANES..]),
+        );
+        let r2 = lane(
+            F32x8::load(&dst[i + 2 * LANES..]),
+            F32x8::load(&src[i + 2 * LANES..]),
+        );
+        let r3 = lane(
+            F32x8::load(&dst[i + 3 * LANES..]),
+            F32x8::load(&src[i + 3 * LANES..]),
+        );
+        r0.store(&mut dst[i..]);
+        r1.store(&mut dst[i + LANES..]);
+        r2.store(&mut dst[i + 2 * LANES..]);
+        r3.store(&mut dst[i + 3 * LANES..]);
+        i += 4 * LANES;
+    }
+    while i + LANES <= len {
+        lane(F32x8::load(&dst[i..]), F32x8::load(&src[i..])).store(&mut dst[i..]);
+        i += LANES;
+    }
+    while i < len {
+        dst[i] = tail(dst[i], src[i]);
+        i += 1;
+    }
+}
+
+/// Unary sibling of [`zip_lanes`] for the in-place map kernels.
+#[inline(always)]
+fn map_lanes(xs: &mut [f32], lane: impl Fn(F32x8) -> F32x8, tail: impl Fn(f32) -> f32) {
+    let len = xs.len();
+    let mut i = 0;
+    while i + 4 * LANES <= len {
+        let r0 = lane(F32x8::load(&xs[i..]));
+        let r1 = lane(F32x8::load(&xs[i + LANES..]));
+        let r2 = lane(F32x8::load(&xs[i + 2 * LANES..]));
+        let r3 = lane(F32x8::load(&xs[i + 3 * LANES..]));
+        r0.store(&mut xs[i..]);
+        r1.store(&mut xs[i + LANES..]);
+        r2.store(&mut xs[i + 2 * LANES..]);
+        r3.store(&mut xs[i + 3 * LANES..]);
+        i += 4 * LANES;
+    }
+    while i + LANES <= len {
+        lane(F32x8::load(&xs[i..])).store(&mut xs[i..]);
+        i += LANES;
+    }
+    while i < len {
+        xs[i] = tail(xs[i]);
+        i += 1;
+    }
+}
 
 /// Adds `src` into `dst` element-wise (`dst += src`).
+///
+/// Bit-identical to [`scalar::add_assign`] on both kernel paths.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn add_assign(dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += s;
+    if scalar_kernels() {
+        return scalar::add_assign(dst, src);
     }
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    zip_lanes(dst, src, |d, s| d + s, |d, s| d + s);
 }
 
 /// Element-wise maximum into `dst` (`dst = max(dst, src)`).
+///
+/// Bit-identical to [`scalar::max_assign`] on both kernel paths.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn max_assign(dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "max_assign length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = d.max(*s);
+    if scalar_kernels() {
+        return scalar::max_assign(dst, src);
     }
+    assert_eq!(dst.len(), src.len(), "max_assign length mismatch");
+    zip_lanes(dst, src, |d, s| d.max(s), f32::max);
 }
 
 /// Element-wise minimum into `dst` (`dst = min(dst, src)`).
+///
+/// Bit-identical to [`scalar::min_assign`] on both kernel paths.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn min_assign(dst: &mut [f32], src: &[f32]) {
-    assert_eq!(dst.len(), src.len(), "min_assign length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = d.min(*s);
+    if scalar_kernels() {
+        return scalar::min_assign(dst, src);
     }
+    assert_eq!(dst.len(), src.len(), "min_assign length mismatch");
+    zip_lanes(dst, src, |d, s| d.min(s), f32::min);
 }
 
 /// Scales every element of `xs` by `k`.
+///
+/// Bit-identical to [`scalar::scale`] on both kernel paths.
 pub fn scale(xs: &mut [f32], k: f32) {
-    for x in xs {
-        *x *= k;
+    if scalar_kernels() {
+        return scalar::scale(xs, k);
     }
+    let kv = F32x8::splat(k);
+    map_lanes(xs, |x| x * kv, |x| x * k);
 }
 
 /// `dst += k * src` (axpy).
+///
+/// Bit-identical to [`scalar::axpy`] on both kernel paths (the lane
+/// multiply-add is unfused).
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn axpy(dst: &mut [f32], k: f32, src: &[f32]) {
+    if scalar_kernels() {
+        return scalar::axpy(dst, k, src);
+    }
     assert_eq!(dst.len(), src.len(), "axpy length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += k * s;
+    let kv = F32x8::splat(k);
+    zip_lanes(dst, src, |d, s| s.fma(kv, d), |d, s| d + k * s);
+}
+
+/// Four axpy updates applied in order: `dst += k0*s0; …; dst += k3*s3`.
+///
+/// This is the 4-way blocked inner step of the tiled
+/// [`crate::Linear::forward`]: four input elements share one pass over
+/// the output vector, quartering the loads/stores of `dst`. Per output
+/// element the four adds apply sequentially in index order, so the
+/// result is **bit-identical** to four consecutive [`axpy`] calls (and
+/// to [`scalar::axpy4`]).
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn axpy4(dst: &mut [f32], ks: [f32; 4], srcs: [&[f32]; 4]) {
+    if scalar_kernels() {
+        return scalar::axpy4(dst, ks, srcs);
+    }
+    for src in srcs {
+        assert_eq!(dst.len(), src.len(), "axpy4 length mismatch");
+    }
+    let kv = [
+        F32x8::splat(ks[0]),
+        F32x8::splat(ks[1]),
+        F32x8::splat(ks[2]),
+        F32x8::splat(ks[3]),
+    ];
+    let mut i = 0;
+    while i + LANES <= dst.len() {
+        let dc = &mut dst[i..i + LANES];
+        let mut acc = F32x8::load(dc);
+        acc = F32x8::load(&srcs[0][i..]).fma(kv[0], acc);
+        acc = F32x8::load(&srcs[1][i..]).fma(kv[1], acc);
+        acc = F32x8::load(&srcs[2][i..]).fma(kv[2], acc);
+        acc = F32x8::load(&srcs[3][i..]).fma(kv[3], acc);
+        acc.store(dc);
+        i += LANES;
+    }
+    for j in i..dst.len() {
+        let mut d = dst[j];
+        d += ks[0] * srcs[0][j];
+        d += ks[1] * srcs[1][j];
+        d += ks[2] * srcs[2][j];
+        d += ks[3] * srcs[3][j];
+        dst[j] = d;
+    }
+}
+
+/// Eight axpy updates applied in order: `dst += k0*s0; …; dst += k7*s7`.
+///
+/// The 8-way blocked inner step of the tiled [`crate::Linear::forward`]:
+/// eight input elements share one pass over the output vector. Per
+/// output element the eight adds apply sequentially in index order, so
+/// the result is **bit-identical** to eight consecutive [`axpy`] calls
+/// (and to [`scalar::axpy8`]).
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn axpy8(dst: &mut [f32], ks: [f32; 8], srcs: [&[f32]; 8]) {
+    if scalar_kernels() {
+        return scalar::axpy8(dst, ks, srcs);
+    }
+    for src in srcs {
+        assert_eq!(dst.len(), src.len(), "axpy8 length mismatch");
+    }
+    let kv: [F32x8; 8] = std::array::from_fn(|j| F32x8::splat(ks[j]));
+    let mut i = 0;
+    while i + LANES <= dst.len() {
+        let dc = &mut dst[i..i + LANES];
+        let mut acc = F32x8::load(dc);
+        for (k, src) in kv.iter().zip(&srcs) {
+            acc = F32x8::load(&src[i..]).fma(*k, acc);
+        }
+        acc.store(dc);
+        i += LANES;
+    }
+    for j in i..dst.len() {
+        let mut d = dst[j];
+        for (k, src) in ks.iter().zip(&srcs) {
+            d += k * src[j];
+        }
+        dst[j] = d;
     }
 }
 
 /// Dot product.
 ///
+/// The SIMD path accumulates into two lane vectors (even/odd 8-chunks)
+/// and reduces through a fixed pairwise tree — deterministic, but
+/// reassociated relative to [`scalar::dot`]; the property tests pin the
+/// two paths together within 1e-6.
+///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    if scalar_kernels() {
+        return scalar::dot(a, b);
+    }
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc0 = F32x8::ZERO;
+    let mut acc1 = F32x8::ZERO;
+    let mut i = 0;
+    // Two independent accumulators hide the add latency; the chunk ->
+    // accumulator assignment depends only on the length, keeping the
+    // reduction order fixed for a given input size.
+    while i + 2 * LANES <= a.len() {
+        acc0 = F32x8::load(&a[i..]).fma(F32x8::load(&b[i..]), acc0);
+        acc1 = F32x8::load(&a[i + LANES..]).fma(F32x8::load(&b[i + LANES..]), acc1);
+        i += 2 * LANES;
+    }
+    if i + LANES <= a.len() {
+        acc0 = F32x8::load(&a[i..]).fma(F32x8::load(&b[i..]), acc0);
+        i += LANES;
+    }
+    if i < a.len() {
+        // Masked tail: dead lanes contribute the sum identity 0.0.
+        acc1 = F32x8::load_or(&a[i..], 0.0).fma(F32x8::load_or(&b[i..], 0.0), acc1);
+    }
+    (acc0 + acc1).horizontal_sum()
+}
+
+/// In-place ReLU: `xs[i] = max(xs[i], 0)`.
+///
+/// Bit-identical to [`scalar::relu`] on both kernel paths and to
+/// [`crate::Activation::Relu`] applied element-wise.
+pub fn relu(xs: &mut [f32]) {
+    if scalar_kernels() {
+        return scalar::relu(xs);
+    }
+    let zero = F32x8::ZERO;
+    map_lanes(xs, |x| x.max(zero), |x| x.max(0.0));
 }
 
 /// Element-wise sum of two slices into a fresh vector.
+///
+/// Allocates; hot paths should use [`add_assign`] into a scratch slice.
 ///
 /// # Panics
 ///
@@ -81,24 +422,36 @@ pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
 
 /// In-place numerically-stable softmax.
 ///
-/// An empty slice is left unchanged.
+/// An empty slice is left unchanged. A row whose maximum is not finite
+/// (any NaN or `+inf` element, or all elements `-inf`) has no
+/// well-defined softmax in `f32`; such rows are returned **unchanged**
+/// (deterministically) rather than silently divided by a `0.0`/NaN sum,
+/// and a debug assertion fires so model bugs surface in development.
 pub fn softmax(xs: &mut [f32]) {
     let Some(max) = xs.iter().copied().reduce(f32::max) else {
         return;
     };
+    if !max.is_finite() {
+        debug_assert!(
+            false,
+            "softmax over a non-finite row (max = {max}); row left unchanged"
+        );
+        return;
+    }
     let mut sum = 0.0;
     for x in xs.iter_mut() {
         *x = (*x - max).exp();
         sum += *x;
     }
-    if sum > 0.0 {
-        for x in xs.iter_mut() {
-            *x /= sum;
-        }
+    // With a finite max, exp(0) = 1 is among the terms, so sum >= 1.
+    for x in xs.iter_mut() {
+        *x /= sum;
     }
 }
 
 /// Concatenates slices into one vector.
+///
+/// Allocates; hot paths should write segments into a scratch slice.
 pub fn concat(parts: &[&[f32]]) -> Vec<f32> {
     let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
     for p in parts {
@@ -173,6 +526,32 @@ mod tests {
     }
 
     #[test]
+    fn axpy4_equals_four_axpys() {
+        // Length 11 exercises a full lane chunk and a 3-element tail.
+        let base: Vec<f32> = (0..11).map(|i| (i as f32 * 0.7).sin()).collect();
+        let srcs: Vec<Vec<f32>> = (0..4)
+            .map(|j| (0..11).map(|i| ((i + 3 * j) as f32 * 0.3).cos()).collect())
+            .collect();
+        let ks = [0.5, -1.25, 2.0, 0.125];
+        let mut blocked = base.clone();
+        axpy4(&mut blocked, ks, [&srcs[0], &srcs[1], &srcs[2], &srcs[3]]);
+        let mut sequential = base;
+        for (k, s) in ks.iter().zip(&srcs) {
+            axpy(&mut sequential, *k, s);
+        }
+        assert_eq!(blocked, sequential, "axpy4 must be bit-identical");
+    }
+
+    #[test]
+    fn relu_clamps_in_place() {
+        let mut xs: Vec<f32> = (0..13).map(|i| i as f32 - 6.0).collect();
+        relu(&mut xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(*x, (i as f32 - 6.0).max(0.0));
+        }
+    }
+
+    #[test]
     fn softmax_sums_to_one_and_orders() {
         let mut xs = [1.0, 2.0, 3.0];
         softmax(&mut xs);
@@ -194,6 +573,36 @@ mod tests {
     fn softmax_empty_is_noop() {
         let mut xs: [f32; 0] = [];
         softmax(&mut xs);
+    }
+
+    #[test]
+    fn softmax_tolerates_partial_neg_infinity() {
+        // A -inf logit with a finite max is fine: it just gets weight 0.
+        let mut xs = [f32::NEG_INFINITY, 0.0, 1.0];
+        softmax(&mut xs);
+        assert_eq!(xs[0], 0.0);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite row")]
+    fn softmax_non_finite_row_asserts_in_debug() {
+        let mut xs = [f32::NEG_INFINITY, f32::NEG_INFINITY];
+        softmax(&mut xs);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn softmax_non_finite_row_is_left_unchanged() {
+        let mut all_neg_inf = [f32::NEG_INFINITY, f32::NEG_INFINITY];
+        softmax(&mut all_neg_inf);
+        assert!(all_neg_inf.iter().all(|x| *x == f32::NEG_INFINITY));
+        let mut with_nan = [1.0, f32::NAN, 2.0];
+        softmax(&mut with_nan);
+        assert_eq!(with_nan[0], 1.0);
+        assert!(with_nan[1].is_nan());
+        assert_eq!(with_nan[2], 2.0);
     }
 
     #[test]
