@@ -8,7 +8,7 @@
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              banking scorecard serve scale throughput kernels all
+//!              banking scorecard serve scale live throughput kernels all
 //!              (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
@@ -48,6 +48,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "scorecard",
     "serve",
     "scale",
+    "live",
     "throughput",
     "kernels",
 ];
@@ -249,6 +250,25 @@ fn main() {
                 emit("scale_out", &study.table(), Some(study.sustainable_note()));
                 if let Some(dir) = &csv_dir {
                     let path = dir.join("BENCH_scale_out.json");
+                    if let Err(e) = std::fs::write(&path, study.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
+            "live" => {
+                // Wall-clock rows vary run to run, so no CSV: the table
+                // prints, the structural gate runs, and the JSON perf
+                // artifact (never byte-compared) lands next to the other
+                // BENCH files when --csv is given.
+                let study = experiments::live_serving(sample);
+                println!("{}", study.table());
+                println!("{}\n", study.summary_note());
+                if let Err(e) = study.validate() {
+                    eprintln!("live serving sanity gate failed: {e}");
+                    std::process::exit(1);
+                }
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_live_serving.json");
                     if let Err(e) = std::fs::write(&path, study.to_json()) {
                         eprintln!("cannot write {}: {e}", path.display());
                     }

@@ -8,6 +8,7 @@ mod extensions;
 mod gcn_accel;
 mod imbalance;
 mod latency;
+mod live;
 mod resources;
 mod scale;
 mod scorecard;
@@ -26,6 +27,10 @@ pub use gcn_accel::{table8, table8_config, Table8, Table8Row, PAPER_TABLE8};
 pub use imbalance::{table7, Table7};
 pub use latency::{
     fig7, fig8, table5, BatchSweep, Fig7, Fig8, Fig8Row, Table5, Table5Row, PAPER_TABLE5,
+};
+pub use live::{
+    live_replica_counts, live_serving, LivePoint, LiveSaturation, LiveStudy, LIVE_LOADS,
+    LIVE_POLICIES,
 };
 pub use resources::{table3, Table3, Table3Row, PAPER_TABLE3};
 pub use scale::{

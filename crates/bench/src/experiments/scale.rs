@@ -324,7 +324,8 @@ pub fn scale_out_with(sample: SampleSize, trace_cache: bool) -> ScaleStudy {
             .queue_capacity(QUEUE_CAPACITY)
             .replicas(replicas)
             .policy(policy)
-            .build();
+            .build()
+            .expect("valid scale-out config");
         let report = serve_trace(&service, &config).expect("non-empty trace");
         let util = report.replica_utilization();
         ScalePoint {

@@ -315,7 +315,8 @@ pub fn serve_tail_latency_with(sample: SampleSize, trace_cache: bool) -> ServeSt
         let config = ServeConfig::builder()
             .arrivals(arrivals)
             .queue_capacity(QUEUE_CAPACITY)
-            .build();
+            .build()
+            .expect("valid serving config");
         let report = backend.serve(spec.stream(), requests, &config);
         ServePoint {
             backend: backend.name().to_string(),

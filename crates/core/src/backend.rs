@@ -7,12 +7,17 @@
 //! in `flowgnn-baselines` all implement it, so experiment drivers iterate
 //! over `&dyn InferenceBackend` rows instead of matching on platforms.
 
+use std::time::Duration;
+
 use flowgnn_graph::{Graph, GraphStream};
 
 use crate::energy::EnergyModel;
 use crate::engine::Accelerator;
 use crate::resource::ResourceEstimate;
-use crate::serve::{ms_to_cycles, serve_trace, ServeConfig, ServeReport};
+use crate::serve::live::{serve_live, ModelWorker};
+use crate::serve::report::WallDomain;
+use crate::serve::sim::serve_trace;
+use crate::serve::{ms_to_cycles, ServeConfig, ServeError, ServeReport};
 
 /// One platform's result for one workload (a graph, a shape, or a stream).
 ///
@@ -173,6 +178,44 @@ pub trait InferenceBackend {
             .collect();
         serve_trace(&service, config).expect("non-empty trace with a validated config")
     }
+
+    /// Serves up to `limit` graphs of `stream` through the *live*
+    /// wall-clock runtime ([`crate::serve::live::serve_live`]): one OS
+    /// thread per replica, the same arrival schedule `config` would give
+    /// the simulator paced in real time, the same dispatch policies
+    /// acting as real schedulers. Returns the wall-clock twin of
+    /// [`Self::serve`]'s report — identical shape, nanosecond timeline.
+    ///
+    /// The default occupies each replica thread for the platform's
+    /// modeled per-graph latency ([`ModelWorker`]), which is exact for
+    /// every analytic platform model. The cycle engine overrides this to
+    /// run real inference per request ([`Accelerator::serve_live`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeError`] invariants [`crate::serve::live::serve_live`]
+    /// reports (zero replicas, zero batch size, zero requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    fn serve_live(
+        &self,
+        stream: GraphStream,
+        limit: usize,
+        config: &ServeConfig,
+    ) -> Result<ServeReport<WallDomain>, ServeError> {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot serve an empty graph stream");
+        let durations: Vec<Duration> = stream
+            .map(|g| Duration::from_secs_f64(self.run_graph(&g).latency_ms / 1e3))
+            .collect();
+        let requests = durations.len();
+        let workers: Vec<ModelWorker> = (0..config.replicas)
+            .map(|_| ModelWorker::new(durations.clone()))
+            .collect();
+        serve_live(workers, requests, config)
+    }
 }
 
 impl InferenceBackend for Accelerator {
@@ -216,6 +259,19 @@ impl InferenceBackend for Accelerator {
     /// through milliseconds.
     fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         Accelerator::serve(self, stream, limit, config)
+    }
+
+    /// Overrides the default with real engine inference per request
+    /// ([`Accelerator::serve_live`]): each replica thread owns an
+    /// accelerator clone and scratch and simulates every admitted graph
+    /// end to end, instead of spinning for a modeled latency.
+    fn serve_live(
+        &self,
+        stream: GraphStream,
+        limit: usize,
+        config: &ServeConfig,
+    ) -> Result<ServeReport<WallDomain>, ServeError> {
+        Accelerator::serve_live(self, stream, limit, config)
     }
 
     /// Overrides the default with the accelerator's native stream runner
@@ -319,7 +375,8 @@ mod tests {
                     gap: ms_to_cycles(3.0),
                 })
                 .queue_capacity(8)
-                .build(),
+                .build()
+                .unwrap(),
         );
         assert_eq!(report.completed, 5);
         assert_eq!(report.dropped, 0);
@@ -332,12 +389,48 @@ mod tests {
     fn accelerator_serve_override_is_cycle_exact() {
         let a = acc();
         let stream = || MoleculeLike::new(12.0, 4).stream(4);
-        let cfg = ServeConfig::builder().build();
+        let cfg = ServeConfig::builder().build().unwrap();
         let native = Accelerator::serve(&a, stream(), 4, &cfg);
         let via_trait = InferenceBackend::serve(&a, stream(), 4, &cfg);
         assert_eq!(native, via_trait);
         let closed = Accelerator::run_stream(&a, stream(), 4);
         assert_eq!(native.makespan_cycles, closed.total_cycles);
+    }
+
+    #[test]
+    fn default_serve_live_spins_for_modeled_latencies() {
+        struct Fixed;
+        impl InferenceBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn run_graph(&self, _g: &Graph) -> BackendReport {
+                BackendReport::from_us(50.0, 500.0)
+            }
+        }
+        let report = Fixed
+            .serve_live(
+                MoleculeLike::new(12.0, 4).stream(6),
+                6,
+                &ServeConfig::builder().replicas(2).build().unwrap(),
+            )
+            .unwrap();
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.per_replica.len(), 2);
+        // Wall time: every sojourn at least covers the 50 us spin.
+        assert!(report.p50_ms >= 0.05, "p50 {} ms", report.p50_ms);
+    }
+
+    #[test]
+    fn accelerator_serve_live_runs_real_inference() {
+        let a = acc();
+        let stream = || MoleculeLike::new(12.0, 4).stream(4);
+        let cfg = ServeConfig::builder().replicas(2).build().unwrap();
+        let report = InferenceBackend::serve_live(&a, stream(), 4, &cfg).unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.per_replica.len(), 2);
+        assert!(report.makespan_cycles > 0, "real time elapsed");
     }
 
     #[test]

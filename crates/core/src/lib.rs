@@ -74,10 +74,11 @@ pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
 pub use serve::{
-    ArrivalProcess, BatchConfig, DispatchPolicy, QueuePolicy, ReplicaStats, RequestRecord,
-    ServeConfig, ServeConfigBuilder, ServeError, ServeReport,
+    serve_live, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy, Dispatcher, LiveWorker,
+    ModelWorker, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig, ServeConfigBuilder,
+    ServeError, ServeReport, TimeDomain, WallDomain,
 };
-pub use stream::{LatencyStats, StreamReport};
+pub use stream::{EngineWorker, LatencyStats, StreamReport};
 pub use trace::{LaneSymbol, RegionTrace, Trace};
 
 pub mod prelude {
@@ -94,10 +95,12 @@ pub mod prelude {
         ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy,
     };
     pub use crate::engine::{Accelerator, PreparedGraph, RunReport};
+    pub use crate::serve::sim::serve_trace;
     pub use crate::serve::{
-        ms_to_cycles, percentile_nearest_rank, serve_trace, ArrivalProcess, BatchConfig,
-        DispatchPolicy, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig, ServeConfigBuilder,
-        ServeError, ServeReport,
+        arrivals, batch, dispatch, live, ms_to_cycles, percentile_nearest_rank, queue, report,
+        serve_live, sim, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy, Dispatcher,
+        LiveWorker, ModelWorker, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig,
+        ServeConfigBuilder, ServeError, ServeReport, TimeDomain, WallDomain,
     };
-    pub use crate::stream::{LatencyStats, StreamReport};
+    pub use crate::stream::{EngineWorker, LatencyStats, StreamReport};
 }

@@ -1,0 +1,247 @@
+//! Request-arrival processes: deterministic schedules shared by both
+//! serving domains.
+//!
+//! An [`ArrivalProcess`] generates one canonical schedule — per-request
+//! arrival stamps on the cycle-quantised timeline — and both runtimes
+//! consume *that same schedule*: the discrete-event simulator
+//! ([`crate::serve::sim`]) places requests at those cycles directly,
+//! while the live wall-clock runtime ([`crate::serve::live`]) paces its
+//! load generator by converting each stamp to a wall-time offset at the
+//! simulated clock ([`ArrivalProcess::wall_schedule`]). A seed therefore
+//! pins the offered request stream identically in both domains, which is
+//! what makes simulated-vs-wall-clock tail comparisons apples-to-apples
+//! (`tests/properties.rs` pins the two schedules equal).
+
+use std::time::Duration;
+
+use flowgnn_desim::{Cycle, CLOCK_HZ};
+use flowgnn_rng::Rng;
+
+/// How requests arrive at the pool, as inter-arrival gaps in cycles. All
+/// processes are deterministic: the same process generates the same trace
+/// every time (random processes carry an explicit seed into the in-tree
+/// xoshiro256** PRNG).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic arrivals every `gap` cycles (gap 0 = all requests
+    /// pending at cycle 0, the closed-loop special case).
+    Fixed {
+        /// Inter-arrival gap in cycles.
+        gap: Cycle,
+    },
+    /// Poisson arrivals: independent exponential gaps with the given
+    /// mean, the standard open-loop load model.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean_gap: f64,
+        /// PRNG seed pinning the trace.
+        seed: u64,
+    },
+    /// Bursty on-off arrivals: within a burst, requests arrive every
+    /// `burst_gap` cycles; bursts end with probability `1 / mean_burst`
+    /// per request (geometric burst lengths) and are separated by
+    /// exponential idle gaps with mean `mean_idle_gap`.
+    OnOff {
+        /// Mean number of requests per burst (≥ 1).
+        mean_burst: f64,
+        /// Inter-arrival gap within a burst, in cycles.
+        burst_gap: Cycle,
+        /// Mean idle gap between bursts, in cycles.
+        mean_idle_gap: f64,
+        /// PRNG seed pinning the trace.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The closed-loop process: every request is already waiting at cycle
+    /// 0, so the server never idles — the paper's streaming evaluation.
+    pub fn closed_loop() -> Self {
+        ArrivalProcess::Fixed { gap: 0 }
+    }
+
+    /// A fixed-rate process arriving `rate_per_s` requests per second of
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive.
+    pub fn fixed_rate(rate_per_s: f64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Fixed {
+            gap: (CLOCK_HZ / rate_per_s).round() as Cycle,
+        }
+    }
+
+    /// A Poisson process with mean rate `rate_per_s` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive.
+    pub fn poisson_rate(rate_per_s: f64, seed: u64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Poisson {
+            mean_gap: CLOCK_HZ / rate_per_s,
+            seed,
+        }
+    }
+
+    /// Generates the arrival cycle of each of `n` requests, in
+    /// non-decreasing order (the first request arrives after one gap from
+    /// cycle 0, except the closed-loop gap-0 case where all arrive at 0).
+    pub fn arrivals(&self, n: usize) -> Vec<Cycle> {
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Fixed { gap } => {
+                let mut t: Cycle = 0;
+                for _ in 0..n {
+                    out.push(t);
+                    t += gap;
+                }
+            }
+            ArrivalProcess::Poisson { mean_gap, seed } => {
+                let mut rng = Rng::seed_from_u64(seed);
+                let mut t: Cycle = 0;
+                for _ in 0..n {
+                    t += exponential_cycles(&mut rng, mean_gap);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::OnOff {
+                mean_burst,
+                burst_gap,
+                mean_idle_gap,
+                seed,
+            } => {
+                assert!(mean_burst >= 1.0, "mean burst length must be >= 1");
+                let mut rng = Rng::seed_from_u64(seed);
+                let mut t: Cycle = 0;
+                for i in 0..n {
+                    if i > 0 {
+                        // End the current burst with probability 1/mean_burst.
+                        if rng.gen_bool(1.0 / mean_burst) {
+                            t += exponential_cycles(&mut rng, mean_idle_gap);
+                        } else {
+                            t += burst_gap;
+                        }
+                    }
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The same schedule as [`ArrivalProcess::arrivals`], expressed as
+    /// wall-clock offsets from the load generator's start instant: each
+    /// arrival cycle converted to real time at the simulated clock
+    /// ([`CLOCK_HZ`]). The live runtime paces its open-loop generator by
+    /// these offsets, so sim and live runs of one process + seed offer
+    /// byte-identical request streams — only the time base differs.
+    pub fn wall_schedule(&self, n: usize) -> Vec<Duration> {
+        self.arrivals(n)
+            .into_iter()
+            .map(cycle_to_wall_offset)
+            .collect()
+    }
+}
+
+/// Converts one cycle stamp to its wall-time offset at the simulated
+/// clock, exact to the nanosecond for any schedule the sweeps generate
+/// (u64 nanoseconds overflow beyond ~584 simulated years).
+fn cycle_to_wall_offset(cycle: Cycle) -> Duration {
+    Duration::from_nanos((cycle as f64 / CLOCK_HZ * 1e9).round() as u64)
+}
+
+/// One exponential inter-arrival draw, quantised to whole cycles.
+fn exponential_cycles(rng: &mut Rng, mean: f64) -> Cycle {
+    // gen_f64 is in [0, 1); 1-u is in (0, 1] so ln never sees zero.
+    let u = rng.gen_f64();
+    (-(1.0 - u).ln() * mean).round() as Cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_arrivals_are_evenly_spaced() {
+        let a = ArrivalProcess::Fixed { gap: 100 }.arrivals(4);
+        assert_eq!(a, vec![0, 100, 200, 300]);
+        let closed = ArrivalProcess::closed_loop().arrivals(3);
+        assert_eq!(closed, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_rate_matched() {
+        let p = ArrivalProcess::Poisson {
+            mean_gap: 1000.0,
+            seed: 7,
+        };
+        let a = p.arrivals(5000);
+        assert_eq!(a, p.arrivals(5000), "same seed, same trace");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        let mean_gap = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (900.0..1100.0).contains(&mean_gap),
+            "empirical mean gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn onoff_trace_alternates_bursts_and_idles() {
+        let p = ArrivalProcess::OnOff {
+            mean_burst: 8.0,
+            burst_gap: 10,
+            mean_idle_gap: 10_000.0,
+            seed: 3,
+        };
+        let a = p.arrivals(2000);
+        let gaps: Vec<Cycle> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let in_burst = gaps.iter().filter(|&&g| g == 10).count();
+        let idle = gaps.iter().filter(|&&g| g > 1000).count();
+        assert!(in_burst > idle, "most gaps inside bursts");
+        assert!(idle > 50, "bursts do end: {idle} idle gaps");
+    }
+
+    #[test]
+    fn rate_constructors_convert_to_cycles() {
+        let ArrivalProcess::Fixed { gap } = ArrivalProcess::fixed_rate(300_000.0) else {
+            panic!("fixed_rate builds Fixed");
+        };
+        assert_eq!(gap, 1000); // 300 MHz / 300k per second
+        let ArrivalProcess::Poisson { mean_gap, .. } = ArrivalProcess::poisson_rate(300_000.0, 1)
+        else {
+            panic!("poisson_rate builds Poisson");
+        };
+        assert!((mean_gap - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_schedule_is_the_cycle_schedule_at_the_simulated_clock() {
+        // 300 cycles at 300 MHz is exactly one microsecond.
+        let p = ArrivalProcess::Fixed { gap: 300 };
+        let wall = p.wall_schedule(4);
+        assert_eq!(
+            wall,
+            vec![
+                Duration::ZERO,
+                Duration::from_micros(1),
+                Duration::from_micros(2),
+                Duration::from_micros(3),
+            ]
+        );
+        // Random processes: the wall schedule is the cycle schedule,
+        // stamp for stamp, under the same seed.
+        let p = ArrivalProcess::Poisson {
+            mean_gap: 5000.0,
+            seed: 11,
+        };
+        let cycles = p.arrivals(200);
+        let wall = p.wall_schedule(200);
+        assert_eq!(cycles.len(), wall.len());
+        for (c, w) in cycles.iter().zip(&wall) {
+            assert_eq!(*w, cycle_to_wall_offset(*c));
+        }
+    }
+}

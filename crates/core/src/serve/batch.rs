@@ -1,0 +1,28 @@
+//! Micro-batching of queued requests into shared service events.
+
+use flowgnn_desim::Cycle;
+
+/// Micro-batching: when a replica comes free with requests waiting, it
+/// admits up to `max_size` of them (FIFO order, whatever is queued at
+/// that moment — it never idles to wait for a fuller batch) as **one**
+/// service event. The event costs `overhead_cycles` plus the sum of the
+/// members' service times, and every member finishes when the event
+/// does. A request dispatched to an *idle* replica starts immediately as
+/// a batch of one, still paying the per-event overhead.
+///
+/// Batching therefore trades per-request latency (co-batched requests
+/// wait for each other) for per-event overhead amortisation — the same
+/// trade the paper's batch-size sweeps (Fig. 7) make on-chip.
+///
+/// The live runtime applies the same formation rule — a worker drains up
+/// to `max_size` waiting requests as one event — but `overhead_cycles`
+/// is a *model* parameter: a live service event's overhead is whatever
+/// the replica actually spends, so the field only shapes the simulated
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most requests one service event may admit (≥ 1).
+    pub max_size: usize,
+    /// Fixed cycle cost added to every simulated service event.
+    pub overhead_cycles: Cycle,
+}

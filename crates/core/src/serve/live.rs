@@ -1,0 +1,446 @@
+//! The live wall-clock serving runtime: real OS threads, real queues,
+//! real time.
+//!
+//! Where [`super::sim`] *models* a replica pool as a discrete-event scan,
+//! [`serve_live`] *is* one: `R` OS threads each own a [`LiveWorker`]
+//! (for the cycle engine, an accelerator clone plus its scratch), the
+//! calling thread runs an open-loop load generator pacing the same
+//! [`ArrivalProcess`](super::ArrivalProcess) schedules in wall time
+//! ([`ArrivalProcess::wall_schedule`](super::ArrivalProcess::wall_schedule)),
+//! and the same [`Dispatcher`] that routes the simulator's requests
+//! routes these — reading backlogs from each replica's admission shard
+//! atomically instead of from simulated state. The result is a
+//! [`ServeReport`]`<`[`WallDomain`]`>`: identical shape and statistics to
+//! the simulated report, timeline stamped in nanoseconds instead of
+//! cycles, so simulated and measured tails sit side by side
+//! (`repro live`).
+//!
+//! Thread/ownership shape (see DESIGN.md §3g for the full diagram):
+//!
+//! ```text
+//! caller thread                    worker thread r (one per replica)
+//! ─────────────                    ─────────────────────────────────
+//! wall_schedule pacing      ┌────▶ shard[r].take_batch(max_size)
+//! dispatcher.route(i, ...)  │        worker.process(each member)
+//! shard[target].offer ──────┘        shard[r].finish_service()
+//!   (full → drop record)             (records kept thread-local,
+//! ... last arrival ...                merged after join)
+//! shard[*].close → join all
+//! ```
+//!
+//! Determinism note: the *request stream* (schedule, indices) is fully
+//! pinned by the arrival process's seed — identical to the simulated
+//! run's, by construction. Routing, queueing, and every timestamp are
+//! real: they depend on scheduler noise and machine load, so wall-clock
+//! numbers vary run to run and gates over them must be structural
+//! (counts, bounds, monotonicity at saturation), never exact values.
+
+use std::time::{Duration, Instant};
+
+use super::dispatch::Dispatcher;
+use super::queue::AdmissionShard;
+use super::report::{summarize, ReplicaStats, RequestRecord, ServeReport, WallDomain};
+use super::{ServeConfig, ServeError};
+
+/// One live replica's request processor: the real work a replica thread
+/// performs per admitted request. Implementors own whatever state the
+/// work needs (an engine clone, scratch buffers, a latency table) —
+/// each worker is moved onto its own OS thread, hence `Send`.
+pub trait LiveWorker: Send {
+    /// Processes request number `request` (its position in arrival
+    /// order), blocking until the work is done. Called from the replica's
+    /// thread only; requests batched into one service event are processed
+    /// back to back between one shared start/finish stamp pair.
+    fn process(&mut self, request: usize);
+}
+
+impl<W: LiveWorker + ?Sized> LiveWorker for Box<W> {
+    fn process(&mut self, request: usize) {
+        (**self).process(request)
+    }
+}
+
+/// A [`LiveWorker`] for platforms whose timing is an analytic model
+/// rather than an executable engine: it occupies its replica thread for
+/// the modeled per-request latency (busy-spinning, so short latencies
+/// are honoured more precisely than a sleep could). This is what the
+/// default [`InferenceBackend::serve_live`](crate::InferenceBackend::serve_live)
+/// builds from per-graph `latency_ms`.
+pub struct ModelWorker {
+    durations: Vec<Duration>,
+}
+
+impl ModelWorker {
+    /// A worker that spends `durations[request % len]` of wall time per
+    /// request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations` is empty.
+    pub fn new(durations: Vec<Duration>) -> Self {
+        assert!(
+            !durations.is_empty(),
+            "a model worker needs at least one request duration"
+        );
+        Self { durations }
+    }
+}
+
+impl LiveWorker for ModelWorker {
+    fn process(&mut self, request: usize) {
+        spin_for(self.durations[request % self.durations.len()]);
+    }
+}
+
+/// Occupies the calling thread for `d` of wall time by spinning.
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Sleeps (coarsely) then spins (precisely) until `t0 + offset`: the
+/// load generator's pacing primitive. Sleeping all the way would miss
+/// short deadlines by scheduler quanta; spinning all the way would burn
+/// a core across long idle gaps.
+fn pace_until(t0: Instant, offset: Duration) {
+    let deadline = t0 + offset;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Nanoseconds since `t0`, the live run's raw timeline.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos() as u64
+}
+
+/// Serves `requests` requests through a pool of live replica workers —
+/// one OS thread each — under `config`, and summarises the run on the
+/// wall-clock timeline.
+///
+/// The configuration means exactly what it means in the simulator:
+/// `config.arrivals` paces the open-loop generator (its cycle schedule
+/// converted to wall offsets at the simulated clock), `config.policy`
+/// routes each arrival via the shared [`Dispatcher`] over the shards'
+/// lock-free backlog reads, `config.queue` bounds each replica's waiting
+/// room (a full shard drops the request at arrival), and
+/// `config.batch.max_size` lets a freed worker drain several waiting
+/// requests as one service event (`overhead_cycles` does not apply: a
+/// live event's overhead is whatever the replica actually spends).
+///
+/// The generator runs on the calling thread, so this call blocks for the
+/// whole serving run (roughly the schedule's span plus queue drain).
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptyTrace`] when `requests` is zero,
+/// [`ServeError::ZeroReplicas`] / [`ServeError::ZeroBatch`] for the
+/// invariants the builder enforces, and [`ServeError::WorkerMismatch`]
+/// when `workers.len() != config.replicas` — every replica needs exactly
+/// one worker.
+pub fn serve_live<W: LiveWorker>(
+    workers: Vec<W>,
+    requests: usize,
+    config: &ServeConfig,
+) -> Result<ServeReport<WallDomain>, ServeError> {
+    if requests == 0 {
+        return Err(ServeError::EmptyTrace);
+    }
+    if config.replicas == 0 {
+        return Err(ServeError::ZeroReplicas);
+    }
+    if config.batch.is_some_and(|b| b.max_size == 0) {
+        return Err(ServeError::ZeroBatch);
+    }
+    if workers.len() != config.replicas {
+        return Err(ServeError::WorkerMismatch {
+            workers: workers.len(),
+            replicas: config.replicas,
+        });
+    }
+    let capacity = config.queue.capacity();
+    let batch_max = config.batch.map_or(1, |b| b.max_size);
+    let replicas = config.replicas;
+    let schedule = config.arrivals.wall_schedule(requests);
+    let shards: Vec<AdmissionShard> = (0..replicas).map(|_| AdmissionShard::new()).collect();
+    let mut dispatcher = Dispatcher::new(config.policy);
+
+    let placeholder = RequestRecord {
+        arrival: 0,
+        start: 0,
+        finish: 0,
+        dropped: true,
+        replica: 0,
+    };
+    let mut records = vec![placeholder; requests];
+
+    let t0 = Instant::now();
+    let (per_replica, served) = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(r, mut worker)| {
+                let shard = &shards[r];
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, RequestRecord)> = Vec::new();
+                    let mut event: Vec<(usize, u64)> = Vec::new();
+                    let mut busy: u64 = 0;
+                    let mut completed = 0usize;
+                    loop {
+                        event.clear();
+                        if !shard.take_batch(batch_max, &mut event) {
+                            break;
+                        }
+                        let start = elapsed_ns(t0);
+                        for &(i, _) in event.iter() {
+                            worker.process(i);
+                        }
+                        let finish = elapsed_ns(t0);
+                        shard.finish_service();
+                        busy += finish - start;
+                        completed += event.len();
+                        for &(i, arrival) in event.iter() {
+                            local.push((
+                                i,
+                                RequestRecord {
+                                    arrival,
+                                    // The monotonic clock guarantees
+                                    // start >= arrival (stamped before the
+                                    // offer); max() keeps the invariant
+                                    // explicit.
+                                    start: start.max(arrival),
+                                    finish,
+                                    dropped: false,
+                                    replica: r,
+                                },
+                            ));
+                        }
+                    }
+                    (
+                        ReplicaStats {
+                            completed,
+                            busy_cycles: busy,
+                        },
+                        local,
+                    )
+                })
+            })
+            .collect();
+
+        // The open-loop load generator: pace the shared schedule in wall
+        // time, route through the shared dispatcher, offer to the target
+        // shard, record the drop if its waiting room is full.
+        for (i, offset) in schedule.iter().enumerate() {
+            pace_until(t0, *offset);
+            let arrival = elapsed_ns(t0);
+            let target = dispatcher.route(i, replicas, |r| shards[r].backlog());
+            if !shards[target].offer(i, arrival, capacity) {
+                records[i] = RequestRecord {
+                    arrival,
+                    start: arrival,
+                    finish: arrival,
+                    dropped: true,
+                    replica: target,
+                };
+            }
+        }
+        for shard in &shards {
+            shard.close();
+        }
+        let mut per_replica = Vec::with_capacity(replicas);
+        let mut served = Vec::new();
+        for h in handles {
+            let (stats, local) = h.join().expect("replica worker panicked");
+            per_replica.push(stats);
+            served.extend(local);
+        }
+        (per_replica, served)
+    });
+    for (i, rec) in served {
+        records[i] = rec;
+    }
+    Ok(summarize::<WallDomain>(records, per_replica))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ArrivalProcess, DispatchPolicy, QueuePolicy};
+    use super::*;
+    use crate::serve::ServeConfig;
+
+    fn short_workers(n: usize, us: u64) -> Vec<ModelWorker> {
+        (0..n)
+            .map(|_| ModelWorker::new(vec![Duration::from_micros(us)]))
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_live_run_completes_everything() {
+        let n = 24;
+        let config = ServeConfig::builder().replicas(2).build().unwrap();
+        let report = serve_live(short_workers(2, 30), n, &config).unwrap();
+        assert_eq!(report.requests, n);
+        assert_eq!(report.completed, n);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.per_replica.len(), 2);
+        assert_eq!(
+            report
+                .per_replica
+                .iter()
+                .map(|r| r.completed)
+                .sum::<usize>(),
+            n
+        );
+        // Real stamps: ordered per request, makespan covers the work.
+        for r in &report.records {
+            assert!(r.start >= r.arrival);
+            assert!(r.finish >= r.start);
+            assert!(r.replica < 2);
+        }
+        assert!(report.makespan_cycles > 0, "nanosecond timeline advanced");
+        assert!(report.p99_ms >= report.p50_ms);
+        // Two replicas spinning 30 us per request: each must serve some
+        // of a 24-request closed-loop backlog.
+        for stats in &report.per_replica {
+            assert!(stats.completed > 0, "both replicas pulled work");
+        }
+    }
+
+    #[test]
+    fn live_respects_queue_bounds_and_accounts_drops() {
+        // One slow replica (20 ms), zero waiting room, every request
+        // pending at t0: the first is admitted via the idle fast path,
+        // the rest find the replica busy with no queue and drop. The
+        // generator can only out-pace the worker while it spins, so the
+        // assertion is structural (admissions are rare, drops dominate)
+        // rather than an exact count — the OS may deschedule either
+        // thread between offers.
+        let config = ServeConfig::builder()
+            .queue(QueuePolicy::Bounded(0))
+            .build()
+            .unwrap();
+        let report = serve_live(
+            vec![ModelWorker::new(vec![Duration::from_millis(20)])],
+            10,
+            &config,
+        )
+        .unwrap();
+        assert!(report.completed >= 1, "idle fast path admits the first");
+        assert!(report.dropped >= 5, "a busy zero-capacity replica drops");
+        assert_eq!(report.completed + report.dropped, 10);
+        for r in report.records.iter().filter(|r| r.dropped) {
+            assert_eq!(r.start, r.arrival);
+            assert_eq!(r.finish, r.arrival);
+        }
+    }
+
+    #[test]
+    fn live_batching_shares_event_stamps() {
+        // Slow first event, everything pending at t0: the remaining
+        // requests batch up while the worker is busy, so some service
+        // events carry multiple requests with one start/finish pair.
+        let config = ServeConfig::builder().batch(4, 0).build().unwrap();
+        let report = serve_live(short_workers(1, 500), 12, &config).unwrap();
+        assert_eq!(report.completed, 12);
+        let mut by_start: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for r in &report.records {
+            *by_start.entry(r.start).or_default() += 1;
+        }
+        assert!(
+            by_start.values().any(|&n| n > 1),
+            "at least one multi-request service event"
+        );
+        assert!(by_start.values().all(|&n| n <= 4), "batch bound respected");
+    }
+
+    #[test]
+    fn live_rejects_malformed_configurations() {
+        let config = ServeConfig::default();
+        assert_eq!(
+            serve_live(short_workers(1, 1), 0, &config).unwrap_err(),
+            ServeError::EmptyTrace
+        );
+        assert_eq!(
+            serve_live(short_workers(3, 1), 5, &config).unwrap_err(),
+            ServeError::WorkerMismatch {
+                workers: 3,
+                replicas: 1
+            }
+        );
+        let zero = ServeConfig {
+            replicas: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            serve_live(Vec::<ModelWorker>::new(), 5, &zero).unwrap_err(),
+            ServeError::ZeroReplicas
+        );
+    }
+
+    #[test]
+    fn live_policies_schedule_across_real_threads() {
+        // Saturating load on 2 replicas: every policy must use both.
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::PowerOfTwoChoices { seed: 5 },
+        ] {
+            let config = ServeConfig::builder()
+                .replicas(2)
+                .policy(policy)
+                .build()
+                .unwrap();
+            let report = serve_live(short_workers(2, 100), 30, &config).unwrap();
+            assert_eq!(report.completed, 30, "{policy:?}");
+            for stats in &report.per_replica {
+                assert!(stats.completed > 0, "{policy:?} used both replicas");
+            }
+        }
+    }
+
+    #[test]
+    fn live_paced_arrivals_follow_the_wall_schedule() {
+        // 600 us gaps (180k cycles at 300 MHz), 60 us service: arrivals
+        // must be spaced out in the records, and nobody should queue.
+        let gap_cycles = 180_000;
+        let config = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: gap_cycles })
+            .build()
+            .unwrap();
+        let report = serve_live(short_workers(1, 60), 6, &config).unwrap();
+        assert_eq!(report.dropped, 0);
+        for (k, r) in report.records.iter().enumerate() {
+            let scheduled_ns = k as u64 * 600_000;
+            assert!(
+                r.arrival >= scheduled_ns,
+                "request {k} arrived at {} before its offset {scheduled_ns}",
+                r.arrival
+            );
+        }
+        // Paced arrivals with service << gap: waits are (near) zero. Use
+        // a generous structural bound — this is wall time.
+        assert!(report.mean_wait_ms < 10.0);
+    }
+
+    #[test]
+    fn boxed_workers_are_workers_too() {
+        let workers: Vec<Box<dyn LiveWorker>> = vec![
+            Box::new(ModelWorker::new(vec![Duration::from_micros(10)])),
+            Box::new(ModelWorker::new(vec![Duration::from_micros(10)])),
+        ];
+        let config = ServeConfig::builder().replicas(2).build().unwrap();
+        let report = serve_live(workers, 8, &config).unwrap();
+        assert_eq!(report.completed, 8);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bounded admission queues and drop accounting.
+//!
+//! Both serving domains admit requests through the same policy: a
+//! replica's queue holds requests that have been dispatched to it but
+//! have not started service, and a request dispatched to a replica whose
+//! queue is full is dropped — rejected at arrival, never served, never
+//! redispatched. [`QueuePolicy`] states the bound; the simulator applies
+//! it inline in its scan, and the live runtime applies it at the mouth of
+//! each replica's `AdmissionShard` (crate-private), the mutex-sharded
+//! MPSC queue the load-generator thread feeds and the replica's OS
+//! thread drains.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Admission-queue bound, applied *per replica*. The queue holds requests
+/// that have been dispatched to the replica but have not yet started
+/// service (requests *in* service occupy the replica, not its queue). A
+/// request dispatched to a replica whose queue is full is dropped:
+/// rejected at arrival, never served, never redispatched, counted in the
+/// drop rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// No bound: every request is eventually served.
+    Unbounded,
+    /// At most this many requests may wait per replica; arrivals beyond
+    /// that are dropped.
+    Bounded(usize),
+}
+
+impl QueuePolicy {
+    /// The effective waiting-room bound this policy imposes
+    /// ([`usize::MAX`] for [`QueuePolicy::Unbounded`]).
+    pub fn capacity(self) -> usize {
+        match self {
+            QueuePolicy::Unbounded => usize::MAX,
+            QueuePolicy::Bounded(c) => c,
+        }
+    }
+}
+
+/// One replica's admission queue in the live runtime: a bounded MPSC
+/// channel from the load-generator thread to the replica's worker thread.
+///
+/// The shard is a `Mutex<VecDeque>` plus a `Condvar` the worker parks on,
+/// with the replica's *backlog* — waiting requests plus one if a service
+/// event is in flight, the same quantity [`super::sim`]'s load-aware
+/// policies observe — mirrored into an atomic so the dispatcher can read
+/// every shard's depth without taking any lock.
+pub(crate) struct AdmissionShard {
+    state: Mutex<ShardState>,
+    available: Condvar,
+    backlog: AtomicUsize,
+}
+
+struct ShardState {
+    /// Dispatched requests not yet in service: `(index, arrival_ns)`.
+    waiting: VecDeque<(usize, u64)>,
+    /// Whether the worker is inside a service event right now.
+    in_service: bool,
+    /// Set once the generator has offered its last request.
+    closed: bool,
+}
+
+impl AdmissionShard {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(ShardState {
+                waiting: VecDeque::new(),
+                in_service: false,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            backlog: AtomicUsize::new(0),
+        }
+    }
+
+    /// The backlog the dispatch policies observe, read without locking.
+    pub(crate) fn backlog(&self) -> usize {
+        self.backlog.load(Ordering::Acquire)
+    }
+
+    /// Offers one request to the shard. Returns `false` (drop) when the
+    /// waiting room is full. Mirroring the simulator's idle-replica
+    /// fast path (`serve_now`), an idle replica — nothing waiting, no
+    /// event in flight — admits even at capacity zero: capacity bounds
+    /// *waiting* requests, and this one will start immediately.
+    pub(crate) fn offer(&self, request: usize, arrival_ns: u64, capacity: usize) -> bool {
+        let mut s = self.state.lock().expect("admission shard poisoned");
+        let idle = s.waiting.is_empty() && !s.in_service;
+        if s.waiting.len() >= capacity && !idle {
+            return false;
+        }
+        s.waiting.push_back((request, arrival_ns));
+        self.publish(&s);
+        drop(s);
+        self.available.notify_one();
+        true
+    }
+
+    /// Parks until work arrives or the shard closes, then drains up to
+    /// `max` waiting requests into `out` as one service event (marking
+    /// the shard in-service). Returns `false` when the shard is closed
+    /// and drained — the worker's signal to exit.
+    pub(crate) fn take_batch(&self, max: usize, out: &mut Vec<(usize, u64)>) -> bool {
+        let mut s = self.state.lock().expect("admission shard poisoned");
+        loop {
+            if !s.waiting.is_empty() {
+                let take = max.min(s.waiting.len());
+                out.extend(s.waiting.drain(..take));
+                s.in_service = true;
+                self.publish(&s);
+                return true;
+            }
+            if s.closed {
+                return false;
+            }
+            s = self.available.wait(s).expect("admission shard poisoned");
+        }
+    }
+
+    /// Marks the current service event finished (backlog drops by one).
+    pub(crate) fn finish_service(&self) {
+        let mut s = self.state.lock().expect("admission shard poisoned");
+        s.in_service = false;
+        self.publish(&s);
+    }
+
+    /// Closes the shard: no more offers will come; the worker drains what
+    /// is queued and exits.
+    pub(crate) fn close(&self) {
+        let mut s = self.state.lock().expect("admission shard poisoned");
+        s.closed = true;
+        drop(s);
+        self.available.notify_all();
+    }
+
+    fn publish(&self, s: &ShardState) {
+        self.backlog.store(
+            s.waiting.len() + usize::from(s.in_service),
+            Ordering::Release,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_maps_policies() {
+        assert_eq!(QueuePolicy::Unbounded.capacity(), usize::MAX);
+        assert_eq!(QueuePolicy::Bounded(3).capacity(), 3);
+        assert_eq!(QueuePolicy::Bounded(0).capacity(), 0);
+    }
+
+    #[test]
+    fn shard_bounds_waiting_but_admits_to_an_idle_replica() {
+        let shard = AdmissionShard::new();
+        // Idle replica, capacity 0: the serve-now fast path admits.
+        assert!(shard.offer(0, 10, 0));
+        assert_eq!(shard.backlog(), 1);
+        // Someone is now waiting: capacity 0 has no room.
+        assert!(!shard.offer(1, 20, 0));
+
+        let mut batch = Vec::new();
+        assert!(shard.take_batch(4, &mut batch));
+        assert_eq!(batch, vec![(0, 10)]);
+        assert_eq!(shard.backlog(), 1, "in-flight event counts");
+        // In service with an empty queue: still not idle, still full.
+        assert!(!shard.offer(2, 30, 0));
+        shard.finish_service();
+        assert_eq!(shard.backlog(), 0);
+        assert!(shard.offer(3, 40, 0));
+    }
+
+    #[test]
+    fn take_batch_drains_fifo_up_to_max() {
+        let shard = AdmissionShard::new();
+        for i in 0..5 {
+            assert!(shard.offer(i, i as u64, 64));
+        }
+        assert_eq!(shard.backlog(), 5);
+        let mut batch = Vec::new();
+        assert!(shard.take_batch(3, &mut batch));
+        assert_eq!(batch, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(shard.backlog(), 3, "2 waiting + 1 in flight");
+        shard.finish_service();
+        batch.clear();
+        assert!(shard.take_batch(3, &mut batch));
+        assert_eq!(batch, vec![(3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn closed_and_drained_shard_releases_the_worker() {
+        let shard = AdmissionShard::new();
+        assert!(shard.offer(0, 0, 64));
+        shard.close();
+        let mut batch = Vec::new();
+        // Queued work is still served after close...
+        assert!(shard.take_batch(8, &mut batch));
+        shard.finish_service();
+        batch.clear();
+        // ...then the worker is told to exit.
+        assert!(!shard.take_batch(8, &mut batch));
+    }
+}

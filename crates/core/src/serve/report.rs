@@ -1,0 +1,378 @@
+//! Request lifecycles, percentile estimation, and the domain-generic
+//! [`ServeReport`].
+//!
+//! Both serving runtimes account requests on a raw `u64` timeline — the
+//! simulator in cycles at the 300 MHz simulated clock, the live runtime
+//! in nanoseconds since its start instant — and summarise them with the
+//! *same* code. [`TimeDomain`] is the only thing that differs: it names
+//! the raw unit and converts stamps to milliseconds, so
+//! `ServeReport<CycleDomain>` and `ServeReport<WallDomain>` have
+//! identical shape, identical percentile math, and directly comparable
+//! millisecond tails.
+
+use std::marker::PhantomData;
+
+use flowgnn_desim::{cycles_to_ms, Cycle};
+
+use super::ServeError;
+
+/// A timeline a serving run is accounted on: the raw `u64` stamps in
+/// [`RequestRecord`] and [`ServeReport`] are in this domain's unit, and
+/// [`TimeDomain::to_ms`] is the one conversion the summary statistics
+/// need.
+pub trait TimeDomain {
+    /// Human-readable name of the raw timeline unit (`"cycles"`, `"ns"`).
+    const UNIT: &'static str;
+
+    /// Converts a raw timeline stamp or span to milliseconds.
+    fn to_ms(raw: u64) -> f64;
+}
+
+/// The simulated timeline: stamps are cycles at the 300 MHz simulated
+/// clock. This is the default domain — every pre-existing `ServeReport`
+/// caller is in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleDomain;
+
+impl TimeDomain for CycleDomain {
+    const UNIT: &'static str = "cycles";
+
+    fn to_ms(raw: u64) -> f64 {
+        cycles_to_ms(raw)
+    }
+}
+
+/// The wall-clock timeline: stamps are nanoseconds since the live run's
+/// start instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallDomain;
+
+impl TimeDomain for WallDomain {
+    const UNIT: &'static str = "ns";
+
+    fn to_ms(raw: u64) -> f64 {
+        raw as f64 / 1e6
+    }
+}
+
+/// The lifecycle of one request through a serving loop.
+///
+/// All stamps are raw timeline units of the run's [`TimeDomain`]: cycles
+/// in the simulated domain, nanoseconds in the wall-clock domain. The
+/// accessor names keep the original `_cycles` suffix — they return raw
+/// units in either domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When the request arrived.
+    pub arrival: u64,
+    /// When service began (equals `arrival` for dropped requests). Under
+    /// micro-batching this is the start of the request's service event.
+    pub start: u64,
+    /// When service finished (equals `arrival` for dropped requests).
+    /// Under micro-batching every member of a service event finishes when
+    /// the event does.
+    pub finish: u64,
+    /// Whether the request was rejected by its replica's admission queue.
+    pub dropped: bool,
+    /// Index of the replica the request was dispatched to (also set for
+    /// dropped requests: the replica whose full queue rejected them).
+    pub replica: usize,
+}
+
+impl RequestRecord {
+    /// Raw timeline units spent waiting in the admission queue.
+    pub fn wait_cycles(&self) -> Cycle {
+        self.start - self.arrival
+    }
+
+    /// Raw timeline units spent in service. Under micro-batching this is
+    /// the whole service event's duration (batch overhead plus every
+    /// co-batched request's service time).
+    pub fn service_cycles(&self) -> Cycle {
+        self.finish - self.start
+    }
+
+    /// Total raw timeline units from arrival to completion
+    /// (wait + service).
+    pub fn sojourn_cycles(&self) -> Cycle {
+        self.finish - self.arrival
+    }
+}
+
+/// Per-replica accounting of one serving run. Spans are raw timeline
+/// units of the run's [`TimeDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Requests this replica served to completion.
+    pub completed: usize,
+    /// Raw timeline units this replica spent in service events (busy
+    /// time).
+    pub busy_cycles: u64,
+}
+
+/// Tail-latency summary of one open-loop serving run, generic over the
+/// [`TimeDomain`] the run was accounted in: `ServeReport<CycleDomain>`
+/// (the default) summarises a simulated run, `ServeReport<WallDomain>` a
+/// live wall-clock run. The millisecond fields are directly comparable
+/// across domains; the raw fields ([`ServeReport::makespan_cycles`],
+/// [`ServeReport::records`], [`ServeReport::per_replica`]) are in the
+/// domain's unit.
+///
+/// All latency summaries are over *completed* requests' sojourn times
+/// (queueing wait plus service); dropped requests contribute only to the
+/// drop rate. Percentiles use the nearest-rank convention (see
+/// [`percentile_nearest_rank`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport<D: TimeDomain = CycleDomain> {
+    /// Requests offered (arrival-trace length).
+    pub requests: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected by the admission queues.
+    pub dropped: usize,
+    /// Median sojourn latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst-case sojourn latency in milliseconds.
+    pub max_ms: f64,
+    /// Mean queueing wait in milliseconds (completed requests).
+    pub mean_wait_ms: f64,
+    /// Mean service time in milliseconds (completed requests).
+    pub mean_service_ms: f64,
+    /// When the last completed request finished, in raw timeline units of
+    /// the report's domain (cycles / nanoseconds).
+    pub makespan_cycles: u64,
+    /// Per-replica completion counts and busy time, indexed by replica.
+    pub per_replica: Vec<ReplicaStats>,
+    /// Per-request lifecycle records, in arrival order.
+    pub records: Vec<RequestRecord>,
+    /// Service-trace cache counters, when the backend that produced the
+    /// service trace carries a [`crate::ServiceTraceCache`]. Always `None`
+    /// from the serving loops themselves — the queueing model never
+    /// touches the engine, so only trace-producing callers (e.g.
+    /// [`crate::Accelerator::serve`]) can attach cache activity.
+    pub cache: Option<crate::CacheStats>,
+    _domain: PhantomData<D>,
+}
+
+impl<D: TimeDomain> ServeReport<D> {
+    /// Fraction of offered requests that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.requests as f64
+    }
+
+    /// Completed requests per second of the report's timeline over the
+    /// makespan (simulated seconds in the cycle domain, wall seconds in
+    /// the wall domain).
+    pub fn throughput_per_s(&self) -> f64 {
+        let ms = D::to_ms(self.makespan_cycles);
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / (ms / 1e3)
+    }
+
+    /// Each replica's utilization: busy time as a fraction of the
+    /// run's makespan (all zeros when the makespan is zero).
+    pub fn replica_utilization(&self) -> Vec<f64> {
+        let span = self.makespan_cycles;
+        self.per_replica
+            .iter()
+            .map(|r| {
+                if span == 0 {
+                    0.0
+                } else {
+                    r.busy_cycles as f64 / span as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Load imbalance across replicas in percent: `(max − mean) / mean`
+    /// over per-replica busy time (the Table VII convention applied to
+    /// the pool). Zero for a single replica or an all-idle pool.
+    pub fn load_imbalance_percent(&self) -> f64 {
+        let n = self.per_replica.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let busy: Vec<f64> = self
+            .per_replica
+            .iter()
+            .map(|r| r.busy_cycles as f64)
+            .collect();
+        let mean = busy.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        (max - mean) / mean * 100.0
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// 1-indexed rank `ceil(p/100 × n)` (clamped to `[1, n]`), so `p = 50` on
+/// `[1, 2, 3, 4]` is `2` and `p = 100` is the maximum. Exact sample
+/// values are always returned — no interpolation.
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptySample`] if `sorted` is empty.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> Result<f64, ServeError> {
+    if sorted.is_empty() {
+        return Err(ServeError::EmptySample);
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    Ok(sorted[rank.clamp(1, n) - 1])
+}
+
+/// Summarises one serving run's records into a report in domain `D`: the
+/// one summary path both runtimes share, so the two domains' statistics
+/// cannot drift apart.
+pub(crate) fn summarize<D: TimeDomain>(
+    records: Vec<RequestRecord>,
+    per_replica: Vec<ReplicaStats>,
+) -> ServeReport<D> {
+    let requests = records.len();
+    let completed: Vec<&RequestRecord> = records.iter().filter(|r| !r.dropped).collect();
+    let dropped = requests - completed.len();
+
+    let mut sojourns_ms: Vec<f64> = completed
+        .iter()
+        .map(|r| D::to_ms(r.sojourn_cycles()))
+        .collect();
+    sojourns_ms.sort_by(f64::total_cmp);
+
+    let (p50_ms, p95_ms, p99_ms, max_ms) = if sojourns_ms.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        let pct = |p| percentile_nearest_rank(&sojourns_ms, p).expect("non-empty sample");
+        (
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
+            *sojourns_ms.last().unwrap(),
+        )
+    };
+    let n = completed.len().max(1) as f64;
+    let mean_wait_ms = completed
+        .iter()
+        .map(|r| D::to_ms(r.wait_cycles()))
+        .sum::<f64>()
+        / n;
+    let mean_service_ms = completed
+        .iter()
+        .map(|r| D::to_ms(r.service_cycles()))
+        .sum::<f64>()
+        / n;
+    let makespan_cycles = completed.iter().map(|r| r.finish).max().unwrap_or(0);
+
+    ServeReport {
+        requests,
+        completed: completed.len(),
+        dropped,
+        p50_ms,
+        p95_ms,
+        p99_ms,
+        max_ms,
+        mean_wait_ms,
+        mean_service_ms,
+        makespan_cycles,
+        per_replica,
+        records,
+        cache: None,
+        _domain: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_exact_on_small_sorted_inputs() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let pct = |p| percentile_nearest_rank(&v, p).unwrap();
+        assert_eq!(pct(25.0), 1.0);
+        assert_eq!(pct(50.0), 2.0);
+        assert_eq!(pct(75.0), 3.0);
+        assert_eq!(pct(99.0), 4.0);
+        assert_eq!(pct(100.0), 4.0);
+        // Ranks clamp at the extremes.
+        assert_eq!(pct(0.0), 1.0);
+        let one = [7.5];
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_nearest_rank(&one, p).unwrap(), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_returns_sample_values_only() {
+        let v = [0.5, 10.0, 100.0];
+        for p in [1.0, 33.0, 50.0, 66.0, 95.0, 99.0] {
+            assert!(
+                v.contains(&percentile_nearest_rank(&v, p).unwrap()),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_rejects_empty() {
+        assert_eq!(
+            percentile_nearest_rank(&[], 50.0),
+            Err(ServeError::EmptySample)
+        );
+    }
+
+    #[test]
+    fn domains_convert_their_raw_units_to_ms() {
+        // 300k cycles at 300 MHz is one millisecond.
+        assert_eq!(CycleDomain::to_ms(300_000), 1.0);
+        assert_eq!(CycleDomain::UNIT, "cycles");
+        // 1e6 nanoseconds is one millisecond.
+        assert_eq!(WallDomain::to_ms(1_000_000), 1.0);
+        assert_eq!(WallDomain::UNIT, "ns");
+    }
+
+    #[test]
+    fn summarize_is_domain_generic_over_the_same_records() {
+        let records = vec![
+            RequestRecord {
+                arrival: 0,
+                start: 0,
+                finish: 600_000,
+                dropped: false,
+                replica: 0,
+            },
+            RequestRecord {
+                arrival: 300_000,
+                start: 600_000,
+                finish: 900_000,
+                dropped: false,
+                replica: 0,
+            },
+        ];
+        let stats = vec![ReplicaStats {
+            completed: 2,
+            busy_cycles: 900_000,
+        }];
+        let sim: ServeReport<CycleDomain> = summarize(records.clone(), stats.clone());
+        let live: ServeReport<WallDomain> = summarize(records, stats);
+        // Same structure either way...
+        assert_eq!(sim.completed, live.completed);
+        assert_eq!(sim.makespan_cycles, live.makespan_cycles);
+        assert_eq!(sim.records, live.records);
+        // ...but milliseconds follow the domain: 600k cycles = 2 ms at
+        // 300 MHz, 600k ns = 0.6 ms.
+        assert_eq!(sim.p50_ms, 2.0);
+        assert_eq!(live.p50_ms, 0.6);
+    }
+}

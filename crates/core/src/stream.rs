@@ -14,9 +14,12 @@ use flowgnn_desim::{cycles_to_ms, Cycle};
 use flowgnn_graph::GraphStream;
 
 use crate::cache::{graph_fingerprint, ServiceTraceCache};
-use crate::engine::Accelerator;
+use crate::engine::{Accelerator, PreparedGraph};
 use crate::exec::SimScratch;
-use crate::serve::{serve_trace, ServeConfig, ServeReport};
+use crate::serve::live::{serve_live, LiveWorker};
+use crate::serve::report::WallDomain;
+use crate::serve::sim::serve_trace;
+use crate::serve::{ServeConfig, ServeError, ServeReport};
 
 /// Latency statistics over a stream of graphs (all in milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,6 +166,45 @@ impl Accelerator {
         report
     }
 
+    /// Serves up to `limit` graphs of `stream` through the *live*
+    /// wall-clock runtime: `config.replicas` OS threads, each owning an
+    /// [`EngineWorker`] — a clone of this accelerator (sharing any
+    /// attached [`crate::ServiceTraceCache`] handle) plus its own
+    /// prepared graphs and [`SimScratch`] — really simulating every
+    /// admitted request while an open-loop generator paces
+    /// `config.arrivals` in wall time. The wall-clock twin of
+    /// [`Accelerator::serve`]: same configuration semantics, timeline in
+    /// measured nanoseconds ([`WallDomain`]).
+    ///
+    /// The report's `cache` field stays `None`: live replicas execute the
+    /// engine directly rather than consulting the service-trace cache,
+    /// so there is no cache activity to attach.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ServeError`] invariants
+    /// [`serve_live`](crate::serve::live::serve_live) reports (zero
+    /// replicas, zero batch size, zero requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    pub fn serve_live(
+        &self,
+        stream: GraphStream,
+        limit: usize,
+        config: &ServeConfig,
+    ) -> Result<ServeReport<WallDomain>, ServeError> {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot serve an empty graph stream");
+        let graphs: Vec<_> = stream.collect();
+        let requests = graphs.len();
+        let workers: Vec<EngineWorker> = (0..config.replicas)
+            .map(|_| EngineWorker::new(self.clone(), graphs.iter().cloned()))
+            .collect();
+        serve_live(workers, requests, config)
+    }
+
     /// Streams graphs with *inter-graph pipelining*: the next graph's COO
     /// stream loads into a second on-chip buffer while the current graph
     /// computes (double buffering on the memory interface).
@@ -214,6 +256,50 @@ impl Accelerator {
                 max_ms,
             },
         }
+    }
+}
+
+/// One live replica's engine state: a clone of the accelerator (cloning
+/// shares the handle to any attached [`crate::ServiceTraceCache`]), the
+/// replica's own prepared copies of the request graphs, and its own
+/// [`SimScratch`] — everything a replica thread needs to simulate
+/// requests without touching another thread's state.
+///
+/// Built by [`Accelerator::serve_live`]; public so custom live-serving
+/// drivers can assemble their own worker pools and hand them to
+/// [`serve_live`](crate::serve::live::serve_live).
+pub struct EngineWorker {
+    acc: Accelerator,
+    prepared: Vec<PreparedGraph<'static>>,
+    scratch: SimScratch,
+}
+
+impl EngineWorker {
+    /// Prepares `graphs` for this replica and pairs them with a fresh
+    /// scratch. Request `i` runs `graphs[i % len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty.
+    pub fn new(acc: Accelerator, graphs: impl IntoIterator<Item = flowgnn_graph::Graph>) -> Self {
+        let prepared: Vec<PreparedGraph<'static>> =
+            graphs.into_iter().map(|g| acc.prepare_owned(g)).collect();
+        assert!(
+            !prepared.is_empty(),
+            "an engine worker needs at least one request graph"
+        );
+        Self {
+            acc,
+            prepared,
+            scratch: SimScratch::default(),
+        }
+    }
+}
+
+impl LiveWorker for EngineWorker {
+    fn process(&mut self, request: usize) {
+        let prepared = &self.prepared[request % self.prepared.len()];
+        let _ = self.acc.run_prepared(prepared, &mut self.scratch);
     }
 }
 
@@ -292,7 +378,8 @@ mod tests {
                     gap: closed.total_cycles, // one full stream per gap
                 })
                 .queue_capacity(4)
-                .build(),
+                .build()
+                .unwrap(),
         );
         assert_eq!(served.dropped, 0);
         assert_eq!(served.mean_wait_ms, 0.0);
@@ -313,12 +400,42 @@ mod tests {
                     gap: (mean_service / 4).max(1),
                 })
                 .queue(QueuePolicy::Unbounded)
-                .build(),
+                .build()
+                .unwrap(),
         );
         assert_eq!(served.dropped, 0);
         assert!(served.mean_wait_ms > 0.0);
         assert!(served.p99_ms >= served.p50_ms);
         assert!(served.max_ms > served.mean_service_ms);
+    }
+
+    #[test]
+    fn live_serving_runs_the_engine_on_replica_threads() {
+        use crate::serve::DispatchPolicy;
+        let stream = || MoleculeLike::new(12.0, 4).stream(8);
+        let a = acc();
+        let report = a
+            .serve_live(
+                stream(),
+                8,
+                &ServeConfig::builder()
+                    .replicas(2)
+                    .policy(DispatchPolicy::JoinShortestQueue)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.per_replica.len(), 2);
+        assert_eq!(report.cache, None, "live replicas bypass the trace cache");
+        for r in &report.records {
+            assert!(r.finish >= r.start && r.start >= r.arrival);
+        }
+        // Closed loop on two real threads: both replicas pull work.
+        for stats in &report.per_replica {
+            assert!(stats.completed > 0);
+        }
     }
 
     #[test]

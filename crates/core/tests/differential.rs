@@ -54,7 +54,8 @@ fn cached_serve_report_is_identical_and_carries_counters() {
             seed: 7,
         })
         .replicas(2)
-        .build();
+        .build()
+        .unwrap();
     let plain = acc().serve(repeated_stream(3, 3), n, &config);
     let cached_acc = acc().with_trace_cache(ServiceTraceCache::new(16));
     let mut cached = cached_acc.serve(repeated_stream(3, 3), n, &config);

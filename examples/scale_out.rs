@@ -53,7 +53,8 @@ fn main() {
                 .queue_capacity(64)
                 .replicas(replicas)
                 .policy(policy)
-                .build();
+                .build()
+                .expect("valid pool config");
             let report = serve_trace(&service, &config).expect("non-empty trace");
             let verdict = if report.p99_ms <= slo_ms && report.dropped == 0 {
                 ""
@@ -80,7 +81,8 @@ fn main() {
             .arrivals(ArrivalProcess::poisson_rate(0.9 * 1e3 / mean_ms, 42))
             .queue_capacity(64)
             .batch(batch, overhead)
-            .build();
+            .build()
+            .expect("valid batching config");
         let report = serve_trace(&service, &config).expect("non-empty trace");
         println!(
             "  B={batch}: p50 {:.4} ms, p99 {:.4} ms, util {:.2}",

@@ -46,9 +46,10 @@ pub use flowgnn_models as models;
 pub use flowgnn_tensor as tensor;
 
 pub use flowgnn_core::{
-    Accelerator, ArchConfig, ArrivalProcess, BatchConfig, DispatchPolicy, EngineMode,
-    ExecutionMode, PipelineStrategy, QueuePolicy, ReplicaStats, RunReport, ServeConfig, ServeError,
-    ServeReport,
+    serve_live, Accelerator, ArchConfig, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy,
+    Dispatcher, EngineMode, EngineWorker, ExecutionMode, LiveWorker, ModelWorker, PipelineStrategy,
+    QueuePolicy, ReplicaStats, RunReport, ServeConfig, ServeError, ServeReport, TimeDomain,
+    WallDomain,
 };
 pub use flowgnn_graph::{Graph, GraphStream};
 pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};
@@ -65,7 +66,7 @@ pub mod prelude {
     //!     GnnModel::gcn(spec.node_feat_dim(), 7),
     //!     ArchConfig::default(),
     //! );
-    //! let report = acc.serve(spec.stream(), 8, &ServeConfig::builder().build());
+    //! let report = acc.serve(spec.stream(), 8, &ServeConfig::builder().build().unwrap());
     //! assert_eq!(report.completed, 8);
     //! ```
 

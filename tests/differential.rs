@@ -223,7 +223,11 @@ fn closed_loop_serve_is_bit_identical_to_run_stream() {
 
         // And the explicit gap-0 serve must be the same schedule: every
         // request back-to-back, zero drops, makespan = sum of services.
-        let served = acc.serve(spec.stream(), limit, &ServeConfig::builder().build());
+        let served = acc.serve(
+            spec.stream(),
+            limit,
+            &ServeConfig::builder().build().unwrap(),
+        );
         assert_eq!(served.completed, n, "{kind:?}: served count");
         assert_eq!(served.dropped, 0, "{kind:?}: drops");
         assert_eq!(served.makespan_cycles, total, "{kind:?}: makespan");
@@ -306,7 +310,8 @@ fn single_replica_pool_is_bit_identical_to_the_pre_pool_scan() {
             let config = ServeConfig::builder()
                 .arrivals(arrivals_proc)
                 .queue(queue)
-                .build();
+                .build()
+                .unwrap();
             assert_eq!(config.replicas, 1, "builder defaults to one replica");
             assert_eq!(config.policy, DispatchPolicy::RoundRobin);
             let report = serve_trace(&service, &config).unwrap();
@@ -425,4 +430,208 @@ fn fast_forward_is_exact_on_streams() {
     )
     .run_stream(MoleculeLike::new(16.0, 11).stream(8), 8);
     assert_eq!(fast, reference);
+}
+
+/// The serve-module split (`serve.rs` → `serve/{arrivals,queue,dispatch,
+/// batch,report,sim,live}`) claims `serve::sim::serve_trace` is the
+/// pre-split monolith, verbatim. Pin that against an *independent* inline
+/// copy of the pre-split replica-pool scan — `ReplicaSim` semantics,
+/// dispatch tie-breaks, p2c's two-draws-per-request RNG discipline, batch
+/// formation, and bounded-admission drops included — over multi-replica
+/// pools, every policy, batching on and off, bounded and unbounded
+/// queues, and Poisson/on-off arrivals. Bit-identical records and
+/// per-replica accounting, or the refactor changed behavior.
+#[test]
+fn split_serve_trace_is_bit_identical_to_the_pre_split_pool_scan() {
+    use flowgnn_rng::Rng;
+    use std::collections::VecDeque;
+
+    struct OldRep {
+        free_at: u64,
+        waiting: VecDeque<usize>,
+        busy_cycles: u64,
+        completed: usize,
+    }
+
+    impl OldRep {
+        fn advance(
+            &mut self,
+            now: Option<u64>,
+            replica: usize,
+            batch: Option<(usize, u64)>,
+            arrivals: &[u64],
+            service: &[u64],
+            records: &mut [(u64, u64, u64, bool, usize)],
+        ) {
+            while !self.waiting.is_empty() && now.is_none_or(|t| self.free_at <= t) {
+                let start = self.free_at;
+                let take = batch.map_or(1, |(max, _)| max).min(self.waiting.len());
+                let mut duration = batch.map_or(0, |(_, overhead)| overhead);
+                for k in 0..take {
+                    duration += service[self.waiting[k]];
+                }
+                let finish = start + duration;
+                for _ in 0..take {
+                    let i = self.waiting.pop_front().unwrap();
+                    records[i] = (arrivals[i], start, finish, false, replica);
+                }
+                self.free_at = finish;
+                self.busy_cycles += duration;
+                self.completed += take;
+            }
+        }
+
+        fn backlog(&self, now: u64) -> usize {
+            self.waiting.len() + usize::from(self.free_at > now)
+        }
+    }
+
+    /// Per-request record: (arrival, start, finish, dropped, replica).
+    type OldRecord = (u64, u64, u64, bool, usize);
+
+    /// The pre-split `serve_trace` pool scan, verbatim semantics.
+    fn old_pool_scan(
+        service: &[u64],
+        arrivals: &[u64],
+        capacity: usize,
+        replicas: usize,
+        policy: DispatchPolicy,
+        batch: Option<(usize, u64)>,
+    ) -> (Vec<OldRecord>, Vec<(usize, u64)>) {
+        let mut pool: Vec<OldRep> = (0..replicas)
+            .map(|_| OldRep {
+                free_at: 0,
+                waiting: VecDeque::new(),
+                busy_cycles: 0,
+                completed: 0,
+            })
+            .collect();
+        let mut rng = match policy {
+            DispatchPolicy::PowerOfTwoChoices { seed } => Some(Rng::seed_from_u64(seed)),
+            _ => None,
+        };
+        let mut records = vec![(0, 0, 0, true, 0); service.len()];
+        for (i, &arrival) in arrivals.iter().enumerate() {
+            for (r, rep) in pool.iter_mut().enumerate() {
+                rep.advance(Some(arrival), r, batch, arrivals, service, &mut records);
+            }
+            let target = match policy {
+                DispatchPolicy::RoundRobin => i % replicas,
+                DispatchPolicy::JoinShortestQueue => pool
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, rep)| rep.backlog(arrival))
+                    .map(|(r, _)| r)
+                    .unwrap(),
+                DispatchPolicy::PowerOfTwoChoices { .. } => {
+                    let rng = rng.as_mut().unwrap();
+                    let a = rng.bounded_u64(replicas as u64) as usize;
+                    let b = rng.bounded_u64(replicas as u64) as usize;
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if pool[hi].backlog(arrival) < pool[lo].backlog(arrival) {
+                        hi
+                    } else {
+                        lo
+                    }
+                }
+            };
+            let rep = &mut pool[target];
+            if rep.free_at <= arrival {
+                // Idle: serve on arrival as a batch of one.
+                let duration = batch.map_or(0, |(_, overhead)| overhead) + service[i];
+                records[i] = (arrival, arrival, arrival + duration, false, target);
+                rep.free_at = arrival + duration;
+                rep.busy_cycles += duration;
+                rep.completed += 1;
+            } else if rep.waiting.len() >= capacity {
+                records[i] = (arrival, arrival, arrival, true, target);
+            } else {
+                rep.waiting.push_back(i);
+            }
+        }
+        for (r, rep) in pool.iter_mut().enumerate() {
+            rep.advance(None, r, batch, arrivals, service, &mut records);
+        }
+        let stats = pool.iter().map(|r| (r.completed, r.busy_cycles)).collect();
+        (records, stats)
+    }
+
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let acc = Accelerator::new(
+        GnnModel::gcn(spec.node_feat_dim(), 57),
+        ArchConfig::default(),
+    );
+    let service = acc.service_trace(spec.stream(), 40);
+    let mean = service.iter().sum::<u64>() / service.len() as u64;
+
+    let processes = [
+        ArrivalProcess::Poisson {
+            mean_gap: mean as f64 / 2.0,
+            seed: 11,
+        },
+        ArrivalProcess::OnOff {
+            mean_burst: 6.0,
+            burst_gap: mean / 8,
+            mean_idle_gap: mean as f64 * 4.0,
+            seed: 12,
+        },
+    ];
+    let policies = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::PowerOfTwoChoices { seed: 21 },
+    ];
+    let queues = [
+        QueuePolicy::Unbounded,
+        QueuePolicy::Bounded(0),
+        QueuePolicy::Bounded(2),
+        QueuePolicy::Bounded(64),
+    ];
+    let batches: [Option<(usize, u64)>; 2] = [None, Some((3, mean / 10))];
+
+    for process in processes {
+        for policy in policies {
+            for queue in queues {
+                for batch in batches {
+                    for replicas in [1usize, 2, 3, 5] {
+                        let mut builder = ServeConfig::builder()
+                            .arrivals(process)
+                            .queue(queue)
+                            .replicas(replicas)
+                            .policy(policy);
+                        if let Some((max, overhead)) = batch {
+                            builder = builder.batch(max, overhead);
+                        }
+                        let config = builder.build().unwrap();
+                        let report = serve_trace(&service, &config).unwrap();
+
+                        let arrivals = process.arrivals(service.len());
+                        let capacity = match queue {
+                            QueuePolicy::Unbounded => usize::MAX,
+                            QueuePolicy::Bounded(c) => c,
+                        };
+                        let (reference, stats) =
+                            old_pool_scan(&service, &arrivals, capacity, replicas, policy, batch);
+                        let what = format!(
+                            "{process:?} / {policy:?} / {queue:?} / {batch:?} / R={replicas}"
+                        );
+                        assert_eq!(report.records.len(), reference.len(), "{what}");
+                        for (i, (rec, old)) in report.records.iter().zip(&reference).enumerate() {
+                            assert_eq!(
+                                (rec.arrival, rec.start, rec.finish, rec.dropped, rec.replica),
+                                *old,
+                                "{what}[{i}]"
+                            );
+                        }
+                        for (r, (stat, &(completed, busy))) in
+                            report.per_replica.iter().zip(&stats).enumerate()
+                        {
+                            assert_eq!(stat.completed, completed, "{what} r={r}: completed");
+                            assert_eq!(stat.busy_cycles, busy, "{what} r={r}: busy");
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

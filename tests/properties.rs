@@ -194,7 +194,8 @@ fn round_robin_pool_is_r_interleaved_single_servers() {
                 .arrivals(ArrivalProcess::Fixed { gap })
                 .queue(capacity)
                 .replicas(replicas)
-                .build(),
+                .build()
+                .unwrap(),
         )
         .unwrap();
 
@@ -210,7 +211,8 @@ fn round_robin_pool_is_r_interleaved_single_servers() {
                         gap: gap * replicas as u64,
                     })
                     .queue(capacity)
-                    .build(),
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             let shift = r as u64 * gap;
@@ -273,6 +275,111 @@ fn node_relabeling_preserves_prediction() {
         for (x, y) in a.iter().zip(&b) {
             let scale = x.abs().max(y.abs()).max(1.0);
             assert!((x - y).abs() / scale < 2e-3, "{x} vs {y}");
+        }
+    }
+}
+
+/// One seed pins one request stream in *both* serving domains: the live
+/// runtime's wall-clock pacing schedule is the simulator's cycle schedule
+/// converted stamp-for-stamp at the simulated clock, for every arrival
+/// process over random parameters. This is the contract that makes the
+/// dual-domain `repro live` grid apples-to-apples.
+#[test]
+fn arrival_schedules_agree_across_sim_and_live_pacing() {
+    use std::time::Duration;
+    let clock = flowgnn::desim::CLOCK_HZ;
+    let mut rng = Rng::seed_from_u64(0xF10_0006);
+    for _ in 0..40 {
+        let seed = rng.gen_range(0u64..10_000);
+        let n = rng.gen_range(1usize..400);
+        let process = match rng.gen_range(0usize..3) {
+            0 => ArrivalProcess::Fixed {
+                gap: rng.gen_range(0u64..50_000),
+            },
+            1 => ArrivalProcess::Poisson {
+                mean_gap: rng.gen_range(1u64..100_000) as f64,
+                seed,
+            },
+            _ => ArrivalProcess::OnOff {
+                mean_burst: rng.gen_range(1u64..12) as f64,
+                burst_gap: rng.gen_range(1u64..5_000),
+                mean_idle_gap: rng.gen_range(1_000u64..200_000) as f64,
+                seed,
+            },
+        };
+        // Same process, same seed: the two domains' schedules are the
+        // same stamps (regenerated independently, as sim and live do).
+        let cycles = process.arrivals(n);
+        let wall = process.wall_schedule(n);
+        assert_eq!(cycles, process.arrivals(n), "{process:?}: cycle replay");
+        assert_eq!(wall, process.wall_schedule(n), "{process:?}: wall replay");
+        assert_eq!(cycles.len(), wall.len());
+        for (i, (&c, w)) in cycles.iter().zip(&wall).enumerate() {
+            let expect = Duration::from_nanos((c as f64 / clock * 1e9).round() as u64);
+            assert_eq!(*w, expect, "{process:?}[{i}]: cycle {c} at {clock} Hz");
+        }
+        // Both schedules are non-decreasing (open-loop generators rely
+        // on it to pace forward only).
+        assert!(cycles.windows(2).all(|p| p[0] <= p[1]), "{process:?}");
+        assert!(wall.windows(2).all(|p| p[0] <= p[1]), "{process:?}");
+    }
+}
+
+/// Both serving runtimes route through one `Dispatcher`; given the same
+/// per-replica queue-depth observations, every policy makes the same
+/// per-request decision no matter which domain asks — and each decision
+/// obeys its policy's defining invariant (round-robin ignores the
+/// observations entirely, JSQ picks the first minimum, power-of-two picks
+/// the less-loaded of its two seeded draws).
+#[test]
+fn dispatch_policies_route_identically_for_identical_observations() {
+    let mut rng = Rng::seed_from_u64(0xF10_0007);
+    for _ in 0..40 {
+        let replicas = rng.gen_range(1usize..9);
+        let n = rng.gen_range(1usize..200);
+        let seed = rng.gen_range(0u64..10_000);
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::PowerOfTwoChoices { seed },
+        ] {
+            // One shared observation sequence, two independent dispatcher
+            // instances standing in for the sim scan and the live
+            // scheduler.
+            let observations: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..replicas).map(|_| rng.gen_range(0usize..20)).collect())
+                .collect();
+            let mut sim = Dispatcher::new(policy);
+            let mut live = Dispatcher::new(policy);
+            for (i, depths) in observations.iter().enumerate() {
+                let a = sim.route(i, replicas, |r| depths[r]);
+                let b = live.route(i, replicas, |r| depths[r]);
+                assert_eq!(a, b, "{policy:?} req {i}: domains disagree");
+                assert!(a < replicas, "{policy:?} req {i}: route in range");
+                match policy {
+                    DispatchPolicy::RoundRobin => {
+                        assert_eq!(a, i % replicas, "{policy:?} req {i}")
+                    }
+                    DispatchPolicy::JoinShortestQueue => {
+                        let min = *depths.iter().min().unwrap();
+                        assert_eq!(depths[a], min, "{policy:?} req {i}: not a minimum");
+                        assert!(
+                            depths[..a].iter().all(|&d| d > min),
+                            "{policy:?} req {i}: ties must break to the first minimum"
+                        );
+                    }
+                    DispatchPolicy::PowerOfTwoChoices { .. } => {
+                        // Replaying the same seed reproduces the choice.
+                        let mut replay = Dispatcher::new(policy);
+                        for (j, earlier) in observations[..=i].iter().enumerate() {
+                            let c = replay.route(j, replicas, |r| earlier[r]);
+                            if j == i {
+                                assert_eq!(c, a, "{policy:?} req {i}: seeded replay");
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }
