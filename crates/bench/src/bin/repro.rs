@@ -8,8 +8,8 @@
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 table8
 //!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              banking scorecard serve scale live throughput kernels all
-//!              (default: all)
+//!              banking scorecard serve scale fleet live throughput
+//!              kernels all (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
 //! --csv DIR    additionally write each table as DIR/<name>.csv
@@ -48,6 +48,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "scorecard",
     "serve",
     "scale",
+    "fleet",
     "live",
     "throughput",
     "kernels",
@@ -250,6 +251,20 @@ fn main() {
                 emit("scale_out", &study.table(), Some(study.sustainable_note()));
                 if let Some(dir) = &csv_dir {
                     let path = dir.join("BENCH_scale_out.json");
+                    if let Err(e) = std::fs::write(&path, study.to_json()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+            }
+            "fleet" => {
+                let study = experiments::fleet_serving(sample);
+                emit("fleet_serving", &study.table(), Some(study.summary_note()));
+                if let Err(e) = study.validate() {
+                    eprintln!("fleet serving semantic gate failed: {e}");
+                    std::process::exit(1);
+                }
+                if let Some(dir) = &csv_dir {
+                    let path = dir.join("BENCH_fleet_serving.json");
                     if let Err(e) = std::fs::write(&path, study.to_json()) {
                         eprintln!("cannot write {}: {e}", path.display());
                     }

@@ -5,6 +5,7 @@ mod coverage;
 mod datasets;
 mod energy;
 mod extensions;
+mod fleet;
 mod gcn_accel;
 mod imbalance;
 mod latency;
@@ -22,6 +23,10 @@ pub use energy::{table6, Table6, Table6Row, PAPER_TABLE6};
 pub use extensions::{
     gather_banking, queue_sweep, utilization_ladder, BankingPoint, BankingStudy, QueuePoint,
     QueueSweep, UtilizationLadder, UtilizationRow,
+};
+pub use fleet::{
+    fleet_serving, FleetClassPoint, FleetPoint, FleetStudy, FLEET_ADMISSIONS, FLEET_LOADS,
+    FLEET_MIXES, FLEET_QUEUE_CAPACITY, FLEET_ROUTINGS, FLEET_SHAPES,
 };
 pub use gcn_accel::{table8, table8_config, Table8, Table8Row, PAPER_TABLE8};
 pub use imbalance::{table7, Table7};

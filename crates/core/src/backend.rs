@@ -9,13 +9,14 @@
 
 use std::time::Duration;
 
+use flowgnn_desim::Cycle;
 use flowgnn_graph::{Graph, GraphStream};
 
 use crate::energy::EnergyModel;
 use crate::engine::Accelerator;
 use crate::resource::ResourceEstimate;
 use crate::serve::live::{serve_live, ModelWorker};
-use crate::serve::report::WallDomain;
+use crate::serve::report::{EndpointStats, WallDomain};
 use crate::serve::sim::serve_trace;
 use crate::serve::{ms_to_cycles, ServeConfig, ServeError, ServeReport};
 
@@ -152,18 +153,40 @@ pub trait InferenceBackend {
         }
     }
 
+    /// Computes this platform's per-request service trace for up to
+    /// `limit` graphs of `stream`, in cycles on the serving timeline —
+    /// the input both the plain serving loop and the fleet layer's
+    /// per-endpoint cost rows are built from.
+    ///
+    /// The default quantises [`Self::run_graph`]'s millisecond latency to
+    /// cycles — correct for every analytic platform model. The cycle
+    /// engine overrides this with its native cycle-exact service times
+    /// (consulting its service-trace cache when one is attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    fn service_trace(&self, stream: GraphStream, limit: usize) -> Vec<Cycle> {
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot trace an empty graph stream");
+        stream
+            .map(|g| ms_to_cycles(self.run_graph(&g).latency_ms))
+            .collect()
+    }
+
     /// Serves up to `limit` graphs of `stream` as an *open-loop* request
     /// trace: graphs arrive per `config.arrivals`, are dispatched across
     /// `config.replicas` replicas by `config.policy`, wait in per-replica
     /// bounded admission queues, and are serviced (optionally in
     /// micro-batches). Returns the tail-latency decomposition
     /// ([`ServeReport`]): queueing wait plus service per request,
-    /// p50/p95/p99/max sojourns, drop rate, and per-replica accounting.
+    /// p50/p95/p99/max sojourns, drop rate, per-replica accounting, and a
+    /// one-entry [`ServeReport::per_endpoint`] view for this platform
+    /// (cache counters attached by implementors that consult one).
     ///
-    /// The default derives each request's service time from
-    /// [`Self::run_graph`]'s millisecond latency, quantised to cycles —
-    /// correct for every analytic platform model. The cycle engine
-    /// overrides this with its native cycle-exact service times.
+    /// The default derives service times through [`Self::service_trace`].
+    /// The cycle engine overrides this with its native cycle-exact
+    /// service times.
     ///
     /// # Panics
     ///
@@ -171,12 +194,17 @@ pub trait InferenceBackend {
     /// violates an invariant the builder enforces (zero replicas, zero
     /// batch size).
     fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
-        let stream = stream.take_prefix(limit);
-        assert!(!stream.is_empty(), "cannot serve an empty graph stream");
-        let service: Vec<_> = stream
-            .map(|g| ms_to_cycles(self.run_graph(&g).latency_ms))
-            .collect();
-        serve_trace(&service, config).expect("non-empty trace with a validated config")
+        let service = self.service_trace(stream, limit);
+        let mut report =
+            serve_trace(&service, config).expect("non-empty trace with a validated config");
+        report.per_endpoint = vec![EndpointStats {
+            name: self.name().to_string(),
+            replicas: config.replicas,
+            completed: report.completed,
+            busy_cycles: report.per_replica.iter().map(|r| r.busy_cycles).sum(),
+            cache: None,
+        }];
+        report
     }
 
     /// Serves up to `limit` graphs of `stream` through the *live*
@@ -252,6 +280,14 @@ impl InferenceBackend for Accelerator {
             self.config().with_execution(ExecutionMode::Full),
         );
         full.run(graph).output
+    }
+
+    /// Overrides the default with the engine's native cycle-exact service
+    /// times ([`Accelerator::service_trace`], consulting the attached
+    /// [`crate::ServiceTraceCache`] if any) instead of round-tripping
+    /// latencies through milliseconds.
+    fn service_trace(&self, stream: GraphStream, limit: usize) -> Vec<Cycle> {
+        Accelerator::service_trace(self, stream, limit)
     }
 
     /// Overrides the default with the engine's cycle-exact service trace

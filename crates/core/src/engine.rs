@@ -150,10 +150,10 @@ impl Accelerator {
     /// [`Accelerator::service_trace`] calls (and everything built on them
     /// — [`Accelerator::run_stream`], [`Accelerator::serve`]) answer
     /// repeated graphs from the cache instead of re-simulating, and
-    /// [`Accelerator::serve`] reports the cache counters in
-    /// [`crate::ServeReport::cache`]. Cached cycles are the exact values
-    /// a fresh simulation produces, so results are bit-identical either
-    /// way.
+    /// [`Accelerator::serve`] reports the cache counters in the
+    /// per-endpoint [`crate::serve::EndpointStats::cache`] view. Cached
+    /// cycles are the exact values a fresh simulation produces, so
+    /// results are bit-identical either way.
     ///
     /// The handle is shared: cloning a cache and attaching it to several
     /// accelerator instances of the *same* model and configuration family

@@ -74,9 +74,11 @@ pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
 pub use serve::{
-    serve_live, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy, Dispatcher, LiveWorker,
-    ModelWorker, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig, ServeConfigBuilder,
-    ServeError, ServeReport, TimeDomain, WallDomain,
+    serve_fleet, serve_fleet_live, serve_live, AdmissionPolicy, ArrivalProcess, BatchConfig,
+    ClassStats, CycleDomain, DispatchPolicy, Dispatcher, EndpointStats, FleetConfig,
+    FleetConfigBuilder, FleetError, LiveWorker, ModelEndpoint, ModelWorker, QueuePolicy,
+    ReplicaStats, RequestClass, RequestRecord, ServeConfig, ServeConfigBuilder, ServeError,
+    ServeReport, TimeDomain, WallDomain,
 };
 pub use stream::{EngineWorker, LatencyStats, StreamReport};
 pub use trace::{LaneSymbol, RegionTrace, Trace};
@@ -97,10 +99,12 @@ pub mod prelude {
     pub use crate::engine::{Accelerator, PreparedGraph, RunReport};
     pub use crate::serve::sim::serve_trace;
     pub use crate::serve::{
-        arrivals, batch, dispatch, live, ms_to_cycles, percentile_nearest_rank, queue, report,
-        serve_live, sim, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy, Dispatcher,
-        LiveWorker, ModelWorker, QueuePolicy, ReplicaStats, RequestRecord, ServeConfig,
-        ServeConfigBuilder, ServeError, ServeReport, TimeDomain, WallDomain,
+        arrivals, batch, dispatch, fleet, live, ms_to_cycles, percentile_nearest_rank, queue,
+        report, serve_fleet, serve_fleet_live, serve_live, sim, AdmissionPolicy, ArrivalProcess,
+        BatchConfig, ClassStats, CycleDomain, DispatchPolicy, Dispatcher, EndpointStats,
+        FleetConfig, FleetConfigBuilder, FleetError, LiveWorker, ModelEndpoint, ModelWorker,
+        QueuePolicy, ReplicaStats, RequestClass, RequestRecord, ServeConfig, ServeConfigBuilder,
+        ServeError, ServeReport, TimeDomain, WallDomain,
     };
     pub use crate::stream::{EngineWorker, LatencyStats, StreamReport};
 }

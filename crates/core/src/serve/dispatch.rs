@@ -39,6 +39,14 @@ pub enum DispatchPolicy {
         /// PRNG seed pinning the choice sequence.
         seed: u64,
     },
+    /// Each request joins the replica where its estimated *completion
+    /// cost* — the replica's outstanding work plus this request's
+    /// estimated service cost there — is smallest; ties break to the
+    /// lowest replica index. Over a homogeneous pool this degenerates to
+    /// least-work-left; over a heterogeneous fleet it sends each request
+    /// to the backend class that finishes it soonest (small graphs to
+    /// CPU-class endpoints, large graphs to the accelerator).
+    CostBased,
 }
 
 /// The running state of one [`DispatchPolicy`]: create it once per
@@ -71,6 +79,11 @@ impl Dispatcher {
     /// it: round-robin never calls it, join-shortest-queue queries every
     /// replica, power-of-two-choices queries exactly its two samples.
     ///
+    /// [`DispatchPolicy::CostBased`] has no cost information here, so it
+    /// falls back to backlog-argmin (join-shortest-queue); fleet-aware
+    /// callers use [`Dispatcher::route_with_cost`], which every other
+    /// policy forwards straight back to this method.
+    ///
     /// # Panics
     ///
     /// Panics if `replicas` is zero (the serving entry points validate
@@ -83,7 +96,7 @@ impl Dispatcher {
     ) -> usize {
         match self.policy {
             DispatchPolicy::RoundRobin => request % replicas,
-            DispatchPolicy::JoinShortestQueue => {
+            DispatchPolicy::JoinShortestQueue | DispatchPolicy::CostBased => {
                 // min_by_key keeps the first minimum: ties break to the
                 // lowest replica index, deterministically.
                 (0..replicas)
@@ -102,6 +115,31 @@ impl Dispatcher {
                     lo
                 }
             }
+        }
+    }
+
+    /// Routes request number `request` with a per-replica *completion
+    /// cost* estimate alongside the backlog view. Only
+    /// [`DispatchPolicy::CostBased`] consults `cost` (argmin over all
+    /// replicas; ties break to the lowest index); every other policy
+    /// forwards to [`Dispatcher::route`] untouched, so legacy policies
+    /// behave bit-identically whether or not a cost model is supplied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn route_with_cost(
+        &mut self,
+        request: usize,
+        replicas: usize,
+        backlog: impl FnMut(usize) -> usize,
+        mut cost: impl FnMut(usize) -> u64,
+    ) -> usize {
+        match self.policy {
+            DispatchPolicy::CostBased => (0..replicas)
+                .min_by_key(|&r| cost(r))
+                .expect("pool is non-empty"),
+            _ => self.route(request, replicas, backlog),
         }
     }
 }
@@ -161,5 +199,39 @@ mod tests {
         let zero_picks = picks.iter().filter(|&&r| r == 0).count();
         // 0 is only picked when both samples land on it: ~1/16 of draws.
         assert!(zero_picks < 20, "{zero_picks} routes to the loaded replica");
+    }
+
+    #[test]
+    fn cost_based_takes_the_cheapest_completion() {
+        let mut d = Dispatcher::new(DispatchPolicy::CostBased);
+        let costs = [40u64, 15, 15, 90];
+        let route = d.route_with_cost(0, 4, |_| panic!("cost-based ignores backlog"), |r| costs[r]);
+        assert_eq!(route, 1, "tie breaks to the lowest index");
+        // Without a cost model it degenerates to backlog argmin.
+        let depths = [2, 0, 1];
+        assert_eq!(d.route(1, 3, |r| depths[r]), 1);
+    }
+
+    #[test]
+    fn legacy_policies_ignore_the_cost_closure() {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::PowerOfTwoChoices { seed: 3 },
+        ] {
+            let mut plain = Dispatcher::new(policy);
+            let mut costed = Dispatcher::new(policy);
+            let depths = [4usize, 0, 2, 1];
+            for i in 0..32 {
+                let a = plain.route(i, 4, |r| depths[r]);
+                let b = costed.route_with_cost(
+                    i,
+                    4,
+                    |r| depths[r],
+                    |_| panic!("legacy policies never observe costs"),
+                );
+                assert_eq!(a, b, "{policy:?} diverged under route_with_cost");
+            }
+        }
     }
 }

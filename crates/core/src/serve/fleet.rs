@@ -1,0 +1,1138 @@
+//! Multi-model, multi-tenant fleet serving: endpoint registries, request
+//! classes, SLO-aware priority admission, and cost-based heterogeneous
+//! routing — in both time domains.
+//!
+//! The plain serving entry points ([`super::sim::serve_trace`],
+//! [`super::live::serve_live`]) model "R replicas of one model": every
+//! replica is interchangeable and every request is the same kind of
+//! tenant. A deployment of a workload-agnostic accelerator is neither —
+//! it hosts several (model × dataset × backend) pairs at once and serves
+//! several tenant classes with different latency objectives. This module
+//! generalises the pool to a **fleet**:
+//!
+//! - [`ModelEndpoint`] — one entry in the fleet registry: a named
+//!   backend deployment contributing `replicas` interchangeable replicas
+//!   to the pool. The caller supplies one *cost row* per endpoint:
+//!   `costs[e][i]` is request `i`'s estimated (and, in the cycle domain,
+//!   actual) service cost on endpoint `e`, in cycles — heterogeneity is
+//!   entirely in those rows (a CPU endpoint's row is just slower than
+//!   the accelerator's, more so for large graphs).
+//! - [`RequestClass`] — one tenant class: a name, an admission
+//!   [`priority`](RequestClass::priority), and an optional per-class SLO.
+//!   `class_of[i]` stamps every arrival with its class.
+//! - [`AdmissionPolicy`] — what happens at a full admission queue:
+//!   FIFO drops the arrival; priority admission displaces the
+//!   lowest-priority waiting request when the arrival outranks it
+//!   (service order stays FIFO — priority never reorders the queue, so
+//!   no class is starved by its peers and the FIFO fleet is
+//!   bit-identical to the plain pool).
+//! - [`DispatchPolicy::CostBased`] — routes each request to the replica
+//!   with the smallest estimated *completion* cost (outstanding work
+//!   plus this request's cost there), which over a heterogeneous fleet
+//!   sends small graphs to CPU-class endpoints and large graphs to the
+//!   accelerator.
+//!
+//! Both runtimes get fleet semantics from the same parts the plain pool
+//! uses: [`serve_fleet`] drives the simulator's `ReplicaSim` state
+//! machine per replica and routes through the shared
+//! [`Dispatcher::route_with_cost`]; [`serve_fleet_live`] runs the live
+//! runtime's thread-per-replica loop over the same admission shards with
+//! the same displacement rule. With one endpoint, one class, and FIFO
+//! admission both degenerate *bit-identically* to their plain
+//! counterparts (`tests/differential.rs` pins this against the `repro
+//! scale` recipe).
+
+use std::fmt;
+use std::time::Instant;
+
+use flowgnn_desim::Cycle;
+
+use super::arrivals::ArrivalProcess;
+use super::batch::BatchConfig;
+use super::dispatch::{DispatchPolicy, Dispatcher};
+use super::live::LiveWorker;
+use super::queue::{AdmissionPolicy, AdmissionShard, OfferOutcome, QueuePolicy};
+use super::report::{
+    percentile_nearest_rank, summarize, ClassStats, CycleDomain, EndpointStats, ReplicaStats,
+    RequestRecord, ServeReport, TimeDomain, WallDomain,
+};
+use super::sim::ReplicaSim;
+use super::ServeError;
+
+/// One tenant request class: who is asking, how important they are at a
+/// full admission queue, and what latency they were promised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestClass {
+    /// Tenant identifier (appears in [`ClassStats::name`]).
+    pub name: String,
+    /// Admission priority: at a full queue under
+    /// [`AdmissionPolicy::Priority`], an arrival displaces a waiting
+    /// request only if its priority is *strictly higher*. Has no effect
+    /// on service order.
+    pub priority: u8,
+    /// The class's sojourn-latency objective in milliseconds, if any;
+    /// [`ClassStats::slo_attainment`] is measured against it.
+    pub slo_ms: Option<f64>,
+}
+
+impl RequestClass {
+    /// A class with the given name and admission priority and no SLO.
+    pub fn new(name: impl Into<String>, priority: u8) -> Self {
+        Self {
+            name: name.into(),
+            priority,
+            slo_ms: None,
+        }
+    }
+
+    /// Attaches a sojourn-latency SLO in milliseconds.
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = Some(slo_ms);
+        self
+    }
+}
+
+/// One entry in the fleet registry: a named backend deployment
+/// contributing `replicas` interchangeable replicas to the pool. The
+/// endpoint's service-cost row (supplied alongside the registry to
+/// [`serve_fleet`] / [`serve_fleet_live`]) is what distinguishes a CPU
+/// endpoint from an accelerator endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelEndpoint {
+    /// Endpoint name (usually the backend's; appears in
+    /// [`EndpointStats::name`]).
+    pub name: String,
+    /// Replicas this endpoint contributes to the fleet (≥ 1, validated
+    /// at [`FleetConfigBuilder::build`]).
+    pub replicas: usize,
+}
+
+impl ModelEndpoint {
+    /// An endpoint with the given name and replica count.
+    pub fn new(name: impl Into<String>, replicas: usize) -> Self {
+        Self {
+            name: name.into(),
+            replicas,
+        }
+    }
+}
+
+/// Why a fleet serving run could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A plain serving-layer invariant failed (empty trace, zero batch,
+    /// worker mismatch, ...).
+    Serve(ServeError),
+    /// The fleet registry has no endpoints: nothing can serve.
+    NoEndpoints,
+    /// The class registry is empty: arrivals cannot be stamped.
+    NoClasses,
+    /// An endpoint contributes zero replicas.
+    EndpointZeroReplicas {
+        /// Index of the offending endpoint in the registry.
+        endpoint: usize,
+    },
+    /// The cost matrix has one row per endpoint; the row count differs
+    /// from the registry size.
+    EndpointCountMismatch {
+        /// Rows supplied in the cost matrix.
+        cost_rows: usize,
+        /// Endpoints in the registry.
+        endpoints: usize,
+    },
+    /// An endpoint's cost row does not cover every request.
+    CostShapeMismatch {
+        /// Index of the offending endpoint.
+        endpoint: usize,
+        /// Entries in its cost row.
+        rows: usize,
+        /// Requests in the run.
+        requests: usize,
+    },
+    /// A request's class stamp points outside the class registry.
+    ClassOutOfRange {
+        /// The offending request index.
+        request: usize,
+        /// Its (out-of-range) class stamp.
+        class: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Serve(e) => write!(f, "fleet serving failed: {e}"),
+            FleetError::NoEndpoints => write!(f, "fleet registry has no endpoints"),
+            FleetError::NoClasses => write!(f, "fleet has no request classes"),
+            FleetError::EndpointZeroReplicas { endpoint } => {
+                write!(f, "endpoint {endpoint} contributes zero replicas")
+            }
+            FleetError::EndpointCountMismatch {
+                cost_rows,
+                endpoints,
+            } => write!(
+                f,
+                "cost matrix has {cost_rows} rows for {endpoints} endpoints"
+            ),
+            FleetError::CostShapeMismatch {
+                endpoint,
+                rows,
+                requests,
+            } => write!(
+                f,
+                "endpoint {endpoint} cost row has {rows} entries for {requests} requests"
+            ),
+            FleetError::ClassOutOfRange { request, class } => {
+                write!(
+                    f,
+                    "request {request} stamped with out-of-range class {class}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+/// A fleet serving scenario: the arrival process and queueing knobs of a
+/// plain [`super::ServeConfig`], plus the endpoint registry, the class
+/// registry, and the admission policy. One `FleetConfig` drives either
+/// runtime — [`serve_fleet`] on the cycle timeline, [`serve_fleet_live`]
+/// on the wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// How requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// How many may wait, per replica.
+    pub queue: QueuePolicy,
+    /// What happens at a full admission queue.
+    pub admission: AdmissionPolicy,
+    /// How arriving requests are routed across the fleet's replicas.
+    pub policy: DispatchPolicy,
+    /// Optional micro-batching of queued requests into service events.
+    pub batch: Option<BatchConfig>,
+    /// The fleet registry, in replica-index order: endpoint 0's replicas
+    /// are global replicas `0..e0`, endpoint 1's the next block, and so
+    /// on.
+    pub endpoints: Vec<ModelEndpoint>,
+    /// The tenant class registry; `class_of[i]` indexes into it.
+    pub classes: Vec<RequestClass>,
+}
+
+impl FleetConfig {
+    /// Starts a fluent builder from the closed-loop defaults (gap-0
+    /// arrivals, unbounded queue, FIFO admission, round-robin routing, no
+    /// batching, empty registries).
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig {
+                arrivals: ArrivalProcess::closed_loop(),
+                queue: QueuePolicy::Unbounded,
+                admission: AdmissionPolicy::Fifo,
+                policy: DispatchPolicy::RoundRobin,
+                batch: None,
+                endpoints: Vec::new(),
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Total replicas across the registry (the fleet's pool size).
+    pub fn total_replicas(&self) -> usize {
+        self.endpoints.iter().map(|e| e.replicas).sum()
+    }
+}
+
+/// Fluent builder for [`FleetConfig`]; invariants (≥ 1 endpoint, every
+/// endpoint ≥ 1 replica, ≥ 1 class, batch size ≥ 1) are checked once at
+/// [`FleetConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the per-replica admission-queue policy.
+    pub fn queue(mut self, queue: QueuePolicy) -> Self {
+        self.config.queue = queue;
+        self
+    }
+
+    /// Bounds each replica's admission queue to `capacity` waiting
+    /// requests (shorthand for `.queue(QueuePolicy::Bounded(capacity))`).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue = QueuePolicy::Bounded(capacity);
+        self
+    }
+
+    /// Sets the admission policy applied at a full queue.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Sets the dispatch policy routing requests across the fleet.
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables micro-batching (see
+    /// [`ServeConfigBuilder::batch`](super::ServeConfigBuilder::batch)).
+    pub fn batch(mut self, max_size: usize, overhead_cycles: Cycle) -> Self {
+        self.config.batch = Some(BatchConfig {
+            max_size,
+            overhead_cycles,
+        });
+        self
+    }
+
+    /// Appends an endpoint to the fleet registry.
+    pub fn endpoint(mut self, endpoint: ModelEndpoint) -> Self {
+        self.config.endpoints.push(endpoint);
+        self
+    }
+
+    /// Appends a request class to the class registry.
+    pub fn class(mut self, class: RequestClass) -> Self {
+        self.config.classes.push(class);
+        self
+    }
+
+    /// Finishes the builder, validating every invariant in one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::NoEndpoints`] / [`FleetError::NoClasses`]
+    /// for empty registries, [`FleetError::EndpointZeroReplicas`] for a
+    /// replica-less endpoint, and
+    /// [`FleetError::Serve`]`(`[`ServeError::ZeroBatch`]`)` for a zero
+    /// batch size.
+    pub fn build(self) -> Result<FleetConfig, FleetError> {
+        if self.config.endpoints.is_empty() {
+            return Err(FleetError::NoEndpoints);
+        }
+        if let Some(e) = self.config.endpoints.iter().position(|e| e.replicas == 0) {
+            return Err(FleetError::EndpointZeroReplicas { endpoint: e });
+        }
+        if self.config.classes.is_empty() {
+            return Err(FleetError::NoClasses);
+        }
+        if self.config.batch.is_some_and(|b| b.max_size == 0) {
+            return Err(ServeError::ZeroBatch.into());
+        }
+        Ok(self.config)
+    }
+}
+
+/// Maps global replica indices to their endpoint: `endpoint_of[g]` is the
+/// registry index of the endpoint owning global replica `g`.
+fn endpoint_index(endpoints: &[ModelEndpoint]) -> Vec<usize> {
+    let mut endpoint_of = Vec::with_capacity(endpoints.iter().map(|e| e.replicas).sum());
+    for (e, ep) in endpoints.iter().enumerate() {
+        endpoint_of.extend(std::iter::repeat_n(e, ep.replicas));
+    }
+    endpoint_of
+}
+
+/// Validates the shared preconditions of both fleet runtimes and returns
+/// the request count.
+fn validate_fleet(
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+) -> Result<usize, FleetError> {
+    let requests = class_of.len();
+    if requests == 0 {
+        return Err(ServeError::EmptyTrace.into());
+    }
+    if config.endpoints.is_empty() {
+        return Err(FleetError::NoEndpoints);
+    }
+    if let Some(e) = config.endpoints.iter().position(|e| e.replicas == 0) {
+        return Err(FleetError::EndpointZeroReplicas { endpoint: e });
+    }
+    if config.classes.is_empty() {
+        return Err(FleetError::NoClasses);
+    }
+    if config.batch.is_some_and(|b| b.max_size == 0) {
+        return Err(ServeError::ZeroBatch.into());
+    }
+    if costs.len() != config.endpoints.len() {
+        return Err(FleetError::EndpointCountMismatch {
+            cost_rows: costs.len(),
+            endpoints: config.endpoints.len(),
+        });
+    }
+    if let Some((e, row)) = costs.iter().enumerate().find(|(_, r)| r.len() != requests) {
+        return Err(FleetError::CostShapeMismatch {
+            endpoint: e,
+            rows: row.len(),
+            requests,
+        });
+    }
+    if let Some((i, &c)) = class_of
+        .iter()
+        .enumerate()
+        .find(|&(_, &c)| c >= config.classes.len())
+    {
+        return Err(FleetError::ClassOutOfRange {
+            request: i,
+            class: c,
+        });
+    }
+    Ok(requests)
+}
+
+/// Cuts per-class tails and SLO attainment from a run's records: the
+/// same percentile math as the global summary, restricted to each
+/// class's requests. Attainment is over *offered* requests — a dropped
+/// request fails its class SLO by definition.
+fn class_summaries<D: TimeDomain>(
+    records: &[RequestRecord],
+    class_of: &[usize],
+    classes: &[RequestClass],
+) -> Vec<ClassStats> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(c, class)| {
+            let mine: Vec<&RequestRecord> = records
+                .iter()
+                .zip(class_of)
+                .filter(|&(_, &cc)| cc == c)
+                .map(|(r, _)| r)
+                .collect();
+            let requests = mine.len();
+            let dropped = mine.iter().filter(|r| r.dropped).count();
+            let mut sojourns_ms: Vec<f64> = mine
+                .iter()
+                .filter(|r| !r.dropped)
+                .map(|r| D::to_ms(r.sojourn_cycles()))
+                .collect();
+            sojourns_ms.sort_by(f64::total_cmp);
+            let pct = |p| {
+                if sojourns_ms.is_empty() {
+                    0.0
+                } else {
+                    percentile_nearest_rank(&sojourns_ms, p).expect("non-empty sample")
+                }
+            };
+            let slo_attainment = class.slo_ms.map(|slo| {
+                let within = sojourns_ms.iter().filter(|&&ms| ms <= slo).count();
+                within as f64 / requests.max(1) as f64
+            });
+            ClassStats {
+                name: class.name.clone(),
+                priority: class.priority,
+                slo_ms: class.slo_ms,
+                requests,
+                completed: requests - dropped,
+                dropped,
+                p50_ms: pct(50.0),
+                p95_ms: pct(95.0),
+                p99_ms: pct(99.0),
+                max_ms: sojourns_ms.last().copied().unwrap_or(0.0),
+                slo_attainment,
+            }
+        })
+        .collect()
+}
+
+/// Aggregates per-replica stats into per-endpoint entries in registry
+/// order (cache counters stay `None` — the queueing loops never touch a
+/// backend's trace cache).
+fn endpoint_summaries(
+    per_replica: &[ReplicaStats],
+    endpoints: &[ModelEndpoint],
+    endpoint_of: &[usize],
+) -> Vec<EndpointStats> {
+    endpoints
+        .iter()
+        .enumerate()
+        .map(|(e, ep)| {
+            let (completed, busy) = per_replica
+                .iter()
+                .zip(endpoint_of)
+                .filter(|&(_, &ee)| ee == e)
+                .fold((0usize, 0u64), |(c, b), (r, _)| {
+                    (c + r.completed, b + r.busy_cycles)
+                });
+            EndpointStats {
+                name: ep.name.clone(),
+                replicas: ep.replicas,
+                completed,
+                busy_cycles: busy,
+                cache: None,
+            }
+        })
+        .collect()
+}
+
+/// Runs one multi-tenant request trace through a heterogeneous fleet in
+/// the cycle domain and summarises the result with per-class and
+/// per-endpoint views.
+///
+/// `costs[e][i]` is request `i`'s service time, in cycles, on endpoint
+/// `e` — the cost model *is* the service model, so cost-based routing
+/// estimates exactly what the simulator then charges. `class_of[i]`
+/// stamps request `i` with a class from `config.classes`. Arrivals,
+/// routing, queueing, and batching mean what they mean in
+/// [`super::sim::serve_trace`], with two fleet extensions: the pool is
+/// the concatenation of every endpoint's replicas (each replica serving
+/// at its endpoint's costs), and a full admission queue is resolved by
+/// `config.admission` instead of always dropping the arrival.
+///
+/// With one endpoint, one class, and [`AdmissionPolicy::Fifo`] this is
+/// bit-identical to [`super::sim::serve_trace`] over the endpoint's cost
+/// row (`tests/differential.rs` pins it).
+///
+/// ```
+/// use flowgnn_core::prelude::*;
+///
+/// let config = FleetConfig::builder()
+///     .arrivals(ArrivalProcess::Fixed { gap: 100 })
+///     .queue_capacity(2)
+///     .admission(AdmissionPolicy::Priority)
+///     .policy(DispatchPolicy::CostBased)
+///     .endpoint(ModelEndpoint::new("accel", 1))
+///     .endpoint(ModelEndpoint::new("cpu", 2))
+///     .class(RequestClass::new("interactive", 1).with_slo_ms(0.01))
+///     .class(RequestClass::new("batch", 0))
+///     .build()
+///     .unwrap();
+/// let costs = vec![vec![100, 900, 100, 900], vec![400, 3600, 400, 3600]];
+/// let class_of = vec![0, 1, 0, 1];
+/// let report = serve_fleet(&costs, &class_of, &config).unwrap();
+/// assert_eq!(report.per_class.len(), 2);
+/// assert_eq!(report.per_endpoint.len(), 2);
+/// assert_eq!(report.completed + report.dropped, 4);
+/// ```
+///
+/// # Errors
+///
+/// Returns the [`FleetError`] naming the violated invariant: registry
+/// problems from the [`FleetConfigBuilder::build`] set, shape mismatches
+/// between `costs`/`class_of`/the registries, and
+/// [`FleetError::Serve`] for the plain serving invariants.
+pub fn serve_fleet(
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+) -> Result<ServeReport, FleetError> {
+    let requests = validate_fleet(costs, class_of, config)?;
+    let endpoint_of = endpoint_index(&config.endpoints);
+    let replicas = endpoint_of.len();
+    let arrivals = config.arrivals.arrivals(requests);
+    let capacity = config.queue.capacity();
+    let batch = config.batch;
+
+    let mut pool: Vec<ReplicaSim> = (0..replicas).map(|_| ReplicaSim::new()).collect();
+    let mut dispatcher = Dispatcher::new(config.policy);
+    let placeholder = RequestRecord {
+        arrival: 0,
+        start: 0,
+        finish: 0,
+        dropped: true,
+        replica: 0,
+    };
+    let mut records = vec![placeholder; requests];
+
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        // Bring every replica up to date first, so the load-aware
+        // policies observe fresh backlogs at this arrival cycle. Each
+        // replica serves at its own endpoint's costs.
+        for (g, rep) in pool.iter_mut().enumerate() {
+            rep.advance(
+                Some(arrival),
+                g,
+                batch,
+                &arrivals,
+                &costs[endpoint_of[g]],
+                &mut records,
+            );
+        }
+        let target = dispatcher.route_with_cost(
+            i,
+            replicas,
+            |g| pool[g].backlog(arrival),
+            |g| pool[g].pending_work(arrival, &costs[endpoint_of[g]]) + costs[endpoint_of[g]][i],
+        );
+        let service = &costs[endpoint_of[target]];
+        let rep = &mut pool[target];
+        if rep.free_at <= arrival {
+            // Idle replica (advance drained its queue): serve on arrival.
+            rep.serve_now(i, arrival, target, batch, service, &mut records);
+        } else if rep.waiting.len() >= capacity {
+            // Full queue: resolve per the admission policy. The victim
+            // rule matches AdmissionShard::offer_prioritized exactly —
+            // displace the rightmost lowest-priority waiting request iff
+            // the arrival strictly outranks it.
+            let priority = |j: usize| config.classes[class_of[j]].priority;
+            let victim = match config.admission {
+                AdmissionPolicy::Fifo => None,
+                AdmissionPolicy::Priority => rep
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .fold(None, |best: Option<(usize, u8)>, (pos, &j)| match best {
+                        Some((_, bp)) if priority(j) > bp => best,
+                        _ => Some((pos, priority(j))),
+                    })
+                    .filter(|&(_, vp)| vp < priority(i)),
+            };
+            match victim {
+                Some((pos, _)) => {
+                    let v = rep.waiting.remove(pos).expect("victim position in range");
+                    records[v] = RequestRecord {
+                        arrival: arrivals[v],
+                        start: arrivals[v],
+                        finish: arrivals[v],
+                        dropped: true,
+                        replica: target,
+                    };
+                    rep.waiting.push_back(i);
+                }
+                None => {
+                    records[i] = RequestRecord {
+                        arrival,
+                        start: arrival,
+                        finish: arrival,
+                        dropped: true,
+                        replica: target,
+                    };
+                }
+            }
+        } else {
+            rep.waiting.push_back(i);
+        }
+    }
+    // No more arrivals: run every queue dry.
+    for (g, rep) in pool.iter_mut().enumerate() {
+        rep.advance(
+            None,
+            g,
+            batch,
+            &arrivals,
+            &costs[endpoint_of[g]],
+            &mut records,
+        );
+    }
+
+    let per_replica: Vec<ReplicaStats> = pool
+        .iter()
+        .map(|rep| ReplicaStats {
+            completed: rep.completed,
+            busy_cycles: rep.busy_cycles,
+        })
+        .collect();
+    let mut report: ServeReport<CycleDomain> = summarize(records, per_replica);
+    report.per_class = class_summaries::<CycleDomain>(&report.records, class_of, &config.classes);
+    report.per_endpoint = endpoint_summaries(&report.per_replica, &config.endpoints, &endpoint_of);
+    Ok(report)
+}
+
+/// Serves a multi-tenant request trace through a live fleet — one OS
+/// thread per replica, endpoint blocks in registry order — under
+/// `config`, and summarises the run on the wall-clock timeline with
+/// per-class and per-endpoint views.
+///
+/// `workers` supplies one [`LiveWorker`] per *global* replica
+/// (`config.total_replicas()`), in registry order: endpoint 0's replicas
+/// first. `costs[e][i]` is the routing/admission cost *estimate* for
+/// request `i` on endpoint `e` (cycles); the wall time a request
+/// actually takes is whatever its worker spends. Cost-based routing
+/// reads each shard's outstanding estimated cost through a lock-free
+/// atomic, mirroring the simulator's work-left rule; priority admission
+/// applies the same displacement rule as [`serve_fleet`], with the
+/// displaced request recorded dropped at its own arrival stamp.
+///
+/// # Errors
+///
+/// The [`FleetError`] naming the violated invariant;
+/// [`FleetError::Serve`]`(`[`ServeError::WorkerMismatch`]`)` when
+/// `workers.len()` differs from the fleet's total replica count.
+pub fn serve_fleet_live<W: LiveWorker>(
+    workers: Vec<W>,
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+) -> Result<ServeReport<WallDomain>, FleetError> {
+    let requests = validate_fleet(costs, class_of, config)?;
+    let endpoint_of = endpoint_index(&config.endpoints);
+    let replicas = endpoint_of.len();
+    if workers.len() != replicas {
+        return Err(ServeError::WorkerMismatch {
+            workers: workers.len(),
+            replicas,
+        }
+        .into());
+    }
+    let capacity = config.queue.capacity();
+    let admission = config.admission;
+    let batch_max = config.batch.map_or(1, |b| b.max_size);
+    let schedule = config.arrivals.wall_schedule(requests);
+    let shards: Vec<AdmissionShard> = (0..replicas).map(|_| AdmissionShard::new()).collect();
+    let mut dispatcher = Dispatcher::new(config.policy);
+
+    let placeholder = RequestRecord {
+        arrival: 0,
+        start: 0,
+        finish: 0,
+        dropped: true,
+        replica: 0,
+    };
+    let mut records = vec![placeholder; requests];
+
+    let t0 = Instant::now();
+    let (per_replica, served) = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(g, mut worker)| {
+                let shard = &shards[g];
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, RequestRecord)> = Vec::new();
+                    let mut event: Vec<(usize, u64)> = Vec::new();
+                    let mut busy: u64 = 0;
+                    let mut completed = 0usize;
+                    loop {
+                        event.clear();
+                        if !shard.take_batch(batch_max, &mut event) {
+                            break;
+                        }
+                        let start = super::live::elapsed_ns(t0);
+                        for &(i, _) in event.iter() {
+                            worker.process(i);
+                        }
+                        let finish = super::live::elapsed_ns(t0);
+                        shard.finish_service();
+                        busy += finish - start;
+                        completed += event.len();
+                        for &(i, arrival) in event.iter() {
+                            local.push((
+                                i,
+                                RequestRecord {
+                                    arrival,
+                                    start: start.max(arrival),
+                                    finish,
+                                    dropped: false,
+                                    replica: g,
+                                },
+                            ));
+                        }
+                    }
+                    (
+                        ReplicaStats {
+                            completed,
+                            busy_cycles: busy,
+                        },
+                        local,
+                    )
+                })
+            })
+            .collect();
+
+        // The open-loop load generator: pace, route with the endpoint
+        // cost estimates, offer with the request's class priority.
+        for (i, offset) in schedule.iter().enumerate() {
+            super::live::pace_until(t0, *offset);
+            let arrival = super::live::elapsed_ns(t0);
+            let target = dispatcher.route_with_cost(
+                i,
+                replicas,
+                |g| shards[g].backlog(),
+                |g| shards[g].pending_cost() + costs[endpoint_of[g]][i],
+            );
+            let priority = config.classes[class_of[i]].priority;
+            let cost = costs[endpoint_of[target]][i];
+            match shards[target].offer_prioritized(i, arrival, priority, cost, capacity, admission)
+            {
+                OfferOutcome::Admitted => {}
+                OfferOutcome::Rejected => {
+                    records[i] = RequestRecord {
+                        arrival,
+                        start: arrival,
+                        finish: arrival,
+                        dropped: true,
+                        replica: target,
+                    };
+                }
+                OfferOutcome::Displaced {
+                    request,
+                    arrival_ns,
+                } => {
+                    records[request] = RequestRecord {
+                        arrival: arrival_ns,
+                        start: arrival_ns,
+                        finish: arrival_ns,
+                        dropped: true,
+                        replica: target,
+                    };
+                }
+            }
+        }
+        for shard in &shards {
+            shard.close();
+        }
+        let mut per_replica = Vec::with_capacity(replicas);
+        let mut served = Vec::new();
+        for h in handles {
+            let (stats, local) = h.join().expect("replica worker panicked");
+            per_replica.push(stats);
+            served.extend(local);
+        }
+        (per_replica, served)
+    });
+    for (i, rec) in served {
+        records[i] = rec;
+    }
+    let mut report = summarize::<WallDomain>(records, per_replica);
+    report.per_class = class_summaries::<WallDomain>(&report.records, class_of, &config.classes);
+    report.per_endpoint = endpoint_summaries(&report.per_replica, &config.endpoints, &endpoint_of);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sim::serve_trace;
+    use super::super::ServeConfig;
+    use super::*;
+
+    fn two_class_config() -> FleetConfigBuilder {
+        FleetConfig::builder()
+            .endpoint(ModelEndpoint::new("accel", 1))
+            .class(RequestClass::new("hi", 2).with_slo_ms(1.0))
+            .class(RequestClass::new("lo", 0))
+    }
+
+    #[test]
+    fn builder_validates_registries() {
+        assert_eq!(
+            FleetConfig::builder()
+                .class(RequestClass::new("only", 0))
+                .build()
+                .unwrap_err(),
+            FleetError::NoEndpoints
+        );
+        assert_eq!(
+            FleetConfig::builder()
+                .endpoint(ModelEndpoint::new("a", 1))
+                .build()
+                .unwrap_err(),
+            FleetError::NoClasses
+        );
+        assert_eq!(
+            FleetConfig::builder()
+                .endpoint(ModelEndpoint::new("a", 1))
+                .endpoint(ModelEndpoint::new("b", 0))
+                .class(RequestClass::new("c", 0))
+                .build()
+                .unwrap_err(),
+            FleetError::EndpointZeroReplicas { endpoint: 1 }
+        );
+        assert_eq!(
+            two_class_config().batch(0, 5).build().unwrap_err(),
+            FleetError::Serve(ServeError::ZeroBatch)
+        );
+        let ok = two_class_config().build().unwrap();
+        assert_eq!(ok.total_replicas(), 1);
+    }
+
+    #[test]
+    fn serve_fleet_validates_shapes() {
+        let config = two_class_config().build().unwrap();
+        assert_eq!(
+            serve_fleet(&[vec![10]], &[], &config).unwrap_err(),
+            FleetError::Serve(ServeError::EmptyTrace)
+        );
+        assert_eq!(
+            serve_fleet(&[vec![10], vec![20]], &[0], &config).unwrap_err(),
+            FleetError::EndpointCountMismatch {
+                cost_rows: 2,
+                endpoints: 1
+            }
+        );
+        assert_eq!(
+            serve_fleet(&[vec![10, 20]], &[0], &config).unwrap_err(),
+            FleetError::CostShapeMismatch {
+                endpoint: 0,
+                rows: 2,
+                requests: 1
+            }
+        );
+        assert_eq!(
+            serve_fleet(&[vec![10, 20]], &[0, 7], &config).unwrap_err(),
+            FleetError::ClassOutOfRange {
+                request: 1,
+                class: 7
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_errors_render_and_chain() {
+        use std::error::Error;
+        let e = FleetError::from(ServeError::EmptyTrace);
+        assert!(e.to_string().contains("empty request trace"));
+        assert!(e.source().is_some(), "Serve wraps its source");
+        assert!(FleetError::NoEndpoints.source().is_none());
+        for e in [
+            FleetError::NoEndpoints,
+            FleetError::NoClasses,
+            FleetError::EndpointZeroReplicas { endpoint: 3 },
+            FleetError::EndpointCountMismatch {
+                cost_rows: 1,
+                endpoints: 2,
+            },
+            FleetError::CostShapeMismatch {
+                endpoint: 0,
+                rows: 5,
+                requests: 6,
+            },
+            FleetError::ClassOutOfRange {
+                request: 9,
+                class: 4,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn degenerate_fleet_matches_the_plain_pool_scan() {
+        // One endpoint, one class, FIFO admission, a legacy policy: the
+        // fleet is serve_trace over the endpoint's cost row, bit for bit.
+        let service: Vec<Cycle> = (0..40).map(|i| 400 + (i % 7) * 90).collect();
+        let plain_config = ServeConfig::builder()
+            .arrivals(ArrivalProcess::poisson_rate(250_000.0, 9))
+            .queue_capacity(3)
+            .replicas(3)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .build()
+            .unwrap();
+        let fleet_config = FleetConfig::builder()
+            .arrivals(ArrivalProcess::poisson_rate(250_000.0, 9))
+            .queue_capacity(3)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .endpoint(ModelEndpoint::new("pool", 3))
+            .class(RequestClass::new("default", 0))
+            .build()
+            .unwrap();
+        let plain = serve_trace(&service, &plain_config).unwrap();
+        let fleet = serve_fleet(
+            std::slice::from_ref(&service),
+            &vec![0; service.len()],
+            &fleet_config,
+        )
+        .unwrap();
+        assert_eq!(fleet.records, plain.records);
+        assert_eq!(fleet.per_replica, plain.per_replica);
+        assert_eq!(fleet.p99_ms, plain.p99_ms);
+        assert_eq!(fleet.makespan_cycles, plain.makespan_cycles);
+        // The fleet adds its views on top.
+        assert_eq!(fleet.per_class.len(), 1);
+        assert_eq!(fleet.per_class[0].requests, service.len());
+        assert_eq!(fleet.per_endpoint.len(), 1);
+        assert_eq!(fleet.per_endpoint[0].completed, fleet.completed);
+    }
+
+    #[test]
+    fn priority_admission_displaces_low_priority_under_overload() {
+        // One slow replica, capacity 1, alternating hi/lo arrivals much
+        // faster than service: under FIFO whoever queues first wins; under
+        // priority admission every hi arrival can reclaim the waiting slot
+        // from a lo request.
+        let n = 30;
+        let costs = vec![vec![10_000u64; n]];
+        let class_of: Vec<usize> = (0..n).map(|i| i % 2).collect(); // even = hi, odd = lo
+        let build = |admission| {
+            FleetConfig::builder()
+                .arrivals(ArrivalProcess::Fixed { gap: 100 })
+                .queue_capacity(1)
+                .admission(admission)
+                .endpoint(ModelEndpoint::new("one", 1))
+                .class(RequestClass::new("hi", 2).with_slo_ms(10.0))
+                .class(RequestClass::new("lo", 0))
+                .build()
+                .unwrap()
+        };
+        let fifo = serve_fleet(&costs, &class_of, &build(AdmissionPolicy::Fifo)).unwrap();
+        let prio = serve_fleet(&costs, &class_of, &build(AdmissionPolicy::Priority)).unwrap();
+        // Same offered load either way.
+        assert_eq!(fifo.requests, prio.requests);
+        assert_eq!(fifo.completed + fifo.dropped, n);
+        assert_eq!(prio.completed + prio.dropped, n);
+        let hi = |r: &ServeReport| r.per_class[0].clone();
+        let lo = |r: &ServeReport| r.per_class[1].clone();
+        // Priority admission strictly improves the hi class's completions
+        // under this overload, at the lo class's expense.
+        assert!(
+            hi(&prio).dropped < hi(&fifo).dropped,
+            "hi drops: priority {} vs fifo {}",
+            hi(&prio).dropped,
+            hi(&fifo).dropped
+        );
+        assert!(lo(&prio).dropped >= lo(&fifo).dropped);
+        // Displaced victims are recorded dropped at their own arrival.
+        for r in prio.records.iter().filter(|r| r.dropped) {
+            assert_eq!(r.start, r.arrival);
+            assert_eq!(r.finish, r.arrival);
+        }
+        // Class accounting covers the whole run.
+        assert_eq!(hi(&prio).requests + lo(&prio).requests, n);
+        assert_eq!(hi(&prio).completed + lo(&prio).completed, prio.completed);
+    }
+
+    #[test]
+    fn cost_based_routing_splits_sizes_across_a_heterogeneous_fleet() {
+        // Endpoint 0 ("accel") is 4x faster on big requests but the fleet
+        // has only one accel replica; endpoint 1 ("cpu") has two replicas
+        // competitive on small requests. Cost-based routing should send
+        // big requests to the accelerator and spread small ones over the
+        // CPUs once the accelerator is busy.
+        let n = 24;
+        let big = |i: usize| i.is_multiple_of(3);
+        let accel: Vec<Cycle> = (0..n).map(|i| if big(i) { 2_000 } else { 500 }).collect();
+        let cpu: Vec<Cycle> = (0..n).map(|i| if big(i) { 8_000 } else { 600 }).collect();
+        let config = FleetConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 400 })
+            .policy(DispatchPolicy::CostBased)
+            .endpoint(ModelEndpoint::new("accel", 1))
+            .endpoint(ModelEndpoint::new("cpu", 2))
+            .class(RequestClass::new("tenant", 0))
+            .build()
+            .unwrap();
+        let report = serve_fleet(&[accel, cpu], &vec![0; n], &config).unwrap();
+        assert_eq!(report.dropped, 0);
+        let on_accel = |pred: &dyn Fn(usize) -> bool| {
+            report
+                .records
+                .iter()
+                .enumerate()
+                .filter(|&(i, r)| pred(i) && r.replica == 0)
+                .count()
+        };
+        let big_total = (0..n).filter(|&i| big(i)).count();
+        let small_total = n - big_total;
+        let big_on_accel = on_accel(&|i| big(i));
+        let small_on_accel = on_accel(&|i| !big(i));
+        assert!(
+            big_on_accel * small_total > small_on_accel * big_total,
+            "big requests should prefer the accelerator: {big_on_accel}/{big_total} big vs {small_on_accel}/{small_total} small"
+        );
+        // Per-endpoint aggregation covers the pool.
+        assert_eq!(report.per_endpoint.len(), 2);
+        assert_eq!(
+            report
+                .per_endpoint
+                .iter()
+                .map(|e| e.completed)
+                .sum::<usize>(),
+            report.completed
+        );
+        assert_eq!(report.per_endpoint[1].replicas, 2);
+        let makespan = report.makespan_cycles;
+        for e in &report.per_endpoint {
+            let u = e.utilization(makespan);
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+    }
+
+    #[test]
+    fn class_slo_attainment_counts_drops_against_the_class() {
+        // Closed-loop single server: everything queues at cycle 0, so
+        // later requests blow a tight SLO while early ones meet it.
+        let n = 10;
+        let costs = vec![vec![300_000u64; n]]; // 1 ms each at 300 MHz
+        let config = FleetConfig::builder()
+            .endpoint(ModelEndpoint::new("one", 1))
+            .class(RequestClass::new("tight", 0).with_slo_ms(2.5))
+            .build()
+            .unwrap();
+        let report = serve_fleet(&costs, &vec![0; n], &config).unwrap();
+        let stats = &report.per_class[0];
+        assert_eq!(stats.requests, n);
+        assert_eq!(stats.dropped, 0);
+        // Sojourns are 1, 2, ..., 10 ms: exactly two fit under 2.5 ms.
+        let att = stats.slo_attainment.expect("class has an SLO");
+        assert!((att - 0.2).abs() < 1e-12, "attainment {att}");
+        assert_eq!(stats.p50_ms, 5.0);
+        assert_eq!(stats.max_ms, 10.0);
+        // A class with no SLO reports None.
+        let no_slo = FleetConfig::builder()
+            .endpoint(ModelEndpoint::new("one", 1))
+            .class(RequestClass::new("free", 0))
+            .build()
+            .unwrap();
+        let report = serve_fleet(&costs, &vec![0; n], &no_slo).unwrap();
+        assert_eq!(report.per_class[0].slo_attainment, None);
+    }
+
+    #[test]
+    fn live_fleet_serves_classes_across_endpoint_threads() {
+        use super::super::live::ModelWorker;
+        use std::time::Duration;
+
+        let n = 16;
+        let class_of: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let costs = vec![vec![300u64; n], vec![900u64; n]];
+        let config = FleetConfig::builder()
+            .policy(DispatchPolicy::CostBased)
+            .endpoint(ModelEndpoint::new("fast", 1))
+            .endpoint(ModelEndpoint::new("slow", 2))
+            .class(RequestClass::new("hi", 1).with_slo_ms(1e6))
+            .class(RequestClass::new("lo", 0))
+            .build()
+            .unwrap();
+        let workers: Vec<ModelWorker> = (0..3)
+            .map(|_| ModelWorker::new(vec![Duration::from_micros(50)]))
+            .collect();
+        let report = serve_fleet_live(workers, &costs, &class_of, &config).unwrap();
+        assert_eq!(report.completed, n);
+        assert_eq!(report.per_class.len(), 2);
+        assert_eq!(report.per_endpoint.len(), 2);
+        assert_eq!(
+            report.per_class.iter().map(|c| c.requests).sum::<usize>(),
+            n
+        );
+        assert_eq!(
+            report
+                .per_endpoint
+                .iter()
+                .map(|e| e.completed)
+                .sum::<usize>(),
+            n
+        );
+        // Every request completed well inside the generous hi SLO.
+        assert_eq!(report.per_class[0].slo_attainment, Some(1.0));
+        // Worker-count mismatch is a typed error.
+        let one_worker = vec![ModelWorker::new(vec![Duration::from_micros(1)])];
+        assert_eq!(
+            serve_fleet_live(one_worker, &costs, &class_of, &config).unwrap_err(),
+            FleetError::Serve(ServeError::WorkerMismatch {
+                workers: 1,
+                replicas: 3
+            })
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! calling thread runs an open-loop load generator pacing the same
 //! [`ArrivalProcess`](super::ArrivalProcess) schedules in wall time
 //! ([`ArrivalProcess::wall_schedule`](super::ArrivalProcess::wall_schedule)),
-//! and the same [`Dispatcher`] that routes the simulator's requests
+//! and the same [`Dispatcher`](super::dispatch::Dispatcher) that routes the simulator's requests
 //! routes these — reading backlogs from each replica's admission shard
 //! atomically instead of from simulated state. The result is a
 //! [`ServeReport`]`<`[`WallDomain`]`>`: identical shape and statistics to
@@ -37,9 +37,9 @@
 
 use std::time::{Duration, Instant};
 
-use super::dispatch::Dispatcher;
-use super::queue::AdmissionShard;
-use super::report::{summarize, ReplicaStats, RequestRecord, ServeReport, WallDomain};
+use super::fleet::{serve_fleet_live, FleetConfig, FleetError, ModelEndpoint, RequestClass};
+use super::queue::AdmissionPolicy;
+use super::report::{ServeReport, WallDomain};
 use super::{ServeConfig, ServeError};
 
 /// One live replica's request processor: the real work a replica thread
@@ -104,7 +104,7 @@ fn spin_for(d: Duration) {
 /// load generator's pacing primitive. Sleeping all the way would miss
 /// short deadlines by scheduler quanta; spinning all the way would burn
 /// a core across long idle gaps.
-fn pace_until(t0: Instant, offset: Duration) {
+pub(crate) fn pace_until(t0: Instant, offset: Duration) {
     let deadline = t0 + offset;
     loop {
         let now = Instant::now();
@@ -121,7 +121,7 @@ fn pace_until(t0: Instant, offset: Duration) {
 }
 
 /// Nanoseconds since `t0`, the live run's raw timeline.
-fn elapsed_ns(t0: Instant) -> u64 {
+pub(crate) fn elapsed_ns(t0: Instant) -> u64 {
     t0.elapsed().as_nanos() as u64
 }
 
@@ -132,7 +132,7 @@ fn elapsed_ns(t0: Instant) -> u64 {
 /// The configuration means exactly what it means in the simulator:
 /// `config.arrivals` paces the open-loop generator (its cycle schedule
 /// converted to wall offsets at the simulated clock), `config.policy`
-/// routes each arrival via the shared [`Dispatcher`] over the shards'
+/// routes each arrival via the shared [`Dispatcher`](super::dispatch::Dispatcher) over the shards'
 /// lock-free backlog reads, `config.queue` bounds each replica's waiting
 /// room (a full shard drops the request at arrival), and
 /// `config.batch.max_size` lets a freed worker drain several waiting
@@ -169,108 +169,32 @@ pub fn serve_live<W: LiveWorker>(
             replicas: config.replicas,
         });
     }
-    let capacity = config.queue.capacity();
-    let batch_max = config.batch.map_or(1, |b| b.max_size);
-    let replicas = config.replicas;
-    let schedule = config.arrivals.wall_schedule(requests);
-    let shards: Vec<AdmissionShard> = (0..replicas).map(|_| AdmissionShard::new()).collect();
-    let mut dispatcher = Dispatcher::new(config.policy);
-
-    let placeholder = RequestRecord {
-        arrival: 0,
-        start: 0,
-        finish: 0,
-        dropped: true,
-        replica: 0,
+    // The single-model pool is the degenerate fleet: one endpoint
+    // contributing every replica, one priority-0 class, FIFO admission.
+    // Unit cost rows make cost-based routing observe exactly the shard
+    // backlogs (pending cost == waiting + in-flight), matching the
+    // policy's backlog-argmin fallback in `Dispatcher::route`.
+    let fleet_config = FleetConfig {
+        arrivals: config.arrivals,
+        queue: config.queue,
+        admission: AdmissionPolicy::Fifo,
+        policy: config.policy,
+        batch: config.batch,
+        endpoints: vec![ModelEndpoint::new("pool", config.replicas)],
+        classes: vec![RequestClass::new("default", 0)],
     };
-    let mut records = vec![placeholder; requests];
-
-    let t0 = Instant::now();
-    let (per_replica, served) = std::thread::scope(|scope| {
-        let handles: Vec<_> = workers
-            .into_iter()
-            .enumerate()
-            .map(|(r, mut worker)| {
-                let shard = &shards[r];
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, RequestRecord)> = Vec::new();
-                    let mut event: Vec<(usize, u64)> = Vec::new();
-                    let mut busy: u64 = 0;
-                    let mut completed = 0usize;
-                    loop {
-                        event.clear();
-                        if !shard.take_batch(batch_max, &mut event) {
-                            break;
-                        }
-                        let start = elapsed_ns(t0);
-                        for &(i, _) in event.iter() {
-                            worker.process(i);
-                        }
-                        let finish = elapsed_ns(t0);
-                        shard.finish_service();
-                        busy += finish - start;
-                        completed += event.len();
-                        for &(i, arrival) in event.iter() {
-                            local.push((
-                                i,
-                                RequestRecord {
-                                    arrival,
-                                    // The monotonic clock guarantees
-                                    // start >= arrival (stamped before the
-                                    // offer); max() keeps the invariant
-                                    // explicit.
-                                    start: start.max(arrival),
-                                    finish,
-                                    dropped: false,
-                                    replica: r,
-                                },
-                            ));
-                        }
-                    }
-                    (
-                        ReplicaStats {
-                            completed,
-                            busy_cycles: busy,
-                        },
-                        local,
-                    )
-                })
-            })
-            .collect();
-
-        // The open-loop load generator: pace the shared schedule in wall
-        // time, route through the shared dispatcher, offer to the target
-        // shard, record the drop if its waiting room is full.
-        for (i, offset) in schedule.iter().enumerate() {
-            pace_until(t0, *offset);
-            let arrival = elapsed_ns(t0);
-            let target = dispatcher.route(i, replicas, |r| shards[r].backlog());
-            if !shards[target].offer(i, arrival, capacity) {
-                records[i] = RequestRecord {
-                    arrival,
-                    start: arrival,
-                    finish: arrival,
-                    dropped: true,
-                    replica: target,
-                };
-            }
-        }
-        for shard in &shards {
-            shard.close();
-        }
-        let mut per_replica = Vec::with_capacity(replicas);
-        let mut served = Vec::new();
-        for h in handles {
-            let (stats, local) = h.join().expect("replica worker panicked");
-            per_replica.push(stats);
-            served.extend(local);
-        }
-        (per_replica, served)
-    });
-    for (i, rec) in served {
-        records[i] = rec;
-    }
-    Ok(summarize::<WallDomain>(records, per_replica))
+    let costs = vec![vec![1u64; requests]];
+    let class_of = vec![0usize; requests];
+    let mut report =
+        serve_fleet_live(workers, &costs, &class_of, &fleet_config).map_err(|e| match e {
+            FleetError::Serve(e) => e,
+            other => unreachable!("degenerate fleet is well-formed by construction: {other}"),
+        })?;
+    // Preserve the pre-fleet report shape: the single-model entry point
+    // has no class or endpoint registry to report on.
+    report.per_class.clear();
+    report.per_endpoint.clear();
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -26,15 +26,26 @@
 //! - [`dispatch`] — [`DispatchPolicy`] routes each arriving request to
 //!   one of `R` replicas (round-robin, join-shortest-queue,
 //!   power-of-two-choices) through one shared [`Dispatcher`] core;
-//! - [`queue`] — [`QueuePolicy`] bounds each replica's admission queue:
-//!   a request dispatched to a replica whose queue is full is dropped
-//!   (rejected immediately, never served, never redispatched);
+//! - [`queue`] — [`QueuePolicy`] bounds each replica's admission queue,
+//!   and [`AdmissionPolicy`] resolves a full one: FIFO drops the
+//!   arrival; priority admission displaces the lowest-priority waiting
+//!   request when the arrival strictly outranks it (a dropped request is
+//!   rejected immediately, never served, never redispatched);
 //! - [`batch`] — [`BatchConfig`] optionally micro-batches queued
 //!   requests into shared service events;
 //! - [`report`] — [`ServeReport`], generic over its [`TimeDomain`]
 //!   ([`CycleDomain`] cycles / [`WallDomain`] nanoseconds), decomposes
 //!   every request into queueing wait plus service time and summarises
-//!   the sojourn distribution at p50/p95/p99/max.
+//!   the sojourn distribution at p50/p95/p99/max, with per-class
+//!   ([`ClassStats`]) and per-endpoint ([`EndpointStats`]) views for
+//!   fleet runs;
+//! - [`fleet`] — [`FleetConfig`] generalises the pool to a multi-model,
+//!   multi-tenant fleet: a [`ModelEndpoint`] registry of heterogeneous
+//!   backends, [`RequestClass`] stamps with priorities and per-class
+//!   SLOs, and [`DispatchPolicy::CostBased`] routing over per-endpoint
+//!   service-cost rows ([`serve_fleet`] / [`serve_fleet_live`]); the
+//!   single-model entry points are its one-endpoint, one-class
+//!   degenerate case.
 //!
 //! The closed-loop streaming evaluation is the degenerate point of this
 //! model — one replica, round-robin, no batching, every request arriving
@@ -67,6 +78,7 @@ use flowgnn_desim::{Cycle, CLOCK_HZ};
 pub mod arrivals;
 pub mod batch;
 pub mod dispatch;
+pub mod fleet;
 pub mod live;
 pub mod queue;
 pub mod report;
@@ -75,11 +87,15 @@ pub mod sim;
 pub use arrivals::ArrivalProcess;
 pub use batch::BatchConfig;
 pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use fleet::{
+    serve_fleet, serve_fleet_live, FleetConfig, FleetConfigBuilder, FleetError, ModelEndpoint,
+    RequestClass,
+};
 pub use live::{serve_live, LiveWorker, ModelWorker};
-pub use queue::QueuePolicy;
+pub use queue::{AdmissionPolicy, QueuePolicy};
 pub use report::{
-    percentile_nearest_rank, CycleDomain, ReplicaStats, RequestRecord, ServeReport, TimeDomain,
-    WallDomain,
+    percentile_nearest_rank, ClassStats, CycleDomain, EndpointStats, ReplicaStats, RequestRecord,
+    ServeReport, TimeDomain, WallDomain,
 };
 
 /// Converts a millisecond latency to whole cycles at the simulated clock,
@@ -260,17 +276,6 @@ impl ServeConfigBuilder {
     }
 }
 
-/// Deprecated alias for [`sim::serve_trace`], kept so pre-split callers
-/// keep compiling: the serving loop now lives in the [`sim`] submodule,
-/// beside its wall-clock sibling [`live::serve_live`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use serve::sim::serve_trace (re-exported by the prelude as serve_trace)"
-)]
-pub fn serve_trace(service: &[Cycle], config: &ServeConfig) -> Result<ServeReport, ServeError> {
-    sim::serve_trace(service, config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,15 +335,6 @@ mod tests {
             .batch(4, 10)
             .build()
             .is_ok());
-    }
-
-    #[test]
-    fn deprecated_wrapper_still_serves() {
-        #[allow(deprecated)]
-        let report = serve_trace(&[100, 50], &ServeConfig::default()).unwrap();
-        assert_eq!(report.completed, 2);
-        let direct = sim::serve_trace(&[100, 50], &ServeConfig::default()).unwrap();
-        assert_eq!(report, direct);
     }
 
     #[test]

@@ -1,25 +1,26 @@
-//! Bounded admission queues and drop accounting.
+//! Bounded admission queues, priority admission, and drop accounting.
 //!
 //! Both serving domains admit requests through the same policy: a
 //! replica's queue holds requests that have been dispatched to it but
 //! have not started service, and a request dispatched to a replica whose
-//! queue is full is dropped — rejected at arrival, never served, never
-//! redispatched. [`QueuePolicy`] states the bound; the simulator applies
-//! it inline in its scan, and the live runtime applies it at the mouth of
-//! each replica's `AdmissionShard` (crate-private), the mutex-sharded
-//! MPSC queue the load-generator thread feeds and the replica's OS
-//! thread drains.
+//! queue is full is handled by the [`AdmissionPolicy`] — dropped outright
+//! under [`AdmissionPolicy::Fifo`], or traded against the lowest-priority
+//! waiting request under [`AdmissionPolicy::Priority`]. [`QueuePolicy`]
+//! states the bound; the simulator applies both inline in its scan, and
+//! the live runtime applies them at the mouth of each replica's
+//! `AdmissionShard` (crate-private), the mutex-sharded MPSC queue the
+//! load-generator thread feeds and the replica's OS thread drains.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Admission-queue bound, applied *per replica*. The queue holds requests
 /// that have been dispatched to the replica but have not yet started
 /// service (requests *in* service occupy the replica, not its queue). A
-/// request dispatched to a replica whose queue is full is dropped:
-/// rejected at arrival, never served, never redispatched, counted in the
-/// drop rate.
+/// request dispatched to a replica whose queue is full is resolved by the
+/// run's [`AdmissionPolicy`]; a dropped request is rejected at arrival,
+/// never served, never redispatched, and counted in the drop rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueuePolicy {
     /// No bound: every request is eventually served.
@@ -40,6 +41,58 @@ impl QueuePolicy {
     }
 }
 
+/// What happens when a request is dispatched to a replica whose bounded
+/// waiting room is full. Service order is FIFO under either policy —
+/// priority decides *who is dropped* under overload, never who jumps the
+/// queue — so [`AdmissionPolicy::Fifo`] fleets reproduce the plain
+/// replica-pool scan bit for bit, and under
+/// [`AdmissionPolicy::Priority`] a waiting request can only ever be
+/// displaced by a *strictly higher-priority* arrival (no class is starved
+/// by its peers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// The arriving request is dropped, whatever its priority: the queue
+    /// serves strictly in arrival order and full means full.
+    #[default]
+    Fifo,
+    /// The arriving request displaces the lowest-priority waiting request
+    /// if — and only if — that request's priority is *strictly lower*
+    /// than the arrival's (ties favour the incumbent, and the most
+    /// recently arrived of the lowest-priority entries is the victim:
+    /// it has invested the least waiting time). The victim is recorded
+    /// dropped at its own arrival time; if no strictly-lower-priority
+    /// victim exists the arrival itself is dropped, exactly as under
+    /// [`AdmissionPolicy::Fifo`].
+    Priority,
+}
+
+/// How one full-queue offer was resolved under an [`AdmissionPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OfferOutcome {
+    /// The request was admitted (room available, or the idle fast path).
+    Admitted,
+    /// The queue was full and the request was dropped.
+    Rejected,
+    /// The request was admitted by displacing a strictly-lower-priority
+    /// waiting request, which must now be recorded dropped at its own
+    /// arrival time.
+    Displaced {
+        /// The displaced request's index.
+        request: usize,
+        /// The displaced request's arrival stamp (ns in the live domain).
+        arrival_ns: u64,
+    },
+}
+
+/// One waiting request in a live admission shard.
+#[derive(Debug, Clone, Copy)]
+struct WaitingEntry {
+    request: usize,
+    arrival_ns: u64,
+    priority: u8,
+    cost: u64,
+}
+
 /// One replica's admission queue in the live runtime: a bounded MPSC
 /// channel from the load-generator thread to the replica's worker thread.
 ///
@@ -47,18 +100,23 @@ impl QueuePolicy {
 /// with the replica's *backlog* — waiting requests plus one if a service
 /// event is in flight, the same quantity [`super::sim`]'s load-aware
 /// policies observe — mirrored into an atomic so the dispatcher can read
-/// every shard's depth without taking any lock.
+/// every shard's depth without taking any lock. For cost-based routing a
+/// second atomic mirrors the *pending cost*: the sum of waiting requests'
+/// estimated costs plus the in-flight event's.
 pub(crate) struct AdmissionShard {
     state: Mutex<ShardState>,
     available: Condvar,
     backlog: AtomicUsize,
+    pending_cost: AtomicU64,
 }
 
 struct ShardState {
-    /// Dispatched requests not yet in service: `(index, arrival_ns)`.
-    waiting: VecDeque<(usize, u64)>,
+    /// Dispatched requests not yet in service.
+    waiting: VecDeque<WaitingEntry>,
     /// Whether the worker is inside a service event right now.
     in_service: bool,
+    /// Estimated cost of the in-flight service event (zero when idle).
+    in_service_cost: u64,
     /// Set once the generator has offered its last request.
     closed: bool,
 }
@@ -69,10 +127,12 @@ impl AdmissionShard {
             state: Mutex::new(ShardState {
                 waiting: VecDeque::new(),
                 in_service: false,
+                in_service_cost: 0,
                 closed: false,
             }),
             available: Condvar::new(),
             backlog: AtomicUsize::new(0),
+            pending_cost: AtomicU64::new(0),
         }
     }
 
@@ -81,22 +141,81 @@ impl AdmissionShard {
         self.backlog.load(Ordering::Acquire)
     }
 
-    /// Offers one request to the shard. Returns `false` (drop) when the
-    /// waiting room is full. Mirroring the simulator's idle-replica
-    /// fast path (`serve_now`), an idle replica — nothing waiting, no
-    /// event in flight — admits even at capacity zero: capacity bounds
-    /// *waiting* requests, and this one will start immediately.
+    /// The estimated outstanding cost cost-based routing observes:
+    /// waiting requests' costs plus the in-flight event's, read without
+    /// locking.
+    pub(crate) fn pending_cost(&self) -> u64 {
+        self.pending_cost.load(Ordering::Acquire)
+    }
+
+    /// Offers one request to the shard under FIFO admission. Returns
+    /// `false` (drop) when the waiting room is full. Mirroring the
+    /// simulator's idle-replica fast path (`serve_now`), an idle replica
+    /// — nothing waiting, no event in flight — admits even at capacity
+    /// zero: capacity bounds *waiting* requests, and this one will start
+    /// immediately. (The runtimes go through
+    /// [`AdmissionShard::offer_prioritized`]; this shorthand keeps the
+    /// shard tests readable.)
+    #[cfg(test)]
     pub(crate) fn offer(&self, request: usize, arrival_ns: u64, capacity: usize) -> bool {
+        matches!(
+            self.offer_prioritized(request, arrival_ns, 0, 0, capacity, AdmissionPolicy::Fifo),
+            OfferOutcome::Admitted
+        )
+    }
+
+    /// Offers one request carrying a priority and an estimated cost,
+    /// resolving a full waiting room per `policy` (see
+    /// [`AdmissionPolicy`] for the displacement rule — identical to the
+    /// one the cycle-domain fleet scan applies).
+    pub(crate) fn offer_prioritized(
+        &self,
+        request: usize,
+        arrival_ns: u64,
+        priority: u8,
+        cost: u64,
+        capacity: usize,
+        policy: AdmissionPolicy,
+    ) -> OfferOutcome {
         let mut s = self.state.lock().expect("admission shard poisoned");
         let idle = s.waiting.is_empty() && !s.in_service;
+        let mut displaced = None;
         if s.waiting.len() >= capacity && !idle {
-            return false;
+            match policy {
+                AdmissionPolicy::Fifo => return OfferOutcome::Rejected,
+                AdmissionPolicy::Priority => {
+                    // Rightmost entry with the minimum priority: the
+                    // least-invested of the most-droppable.
+                    let victim = s.waiting.iter().enumerate().fold(
+                        None,
+                        |best: Option<(usize, u8)>, (pos, e)| match best {
+                            Some((_, bp)) if e.priority > bp => best,
+                            _ => Some((pos, e.priority)),
+                        },
+                    );
+                    match victim {
+                        Some((pos, victim_priority)) if victim_priority < priority => {
+                            let e = s.waiting.remove(pos).expect("victim position in range");
+                            displaced = Some(OfferOutcome::Displaced {
+                                request: e.request,
+                                arrival_ns: e.arrival_ns,
+                            });
+                        }
+                        _ => return OfferOutcome::Rejected,
+                    }
+                }
+            }
         }
-        s.waiting.push_back((request, arrival_ns));
+        s.waiting.push_back(WaitingEntry {
+            request,
+            arrival_ns,
+            priority,
+            cost,
+        });
         self.publish(&s);
         drop(s);
         self.available.notify_one();
-        true
+        displaced.unwrap_or(OfferOutcome::Admitted)
     }
 
     /// Parks until work arrives or the shard closes, then drains up to
@@ -108,8 +227,13 @@ impl AdmissionShard {
         loop {
             if !s.waiting.is_empty() {
                 let take = max.min(s.waiting.len());
-                out.extend(s.waiting.drain(..take));
+                let mut event_cost = 0u64;
+                for e in s.waiting.drain(..take) {
+                    event_cost += e.cost;
+                    out.push((e.request, e.arrival_ns));
+                }
                 s.in_service = true;
+                s.in_service_cost = event_cost;
                 self.publish(&s);
                 return true;
             }
@@ -124,6 +248,7 @@ impl AdmissionShard {
     pub(crate) fn finish_service(&self) {
         let mut s = self.state.lock().expect("admission shard poisoned");
         s.in_service = false;
+        s.in_service_cost = 0;
         self.publish(&s);
     }
 
@@ -141,6 +266,9 @@ impl AdmissionShard {
             s.waiting.len() + usize::from(s.in_service),
             Ordering::Release,
         );
+        let waiting_cost: u64 = s.waiting.iter().map(|e| e.cost).sum();
+        self.pending_cost
+            .store(waiting_cost + s.in_service_cost, Ordering::Release);
     }
 }
 
@@ -204,5 +332,70 @@ mod tests {
         batch.clear();
         // ...then the worker is told to exit.
         assert!(!shard.take_batch(8, &mut batch));
+    }
+
+    #[test]
+    fn priority_offer_displaces_only_strictly_lower_priority() {
+        let shard = AdmissionShard::new();
+        // Fill the idle fast-path slot, then a capacity-2 waiting room
+        // with priorities [1, 0].
+        assert!(shard.offer(0, 0, 2));
+        let mut event = Vec::new();
+        assert!(shard.take_batch(1, &mut event)); // 0 in service
+        for (req, prio) in [(1usize, 1u8), (2, 0)] {
+            assert_eq!(
+                shard.offer_prioritized(req, req as u64, prio, 5, 2, AdmissionPolicy::Priority),
+                OfferOutcome::Admitted
+            );
+        }
+        // Equal priority to the minimum: the incumbent wins.
+        assert_eq!(
+            shard.offer_prioritized(3, 3, 0, 5, 2, AdmissionPolicy::Priority),
+            OfferOutcome::Rejected
+        );
+        // Strictly higher: the priority-0 entry (request 2) is displaced.
+        assert_eq!(
+            shard.offer_prioritized(4, 4, 2, 5, 2, AdmissionPolicy::Priority),
+            OfferOutcome::Displaced {
+                request: 2,
+                arrival_ns: 2
+            }
+        );
+        // Queue is now [1 (prio 1), 4 (prio 2)]; another priority-2
+        // arrival displaces the rightmost minimum — request 1.
+        assert_eq!(
+            shard.offer_prioritized(5, 5, 2, 5, 2, AdmissionPolicy::Priority),
+            OfferOutcome::Displaced {
+                request: 1,
+                arrival_ns: 1
+            }
+        );
+        // All-priority-2 queue: a priority-2 arrival is rejected (never
+        // displaces its peers), so high classes cannot starve each other.
+        assert_eq!(
+            shard.offer_prioritized(6, 6, 2, 5, 2, AdmissionPolicy::Priority),
+            OfferOutcome::Rejected
+        );
+        shard.finish_service();
+        // Service order of the survivors is still FIFO by admission.
+        event.clear();
+        assert!(shard.take_batch(4, &mut event));
+        assert_eq!(event, vec![(4, 4), (5, 5)]);
+    }
+
+    #[test]
+    fn pending_cost_mirrors_waiting_and_in_flight_costs() {
+        let shard = AdmissionShard::new();
+        assert_eq!(shard.pending_cost(), 0);
+        for (req, cost) in [(0usize, 100u64), (1, 40), (2, 60)] {
+            shard.offer_prioritized(req, 0, 0, cost, 64, AdmissionPolicy::Fifo);
+        }
+        assert_eq!(shard.pending_cost(), 200);
+        let mut event = Vec::new();
+        assert!(shard.take_batch(2, &mut event));
+        // 60 waiting + 140 in flight.
+        assert_eq!(shard.pending_cost(), 200);
+        shard.finish_service();
+        assert_eq!(shard.pending_cost(), 60);
     }
 }

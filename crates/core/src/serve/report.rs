@@ -110,6 +110,76 @@ pub struct ReplicaStats {
     pub busy_cycles: u64,
 }
 
+/// Per-request-class accounting of one fleet serving run: the tail and
+/// SLO view one tenant class sees, cut from the same records the global
+/// summary is computed from. Latency percentiles are over the class's
+/// *completed* requests' sojourn milliseconds (nearest-rank, like the
+/// global tails); dropped requests count against
+/// [`ClassStats::slo_attainment`] but not the percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The request class's name (tenant identifier).
+    pub name: String,
+    /// The class's admission priority (higher = more important).
+    pub priority: u8,
+    /// The class's latency objective in milliseconds, if it has one.
+    pub slo_ms: Option<f64>,
+    /// Requests of this class offered.
+    pub requests: usize,
+    /// Requests of this class served to completion.
+    pub completed: usize,
+    /// Requests of this class rejected at admission.
+    pub dropped: usize,
+    /// Median sojourn latency in milliseconds (completed requests).
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst-case sojourn latency in milliseconds.
+    pub max_ms: f64,
+    /// Fraction of *offered* requests that completed within the class
+    /// SLO (dropped requests fail it by definition); `None` when the
+    /// class carries no SLO.
+    pub slo_attainment: Option<f64>,
+}
+
+/// Per-endpoint accounting of one fleet serving run: one entry per
+/// [`super::fleet::ModelEndpoint`], aggregating that endpoint's replicas.
+/// Single-model entry points attach a one-element vector so endpoint
+/// cache counters have one home whatever the fleet shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointStats {
+    /// The endpoint's name (usually its backend name).
+    pub name: String,
+    /// Replicas this endpoint contributed to the pool.
+    pub replicas: usize,
+    /// Requests this endpoint's replicas served to completion.
+    pub completed: usize,
+    /// Raw timeline units this endpoint's replicas spent in service
+    /// events, summed across its replicas.
+    pub busy_cycles: u64,
+    /// Service-trace cache counters for this endpoint's backend, when it
+    /// carries a [`crate::ServiceTraceCache`]. Always `None` from the
+    /// queueing loops themselves — only trace-producing callers (e.g.
+    /// [`crate::Accelerator::serve`]) observe cache activity.
+    pub cache: Option<crate::CacheStats>,
+}
+
+impl EndpointStats {
+    /// The endpoint's pooled utilization: busy time across its replicas
+    /// as a fraction of `replicas × makespan` (zero when the makespan or
+    /// replica count is zero).
+    pub fn utilization(&self, makespan: u64) -> f64 {
+        let span = makespan.saturating_mul(self.replicas as u64);
+        if span == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / span as f64
+        }
+    }
+}
+
 /// Tail-latency summary of one open-loop serving run, generic over the
 /// [`TimeDomain`] the run was accounted in: `ServeReport<CycleDomain>`
 /// (the default) summarises a simulated run, `ServeReport<WallDomain>` a
@@ -149,12 +219,16 @@ pub struct ServeReport<D: TimeDomain = CycleDomain> {
     pub per_replica: Vec<ReplicaStats>,
     /// Per-request lifecycle records, in arrival order.
     pub records: Vec<RequestRecord>,
-    /// Service-trace cache counters, when the backend that produced the
-    /// service trace carries a [`crate::ServiceTraceCache`]. Always `None`
-    /// from the serving loops themselves — the queueing model never
-    /// touches the engine, so only trace-producing callers (e.g.
-    /// [`crate::Accelerator::serve`]) can attach cache activity.
-    pub cache: Option<crate::CacheStats>,
+    /// Per-class tails and SLO attainment, one entry per
+    /// [`super::fleet::RequestClass`] in registry order. Empty from the
+    /// single-class serving entry points ([`super::sim::serve_trace`],
+    /// [`super::live::serve_live`]), which have no class registry.
+    pub per_class: Vec<ClassStats>,
+    /// Per-endpoint aggregates (utilization inputs and cache counters),
+    /// one entry per [`super::fleet::ModelEndpoint`] in registry order.
+    /// Empty from the queueing loops unless a fleet or a trace-producing
+    /// caller (e.g. [`crate::Accelerator::serve`]) attaches entries.
+    pub per_endpoint: Vec<EndpointStats>,
     _domain: PhantomData<D>,
 }
 
@@ -287,7 +361,8 @@ pub(crate) fn summarize<D: TimeDomain>(
         makespan_cycles,
         per_replica,
         records,
-        cache: None,
+        per_class: Vec::new(),
+        per_endpoint: Vec::new(),
         _domain: PhantomData,
     }
 }

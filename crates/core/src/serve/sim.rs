@@ -19,19 +19,21 @@ use super::report::{summarize, ReplicaStats, RequestRecord, ServeReport};
 use super::{ServeConfig, ServeError};
 
 /// One replica's simulation state: when its current service event ends,
-/// which requests are waiting, and its running accounting.
-struct ReplicaSim {
+/// which requests are waiting, and its running accounting. Shared with
+/// [`super::fleet`], whose cycle-domain scan drives the same state
+/// machine over a heterogeneous pool.
+pub(crate) struct ReplicaSim {
     /// Cycle the replica's in-flight service event finishes (busy until
     /// then; idle if `free_at <= now` and the queue is empty).
-    free_at: Cycle,
+    pub(crate) free_at: Cycle,
     /// Indices of dispatched requests that have not started service.
-    waiting: VecDeque<usize>,
-    busy_cycles: Cycle,
-    completed: usize,
+    pub(crate) waiting: VecDeque<usize>,
+    pub(crate) busy_cycles: Cycle,
+    pub(crate) completed: usize,
 }
 
 impl ReplicaSim {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             free_at: 0,
             waiting: VecDeque::new(),
@@ -45,7 +47,7 @@ impl ReplicaSim {
     /// admits up to one batch and runs it to completion. Queued requests
     /// always arrived before the replica's current `free_at`, so starts
     /// are never earlier than arrivals.
-    fn advance(
+    pub(crate) fn advance(
         &mut self,
         now: Option<Cycle>,
         replica: usize,
@@ -80,13 +82,23 @@ impl ReplicaSim {
 
     /// The backlog the load-aware dispatch policies observe at `now`:
     /// waiting requests plus one if a service event is in flight.
-    fn backlog(&self, now: Cycle) -> usize {
+    pub(crate) fn backlog(&self, now: Cycle) -> usize {
         self.waiting.len() + usize::from(self.free_at > now)
+    }
+
+    /// The work outstanding on this replica at `now`, in cycles: the
+    /// remainder of the in-flight service event plus every waiting
+    /// request's service time. Cost-based routing adds the candidate
+    /// request's own cost to this to estimate its completion time;
+    /// computed on demand so the legacy policies (which never consult the
+    /// cost closure) leave the scan untouched.
+    pub(crate) fn pending_work(&self, now: Cycle, service: &[Cycle]) -> Cycle {
+        self.free_at.saturating_sub(now) + self.waiting.iter().map(|&j| service[j]).sum::<Cycle>()
     }
 
     /// Serves `i` immediately at `now` as a batch of one (the replica is
     /// idle: `free_at <= now` with nothing waiting).
-    fn serve_now(
+    pub(crate) fn serve_now(
         &mut self,
         i: usize,
         now: Cycle,
@@ -163,7 +175,15 @@ pub fn serve_trace(service: &[Cycle], config: &ServeConfig) -> Result<ServeRepor
         for (r, rep) in pool.iter_mut().enumerate() {
             rep.advance(Some(arrival), r, batch, &arrivals, service, &mut records);
         }
-        let target = dispatcher.route(i, replicas, |r| pool[r].backlog(arrival));
+        // Legacy policies never consult the cost closure (bit-identity
+        // with the pre-fleet scan); cost-based routing over a homogeneous
+        // pool estimates completion as work-left plus this request's cost.
+        let target = dispatcher.route_with_cost(
+            i,
+            replicas,
+            |r| pool[r].backlog(arrival),
+            |r| pool[r].pending_work(arrival, service) + service[i],
+        );
         let rep = &mut pool[target];
         if rep.free_at <= arrival {
             // Idle replica (advance drained its queue): serve on arrival.

@@ -5,7 +5,7 @@
 //! serving loop at its degenerate point (every request pending at cycle
 //! 0, unbounded admission queue), so [`Accelerator::run_stream`] builds a
 //! per-graph service trace and pushes it through
-//! [`serve_trace`](crate::serve::serve_trace) under the closed-loop
+//! [`serve_trace`](crate::serve::sim::serve_trace) under the closed-loop
 //! [`ServeConfig::default`]. The reports it returns are cycle-exact
 //! identical to the pre-refactor direct loop (pinned by
 //! `tests/differential.rs`).
@@ -156,13 +156,20 @@ impl Accelerator {
     /// violates an invariant the builder enforces (zero replicas, zero
     /// batch size).
     ///
-    /// If a [`crate::ServiceTraceCache`] is attached, the returned
-    /// report's [`ServeReport::cache`] carries the cache's counters as of
-    /// the end of this call.
+    /// The returned report carries a one-entry
+    /// [`ServeReport::per_endpoint`] view for the accelerator; if a
+    /// [`crate::ServiceTraceCache`] is attached, that entry's `cache`
+    /// field carries the cache's counters as of the end of this call.
     pub fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         let mut report = serve_trace(&self.service_trace(stream, limit), config)
             .expect("non-empty trace with a validated config");
-        report.cache = self.trace_cache().map(ServiceTraceCache::stats);
+        report.per_endpoint = vec![crate::serve::EndpointStats {
+            name: "FlowGNN".to_string(),
+            replicas: config.replicas,
+            completed: report.completed,
+            busy_cycles: report.per_replica.iter().map(|r| r.busy_cycles).sum(),
+            cache: self.trace_cache().map(ServiceTraceCache::stats),
+        }];
         report
     }
 
@@ -176,9 +183,9 @@ impl Accelerator {
     /// [`Accelerator::serve`]: same configuration semantics, timeline in
     /// measured nanoseconds ([`WallDomain`]).
     ///
-    /// The report's `cache` field stays `None`: live replicas execute the
-    /// engine directly rather than consulting the service-trace cache,
-    /// so there is no cache activity to attach.
+    /// The report's `per_endpoint` view stays empty: live replicas
+    /// execute the engine directly rather than consulting the
+    /// service-trace cache, so there is no cache activity to attach.
     ///
     /// # Errors
     ///
@@ -428,7 +435,10 @@ mod tests {
         assert_eq!(report.completed, 8);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.per_replica.len(), 2);
-        assert_eq!(report.cache, None, "live replicas bypass the trace cache");
+        assert!(
+            report.per_endpoint.is_empty(),
+            "live replicas bypass the trace cache"
+        );
         for r in &report.records {
             assert!(r.finish >= r.start && r.start >= r.arrival);
         }

@@ -60,8 +60,15 @@ fn cached_serve_report_is_identical_and_carries_counters() {
     let cached_acc = acc().with_trace_cache(ServiceTraceCache::new(16));
     let mut cached = cached_acc.serve(repeated_stream(3, 3), n, &config);
 
-    assert_eq!(plain.cache, None, "no cache attached, no counters");
-    let stats = cached.cache.take().expect("cache counters attached");
+    assert_eq!(plain.per_endpoint.len(), 1, "one endpoint entry per serve");
+    assert_eq!(
+        plain.per_endpoint[0].cache, None,
+        "no cache attached, no counters"
+    );
+    let stats = cached.per_endpoint[0]
+        .cache
+        .take()
+        .expect("cache counters attached");
     assert_eq!(stats.misses, 3);
     assert_eq!(stats.hits, 6);
     // With the counters cleared the reports must be bit-identical.

@@ -517,7 +517,7 @@ fn split_serve_trace_is_bit_identical_to_the_pre_split_pool_scan() {
             }
             let target = match policy {
                 DispatchPolicy::RoundRobin => i % replicas,
-                DispatchPolicy::JoinShortestQueue => pool
+                DispatchPolicy::JoinShortestQueue | DispatchPolicy::CostBased => pool
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, rep)| rep.backlog(arrival))
@@ -630,6 +630,91 @@ fn split_serve_trace_is_bit_identical_to_the_pre_split_pool_scan() {
                             assert_eq!(stat.busy_cycles, busy, "{what} r={r}: busy");
                         }
                     }
+                }
+            }
+        }
+    }
+}
+
+/// The fleet refactor claims the degenerate fleet — one endpoint, one
+/// request class, FIFO admission — is the pre-refactor replica-pool scan,
+/// verbatim. Pin `serve_fleet` against `serve_trace` over the exact
+/// `repro scale` recipe: the cycle-exact MolHIV GCN service trace
+/// (timing-only engine, model seed 11), rate = load x replicas x service
+/// rate, arrival seed `0x5CA1E + (p*1000 + r*100 + l)`, p2c dispatch
+/// seed `0x2C401CE + (p*1000 + r*100 + l)`, 64-deep bounded queues, and
+/// the full `(process, policy, replicas, load)` grid the sweep emits.
+/// Bit-identical records, per-replica accounting, and tail statistics,
+/// or the fleet path would perturb `results/scale_out.csv`.
+#[test]
+fn degenerate_fleet_is_bit_identical_to_the_scale_recipe() {
+    use flowgnn::desim::cycles_to_ms;
+
+    const QUEUE_CAPACITY: usize = 64; // repro scale's per-replica depth
+    let spec = DatasetSpec::standard(DatasetKind::MolHiv);
+    let acc = Accelerator::new(
+        GnnModel::gcn(spec.node_feat_dim(), 11),
+        ArchConfig::default().with_execution(ExecutionMode::TimingOnly),
+    );
+    let requests = 48; // a prefix of the sweep's stream, same recipe
+    let service = acc.service_trace(spec.stream(), requests);
+    let mean_service_ms = cycles_to_ms(service.iter().sum::<u64>()) / service.len() as f64;
+    let service_rate_per_s = 1e3 / mean_service_ms;
+    let costs = [service.clone()];
+    let class_of = vec![0usize; service.len()];
+
+    let processes = ["fixed", "poisson"];
+    let policies = ["rr", "jsq", "p2c"];
+    let replica_counts = [1usize, 2, 4, 8];
+    let loads = [0.4, 0.6, 0.8, 0.9, 1.0, 1.1];
+
+    for (p, process) in processes.iter().enumerate() {
+        for policy_name in policies {
+            for (r, &replicas) in replica_counts.iter().enumerate() {
+                for (l, &load) in loads.iter().enumerate() {
+                    let rate = load * replicas as f64 * service_rate_per_s;
+                    let arrival_seed = 0x5CA1E + (p * 1000 + r * 100 + l) as u64;
+                    let arrivals = match *process {
+                        "fixed" => ArrivalProcess::fixed_rate(rate),
+                        _ => ArrivalProcess::poisson_rate(rate, arrival_seed),
+                    };
+                    let policy = match policy_name {
+                        "rr" => DispatchPolicy::RoundRobin,
+                        "jsq" => DispatchPolicy::JoinShortestQueue,
+                        _ => DispatchPolicy::PowerOfTwoChoices {
+                            seed: 0x2C401CE + (p * 1000 + r * 100 + l) as u64,
+                        },
+                    };
+
+                    let plain_config = ServeConfig::builder()
+                        .arrivals(arrivals)
+                        .queue_capacity(QUEUE_CAPACITY)
+                        .replicas(replicas)
+                        .policy(policy)
+                        .build()
+                        .expect("valid scale-recipe config");
+                    let plain = serve_trace(&service, &plain_config).expect("non-empty trace");
+
+                    let fleet_config = FleetConfig::builder()
+                        .arrivals(arrivals)
+                        .queue_capacity(QUEUE_CAPACITY)
+                        .policy(policy)
+                        .endpoint(ModelEndpoint::new("pool", replicas))
+                        .class(RequestClass::new("default", 0))
+                        .build()
+                        .expect("valid degenerate fleet config");
+                    let mut fleet =
+                        serve_fleet(&costs, &class_of, &fleet_config).expect("non-empty fleet");
+
+                    let what = format!("{process}/{policy_name}/x{replicas}/load {load}");
+                    // The fleet report carries its class and endpoint
+                    // views on top of the identical pool scan; strip
+                    // them and demand byte equality on everything else.
+                    assert_eq!(fleet.per_class.len(), 1, "{what}: one class view");
+                    assert_eq!(fleet.per_endpoint.len(), 1, "{what}: one endpoint view");
+                    fleet.per_class.clear();
+                    fleet.per_endpoint.clear();
+                    assert_eq!(plain, fleet, "{what}: degenerate fleet diverged");
                 }
             }
         }

@@ -341,6 +341,7 @@ fn dispatch_policies_route_identically_for_identical_observations() {
         for policy in [
             DispatchPolicy::RoundRobin,
             DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::CostBased,
             DispatchPolicy::PowerOfTwoChoices { seed },
         ] {
             // One shared observation sequence, two independent dispatcher
@@ -360,7 +361,9 @@ fn dispatch_policies_route_identically_for_identical_observations() {
                     DispatchPolicy::RoundRobin => {
                         assert_eq!(a, i % replicas, "{policy:?} req {i}")
                     }
-                    DispatchPolicy::JoinShortestQueue => {
+                    // Cost-based routing with no cost model falls back to
+                    // JSQ's backlog argmin, so it shares the invariant.
+                    DispatchPolicy::JoinShortestQueue | DispatchPolicy::CostBased => {
                         let min = *depths.iter().min().unwrap();
                         assert_eq!(depths[a], min, "{policy:?} req {i}: not a minimum");
                         assert!(
@@ -381,5 +384,231 @@ fn dispatch_policies_route_identically_for_identical_observations() {
                 }
             }
         }
+    }
+}
+
+/// Generates a random per-endpoint cost table and class assignment for a
+/// fleet property run: `endpoints` rows of `n` service costs each, plus a
+/// random class index per request.
+fn random_fleet_workload(
+    rng: &mut Rng,
+    endpoints: usize,
+    classes: usize,
+    n: usize,
+) -> (Vec<Vec<u64>>, Vec<usize>) {
+    let costs = (0..endpoints)
+        .map(|_| (0..n).map(|_| rng.gen_range(200u64..4000)).collect())
+        .collect();
+    let class_of = (0..n).map(|_| rng.gen_range(0usize..classes)).collect();
+    (costs, class_of)
+}
+
+/// Fleet admission is work-conserving under both policies: a replica never
+/// idles while an admitted request is waiting in its queue. Batch-free, so
+/// the observable form is exact — order a replica's served records by
+/// start and each must begin at `max(previous finish, own arrival)`:
+/// immediately when the server frees if the request was queued, on arrival
+/// if the server sat idle. Priority admission only changes *which*
+/// requests survive a full queue, never when surviving work runs, so the
+/// invariant holds for both policies over random fleets, class mixes, and
+/// queue bounds.
+#[test]
+fn fleet_admission_is_work_conserving() {
+    let mut rng = Rng::seed_from_u64(0x000F_1EE7_0001);
+    for _ in 0..32 {
+        let endpoints = rng.gen_range(1usize..3);
+        let n = rng.gen_range(10usize..120);
+        let capacity = rng.gen_range(0usize..5);
+        let gap = rng.gen_range(100u64..3000);
+        let admission = if rng.gen_bool(0.5) {
+            AdmissionPolicy::Fifo
+        } else {
+            AdmissionPolicy::Priority
+        };
+        let (costs, class_of) = random_fleet_workload(&mut rng, endpoints, 2, n);
+
+        let mut builder = FleetConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap })
+            .queue_capacity(capacity)
+            .admission(admission)
+            .class(RequestClass::new("lo", 0))
+            .class(RequestClass::new("hi", 2));
+        let mut total_replicas = 0;
+        for e in 0..endpoints {
+            let replicas = rng.gen_range(1usize..4);
+            total_replicas += replicas;
+            builder = builder.endpoint(ModelEndpoint::new(format!("e{e}"), replicas));
+        }
+        let config = builder.build().unwrap();
+        let report = serve_fleet(&costs, &class_of, &config).unwrap();
+
+        for replica in 0..total_replicas {
+            let mut served: Vec<_> = report
+                .records
+                .iter()
+                .filter(|rec| !rec.dropped && rec.replica == replica)
+                .collect();
+            served.sort_by_key(|rec| rec.start);
+            let mut prev_finish = 0u64;
+            for (k, rec) in served.iter().enumerate() {
+                let what =
+                    format!("{admission:?} cap={capacity} gap={gap} replica {replica} job {k}");
+                assert!(rec.finish > rec.start, "{what}: zero-length service");
+                assert_eq!(
+                    rec.start,
+                    prev_finish.max(rec.arrival),
+                    "{what}: replica idled with admitted work waiting"
+                );
+                prev_finish = rec.finish;
+            }
+        }
+    }
+}
+
+/// Priority admission never starves the high-priority class: against the
+/// byte-identical arrival stream, switching FIFO admission to priority
+/// admission never increases high-class drops (a full queue prefers
+/// evicting a strictly-lower-priority waiter over rejecting a high
+/// arrival), and under sustained overload the high class never drops at a
+/// higher rate than the low class it preempts. Checked over random
+/// overloaded fleets — rates 1.3–2× capacity, random class mixes, shallow
+/// random queues — where admission pressure is constant.
+#[test]
+fn priority_admission_never_starves_high_priority() {
+    let mut rng = Rng::seed_from_u64(0x000F_1EE7_0002);
+    for _ in 0..24 {
+        let replicas = rng.gen_range(1usize..3);
+        let n = rng.gen_range(60usize..160);
+        let capacity = rng.gen_range(1usize..4);
+        let (costs, _) = random_fleet_workload(&mut rng, 1, 2, n);
+        // ~30% high-priority traffic, the rest preemptible.
+        let class_of: Vec<usize> = (0..n).map(|_| usize::from(rng.gen_bool(0.3))).collect();
+        // Offered load 1.3–2x the pool's service rate: the queue is full
+        // most of the run, so admission decides who survives.
+        let mean_cost = costs[0].iter().sum::<u64>() / n as u64;
+        let overload = 1.3 + rng.gen_range(0u64..8) as f64 / 10.0;
+        let gap = (mean_cost as f64 / (replicas as f64 * overload)).max(1.0) as u64;
+
+        let run = |admission: AdmissionPolicy| {
+            let config = FleetConfig::builder()
+                .arrivals(ArrivalProcess::Fixed { gap })
+                .queue_capacity(capacity)
+                .admission(admission)
+                .policy(DispatchPolicy::JoinShortestQueue)
+                .endpoint(ModelEndpoint::new("pool", replicas))
+                .class(RequestClass::new("lo", 0))
+                .class(RequestClass::new("hi", 2))
+                .build()
+                .unwrap();
+            serve_fleet(&costs, &class_of, &config).unwrap()
+        };
+        let fifo = run(AdmissionPolicy::Fifo);
+        let prio = run(AdmissionPolicy::Priority);
+
+        let class = |report: &ServeReport, name: &str| {
+            report
+                .per_class
+                .iter()
+                .find(|c| c.name == name)
+                .cloned()
+                .unwrap()
+        };
+        let what = format!("R={replicas} cap={capacity} gap={gap} n={n}");
+        let (fifo_hi, prio_hi) = (class(&fifo, "hi"), class(&prio, "hi"));
+        let (prio_lo,) = (class(&prio, "lo"),);
+        assert_eq!(fifo_hi.requests, prio_hi.requests, "{what}: offered");
+        assert!(
+            prio_hi.dropped <= fifo_hi.dropped,
+            "{what}: priority admission increased hi drops \
+             ({} vs {} under FIFO)",
+            prio_hi.dropped,
+            fifo_hi.dropped
+        );
+        if prio_hi.requests > 0 && prio_lo.requests > 0 {
+            let hi_rate = prio_hi.dropped as f64 / prio_hi.requests as f64;
+            let lo_rate = prio_lo.dropped as f64 / prio_lo.requests as f64;
+            assert!(
+                hi_rate <= lo_rate,
+                "{what}: hi class starved (drop rate {hi_rate:.3} vs lo {lo_rate:.3})"
+            );
+        }
+    }
+}
+
+/// A fleet of one endpoint and one class under FIFO admission *is* the
+/// replica-pool scan: `serve_fleet` must reproduce `serve_trace` bitwise
+/// — records, per-replica accounting, and every derived statistic — over
+/// random service traces, arrival processes, dispatch policies, queue
+/// bounds, batching, and pool sizes. This is the randomized counterpart
+/// of the scale-recipe pin in `differential.rs`: the fleet layer adds
+/// class and endpoint views on top of the scan, it never perturbs it.
+#[test]
+fn degenerate_fleet_equals_the_replica_pool_scan() {
+    let mut rng = Rng::seed_from_u64(0x000F_1EE7_0003);
+    for _ in 0..40 {
+        let replicas = rng.gen_range(1usize..6);
+        let n = rng.gen_range(1usize..150);
+        let seed = rng.gen_range(0u64..10_000);
+        let service: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..5000)).collect();
+        let queue = if rng.gen_bool(0.4) {
+            QueuePolicy::Unbounded
+        } else {
+            QueuePolicy::Bounded(rng.gen_range(0usize..6))
+        };
+        let policy = match rng.gen_range(0usize..4) {
+            0 => DispatchPolicy::RoundRobin,
+            1 => DispatchPolicy::JoinShortestQueue,
+            2 => DispatchPolicy::CostBased,
+            _ => DispatchPolicy::PowerOfTwoChoices { seed },
+        };
+        let arrivals = match rng.gen_range(0usize..3) {
+            0 => ArrivalProcess::Fixed {
+                gap: rng.gen_range(0u64..4000),
+            },
+            1 => ArrivalProcess::Poisson {
+                mean_gap: rng.gen_range(1u64..6000) as f64,
+                seed,
+            },
+            _ => ArrivalProcess::OnOff {
+                mean_burst: rng.gen_range(1u64..8) as f64,
+                burst_gap: rng.gen_range(1u64..500),
+                mean_idle_gap: rng.gen_range(500u64..20_000) as f64,
+                seed,
+            },
+        };
+        let batch = rng
+            .gen_bool(0.3)
+            .then(|| (rng.gen_range(2usize..5), rng.gen_range(0u64..300)));
+
+        let mut plain_builder = ServeConfig::builder()
+            .arrivals(arrivals)
+            .queue(queue)
+            .replicas(replicas)
+            .policy(policy);
+        let mut fleet_builder = FleetConfig::builder()
+            .arrivals(arrivals)
+            .queue(queue)
+            .policy(policy)
+            .endpoint(ModelEndpoint::new("pool", replicas))
+            .class(RequestClass::new("default", 0));
+        if let Some((max, overhead)) = batch {
+            plain_builder = plain_builder.batch(max, overhead);
+            fleet_builder = fleet_builder.batch(max, overhead);
+        }
+        let plain = serve_trace(&service, &plain_builder.build().unwrap()).unwrap();
+        let costs = [service.clone()];
+        let mut fleet = serve_fleet(&costs, &vec![0; n], &fleet_builder.build().unwrap()).unwrap();
+
+        let what = format!("{arrivals:?} / {policy:?} / {queue:?} / {batch:?} / R={replicas}");
+        assert_eq!(fleet.per_class.len(), 1, "{what}");
+        assert_eq!(fleet.per_endpoint.len(), 1, "{what}");
+        assert_eq!(
+            fleet.per_class[0].completed + fleet.per_class[0].dropped,
+            n,
+            "{what}: class view covers every request"
+        );
+        fleet.per_class.clear();
+        fleet.per_endpoint.clear();
+        assert_eq!(plain, fleet, "{what}: fleet perturbed the pool scan");
     }
 }
