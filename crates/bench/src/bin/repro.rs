@@ -4,17 +4,16 @@
 //!
 //! ```text
 //! repro [experiment ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S]
-//!       [--no-trace-cache] [--scalar-kernels]
+//!       [--no-trace-cache] [--scalar-kernels] [--list]
+//!       [--resume] [--checkpoint-dir DIR] [--abort-after-points N] [--metrics]
 //!
-//! experiments: table1 table3 table4 table5 table6 table7 table8
-//!              fig6 fig7 fig8 fig9 fig10 queues utilization
-//!              banking scorecard serve scale fleet live throughput
-//!              kernels all (default: all)
+//! experiments: see `repro --list` (default: all)
 //! --quick      tiny samples (seconds, for smoke tests)
 //! --full       paper-scale samples (all graphs; slow)
 //! --csv DIR    additionally write each table as DIR/<name>.csv
 //! --jobs N     worker threads for the parallel sweeps (default: all cores)
 //! --filter S   run only experiments whose name contains the substring S
+//! --list       print the experiment names, one per line, and exit
 //! --no-trace-cache   disable the service-trace cache in the serve/scale
 //!                    sweeps (output is byte-identical either way; CI
 //!                    `cmp`s the two to pin that)
@@ -22,9 +21,22 @@
 //!                    instead of the SIMD path (timing tables are
 //!                    byte-identical either way; functional values agree
 //!                    within the differential-test tolerance)
+//! --resume             read checkpoint sidecars back and skip grid points a
+//!                      previous interrupted run already computed; resumed
+//!                      output is byte-identical to an uninterrupted run
+//! --checkpoint-dir DIR where sweeps journal completed grid points
+//!                      (default: .flowgnn-checkpoints; implies checkpointing)
+//! --abort-after-points N  exit with code 3 after N freshly computed grid
+//!                      points (CI uses this to kill a sweep mid-flight and
+//!                      exercise --resume deterministically)
+//! --metrics            attach a metrics registry to the serving runs and
+//!                      print the Prometheus text exposition after the run
+//!                      (observation-only: tables and CSVs are unchanged)
 //! ```
 
 use std::path::PathBuf;
+
+use flowgnn_core::{render_prometheus, Registry, ServeMetrics};
 
 use flowgnn_bench::{experiments, kernels, throughput, SampleSize, TextTable};
 use flowgnn_graph::datasets::DatasetKind;
@@ -61,6 +73,10 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut filter: Option<String> = None;
     let mut trace_cache = true;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut abort_after: Option<usize> = None;
+    let mut metrics = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -93,16 +109,71 @@ fn main() {
             },
             "--no-trace-cache" => trace_cache = false,
             "--scalar-kernels" => flowgnn_tensor::simd::set_scalar_kernels(true),
+            "--resume" => resume = true,
+            "--checkpoint-dir" => match iter.next() {
+                Some(dir) => checkpoint_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--checkpoint-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--abort-after-points" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => abort_after = Some(n),
+                _ => {
+                    eprintln!("--abort-after-points needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => metrics = true,
+            "--list" => {
+                for name in ALL_EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [{}|all ...] [--quick|--full] [--csv DIR] [--jobs N] [--filter S] [--no-trace-cache] [--scalar-kernels]",
-                    ALL_EXPERIMENTS.join("|")
+                    "usage: repro [experiment|all ...] [--quick|--full] [--csv DIR] [--jobs N]\n\
+                     \x20            [--filter S] [--no-trace-cache] [--scalar-kernels] [--list]\n\
+                     \x20            [--resume] [--checkpoint-dir DIR] [--abort-after-points N]\n\
+                     \x20            [--metrics]\n\
+                     \n\
+                     experiments (default: all):"
+                );
+                for chunk in ALL_EXPERIMENTS.chunks(7) {
+                    eprintln!("  {}", chunk.join(" "));
+                }
+                eprintln!(
+                    "\n\
+                     --quick / --full        sample size: smoke-test vs paper-scale\n\
+                     --csv DIR               also write each table as DIR/<name>.csv\n\
+                     --jobs N                worker threads for the parallel sweeps\n\
+                     --filter S              run only experiments containing the substring S\n\
+                     --list                  print the experiment names, one per line, and exit\n\
+                     --no-trace-cache        disable the service-trace cache (output identical)\n\
+                     --scalar-kernels        scalar reference kernels instead of SIMD\n\
+                     --resume                skip grid points an interrupted run checkpointed\n\
+                     --checkpoint-dir DIR    sidecar directory (default .flowgnn-checkpoints)\n\
+                     --abort-after-points N  exit(3) after N fresh grid points (for CI)\n\
+                     --metrics               print Prometheus exposition after serving runs"
                 );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
     }
+    if resume || checkpoint_dir.is_some() || abort_after.is_some() {
+        let dir = checkpoint_dir.unwrap_or_else(|| PathBuf::from(".flowgnn-checkpoints"));
+        flowgnn_bench::checkpoint::configure(dir, resume);
+        if let Some(n) = abort_after {
+            flowgnn_bench::checkpoint::abort_after_points(n);
+        }
+    }
+    // The registry outlives every experiment; serving runs observe into
+    // it and the exposition prints once at the end. Observation-only: no
+    // table or CSV byte depends on it.
+    let registry = Registry::new();
+    let serve_metrics = metrics.then(|| ServeMetrics::new(&registry));
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -275,7 +346,7 @@ fn main() {
                 // prints, the structural gate runs, and the JSON perf
                 // artifact (never byte-compared) lands next to the other
                 // BENCH files when --csv is given.
-                let study = experiments::live_serving(sample);
+                let study = experiments::live_serving_with(sample, serve_metrics.as_ref());
                 println!("{}", study.table());
                 println!("{}\n", study.summary_note());
                 if let Err(e) = study.validate() {
@@ -315,5 +386,10 @@ fn main() {
             }
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
+    }
+
+    if metrics {
+        println!("# repro metrics (Prometheus text exposition)");
+        print!("{}", render_prometheus(&registry));
     }
 }

@@ -1,0 +1,478 @@
+//! Checkpoint/resume for the deterministic parallel sweeps.
+//!
+//! The serving and DSE grids are embarrassingly parallel and every point
+//! is a pure function of its grid indices, so a killed sweep loses
+//! nothing but time: whatever finished is still valid. This module makes
+//! that recoverable. [`par_map_checkpointed`] wraps [`crate::par_map`]
+//! and, when checkpointing is [`configure`]d (the `repro --resume` /
+//! `--checkpoint-dir` flags), journals every completed grid point to a
+//! sidecar file as it lands; a resumed run reads the sidecar back, skips
+//! the recorded points, and computes only the missing ones. Because each
+//! point round-trips bit-exactly (floats are serialized as IEEE-754 bit
+//! patterns, never decimal), the merged output of an interrupted-then-
+//! resumed sweep is **byte-identical** to an uninterrupted run — the CI
+//! smoke job `cmp`s the two CSVs to pin that.
+//!
+//! The sidecar format is a deliberately boring line protocol (in-tree,
+//! no serde):
+//!
+//! ```text
+//! flowgnn-ckpt v1 <name> <len>
+//! <index>\t<tab-separated payload fields>
+//! ...
+//! ```
+//!
+//! A header mismatch (different sweep name or grid length — e.g. a
+//! `--quick` checkpoint resumed into a standard run) discards the file
+//! and starts fresh; a torn final line (the process died mid-write) is
+//! skipped and its point recomputed. On completion the sidecar is
+//! deleted, so stale checkpoints never leak between runs.
+//!
+//! Only the grid sweeps whose output is deterministic are checkpointed
+//! (`scale`, `serve`, `fleet`, `fig10`); wall-clock experiments rerun
+//! from scratch by design — their numbers are not resumable facts.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sidecar header magic; bumping the version invalidates old files.
+const FORMAT: &str = "flowgnn-ckpt v1";
+
+/// Process exit code used by `--abort-after-points` (distinct from the
+/// gates' exit 1 and the usage errors' exit 2, so CI can tell a planned
+/// mid-sweep abort from a failure).
+pub const ABORT_EXIT_CODE: i32 = 3;
+
+/// Where and how a run journals its sweeps.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Directory holding the `<name>.ckpt` sidecar files.
+    pub dir: PathBuf,
+    /// Whether to read existing sidecars back and skip recorded points
+    /// (`repro --resume`); without it existing sidecars are overwritten.
+    pub resume: bool,
+}
+
+/// Global spec set from the repro flags; `None` (the default) makes
+/// [`par_map_checkpointed`] a plain [`crate::par_map`].
+static ACTIVE: Mutex<Option<CheckpointSpec>> = Mutex::new(None);
+
+/// `--abort-after-points N`: exit the process (code
+/// [`ABORT_EXIT_CODE`]) after this many freshly computed points have
+/// been journaled. `0` disables. Exists so CI can kill a sweep at a
+/// deterministic depth and exercise the resume path.
+static ABORT_AFTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Freshly computed (not restored) points journaled so far this process.
+static FRESH_POINTS: AtomicUsize = AtomicUsize::new(0);
+
+/// Enables checkpointing for every subsequent [`par_map_checkpointed`]
+/// sweep in this process (the repro binary wires `--checkpoint-dir` /
+/// `--resume` here).
+pub fn configure(dir: PathBuf, resume: bool) {
+    *ACTIVE.lock().unwrap() = Some(CheckpointSpec { dir, resume });
+}
+
+/// Arms the deterministic mid-sweep abort: after `n` freshly computed
+/// points have been journaled, the process exits with
+/// [`ABORT_EXIT_CODE`]. `0` disarms.
+pub fn abort_after_points(n: usize) {
+    ABORT_AFTER.store(n, Ordering::Relaxed);
+}
+
+fn active() -> Option<CheckpointSpec> {
+    ACTIVE.lock().unwrap().clone()
+}
+
+/// A grid point that can round-trip through one sidecar line.
+///
+/// `save` must emit a single line (no `\n`) of tab-separated fields with
+/// no tabs inside a field; `load` must reproduce the point **bit for
+/// bit** — serialize floats with [`fmt_f64`]/[`parse_f64`], never
+/// decimal formatting.
+pub trait Checkpointable: Sized {
+    /// Serializes the point as one sidecar line payload.
+    fn save(&self) -> String;
+    /// Parses a payload produced by [`Checkpointable::save`]; `None`
+    /// rejects a malformed or torn line (the point is recomputed).
+    fn load(line: &str) -> Option<Self>;
+}
+
+/// Formats an `f64` as its exact IEEE-754 bit pattern (16 hex digits):
+/// the only float encoding that guarantees a bit-identical round-trip.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parses a [`fmt_f64`] bit pattern back into the identical `f64`.
+pub fn parse_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// [`fmt_f64`] lifted to `Option`: `None` encodes as `-`.
+pub fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), fmt_f64)
+}
+
+/// Parses a [`fmt_opt_f64`] field. The outer `Option` is the parse
+/// result; the inner one is the value.
+pub fn parse_opt_f64(s: &str) -> Option<Option<f64>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        parse_f64(s).map(Some)
+    }
+}
+
+/// Re-interns a sidecar string against the sweep's canonical constant
+/// slice, recovering the `&'static str` the live sweep would have used.
+pub fn intern(pool: &[&'static str], s: &str) -> Option<&'static str> {
+    pool.iter().copied().find(|p| *p == s)
+}
+
+impl Checkpointable for f64 {
+    fn save(&self) -> String {
+        fmt_f64(*self)
+    }
+    fn load(line: &str) -> Option<Self> {
+        parse_f64(line)
+    }
+}
+
+/// [`crate::par_map`] with checkpoint/resume.
+///
+/// When checkpointing is not [`configure`]d this is exactly
+/// [`crate::par_map`] — no files are touched. When it is, completed
+/// points are journaled to `<dir>/<name>.ckpt` as they land, points
+/// recorded by a previous interrupted run are restored instead of
+/// recomputed (under `resume`), and the sidecar is deleted once the
+/// sweep completes. Output is byte-identical to an uninterrupted
+/// [`crate::par_map`] in every case.
+///
+/// `name` identifies the sweep *and its shape*: callers must fold any
+/// parameter that changes point values without changing the grid length
+/// (e.g. the sample's request count) into it, since the header only
+/// guards `(name, len)`.
+pub fn par_map_checkpointed<T, R, F>(name: &str, items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Checkpointable + Send,
+    F: Fn(T) -> R + Sync,
+{
+    match active() {
+        None => crate::par_map(items, jobs, f),
+        Some(spec) => run_with(&spec, name, items, jobs, f),
+    }
+}
+
+/// [`par_map_checkpointed`] with an explicit spec instead of the global
+/// one — the testable core (tests point it at scratch directories
+/// without racing on process-global state).
+pub fn run_with<T, R, F>(
+    spec: &CheckpointSpec,
+    name: &str,
+    items: Vec<T>,
+    jobs: Option<usize>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Checkpointable + Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if let Err(e) = std::fs::create_dir_all(&spec.dir) {
+        eprintln!(
+            "checkpoint: cannot create {} ({e}); running without checkpoints",
+            spec.dir.display()
+        );
+        return crate::par_map(items, jobs, f);
+    }
+    let path = spec.dir.join(format!("{name}.ckpt"));
+    let mut done: HashMap<usize, R> = HashMap::new();
+    if spec.resume {
+        if let Some(entries) = read_sidecar::<R>(&path, name, n) {
+            done = entries;
+        }
+    }
+
+    let file = if done.is_empty() {
+        // Fresh journal (also overwrites a stale or mismatched sidecar).
+        File::create(&path).and_then(|mut f| {
+            writeln!(f, "{FORMAT} {name} {n}")?;
+            Ok(f)
+        })
+    } else {
+        OpenOptions::new().append(true).open(&path)
+    };
+    let file = match file {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "checkpoint: cannot open {} ({e}); running without checkpoints",
+                path.display()
+            );
+            return finish(done, items, jobs, f);
+        }
+    };
+
+    let sink = Mutex::new(file);
+    let abort_limit = ABORT_AFTER.load(Ordering::Relaxed);
+    let todo: Vec<(usize, T)> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !done.contains_key(i))
+        .collect();
+    let computed: Vec<(usize, R)> = crate::par_map(todo, jobs, |(i, t)| {
+        let r = f(t);
+        {
+            let mut file = sink.lock().unwrap();
+            if let Err(e) = writeln!(file, "{i}\t{}", r.save()).and_then(|()| file.flush()) {
+                eprintln!("checkpoint: write to {} failed: {e}", path.display());
+            }
+        }
+        if abort_limit > 0 && FRESH_POINTS.fetch_add(1, Ordering::Relaxed) + 1 >= abort_limit {
+            // Hold the sink so no other worker can die mid-line, then
+            // leave: the journal on disk is exactly the completed points.
+            let _guard = sink.lock().unwrap();
+            eprintln!(
+                "checkpoint: stopping after {abort_limit} fresh points (--abort-after-points)"
+            );
+            std::process::exit(ABORT_EXIT_CODE);
+        }
+        (i, r)
+    });
+    done.extend(computed);
+
+    // Sweep complete: the journal has served its purpose.
+    let _ = std::fs::remove_file(&path);
+    collect_in_order(done, n)
+}
+
+/// Completes a sweep without a journal: computes whatever `done` is
+/// missing and merges in index order.
+fn finish<T, R, F>(mut done: HashMap<usize, R>, items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let todo: Vec<(usize, T)> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !done.contains_key(i))
+        .collect();
+    done.extend(crate::par_map(todo, jobs, |(i, t)| (i, f(t))));
+    collect_in_order(done, n)
+}
+
+fn collect_in_order<R>(mut done: HashMap<usize, R>, n: usize) -> Vec<R> {
+    (0..n)
+        .map(|i| done.remove(&i).expect("sweep computed every index"))
+        .collect()
+}
+
+/// Reads a sidecar back. `None` means "unusable, start fresh": missing
+/// file, wrong header (other sweep, other grid shape, other format
+/// version). Individual lines that fail to parse — above all a torn
+/// final line from a mid-write kill — are skipped, not fatal.
+fn read_sidecar<R: Checkpointable>(path: &Path, name: &str, n: usize) -> Option<HashMap<usize, R>> {
+    let file = File::open(path).ok()?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines.next()?.ok()?;
+    if header != format!("{FORMAT} {name} {n}") {
+        return None;
+    }
+    let mut out = HashMap::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        let Some((idx, payload)) = line.split_once('\t') else {
+            continue;
+        };
+        let Ok(i) = idx.parse::<usize>() else {
+            continue;
+        };
+        if i >= n {
+            continue;
+        }
+        if let Some(r) = R::load(payload) {
+            out.insert(i, r);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Per-test scratch directory, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static NONCE: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "flowgnn-ckpt-test-{}-{tag}-{}",
+                std::process::id(),
+                NONCE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+        fn spec(&self, resume: bool) -> CheckpointSpec {
+            CheckpointSpec {
+                dir: self.0.clone(),
+                resume,
+            }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Point {
+        label: &'static str,
+        value: f64,
+        count: usize,
+    }
+
+    const LABELS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+    impl Checkpointable for Point {
+        fn save(&self) -> String {
+            format!("{}\t{}\t{}", self.label, fmt_f64(self.value), self.count)
+        }
+        fn load(line: &str) -> Option<Self> {
+            let mut it = line.split('\t');
+            Some(Point {
+                label: intern(&LABELS, it.next()?)?,
+                value: parse_f64(it.next()?)?,
+                count: it.next()?.parse().ok()?,
+            })
+        }
+    }
+
+    fn compute(i: usize) -> Point {
+        Point {
+            label: LABELS[i % LABELS.len()],
+            // Deliberately awkward floats: bit-exact round-trip or bust.
+            value: (i as f64 + 0.1) / 3.0,
+            count: i * i,
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.1,
+            -0.0,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+        ] {
+            assert_eq!(parse_f64(&fmt_f64(v)).unwrap().to_bits(), v.to_bits());
+        }
+        assert!(parse_f64(&fmt_f64(f64::NAN)).unwrap().is_nan());
+        assert_eq!(parse_opt_f64("-"), Some(None));
+        assert_eq!(parse_opt_f64(&fmt_opt_f64(Some(2.5))), Some(Some(2.5)));
+        assert_eq!(parse_opt_f64("zz"), None);
+    }
+
+    #[test]
+    fn full_run_writes_then_removes_the_sidecar() {
+        let scratch = Scratch::new("full");
+        let items: Vec<usize> = (0..20).collect();
+        let expect: Vec<Point> = items.iter().map(|&i| compute(i)).collect();
+        let got = run_with(&scratch.spec(false), "toy", items, Some(2), compute);
+        assert_eq!(got, expect);
+        assert!(
+            !scratch.0.join("toy.ckpt").exists(),
+            "sidecar must be deleted on completion"
+        );
+    }
+
+    #[test]
+    fn resume_restores_recorded_points_and_matches_uninterrupted_output() {
+        let scratch = Scratch::new("resume");
+        let n = 12;
+        let items: Vec<usize> = (0..n).collect();
+        let expect: Vec<Point> = items.iter().map(|&i| compute(i)).collect();
+
+        // Simulate an interrupted run: journal a prefix of points (and a
+        // torn final line) by hand.
+        let path = scratch.0.join("toy.ckpt");
+        let mut body = format!("{FORMAT} toy {n}\n");
+        for i in [0usize, 3, 7] {
+            body.push_str(&format!("{i}\t{}\n", compute(i).save()));
+        }
+        body.push_str("9\talpha\t3fb9"); // torn mid-write, no newline
+        std::fs::write(&path, body).unwrap();
+
+        // The resumed run must only compute the missing indices...
+        let computed = Mutex::new(Vec::new());
+        let got = run_with(&scratch.spec(true), "toy", items, Some(3), |i| {
+            computed.lock().unwrap().push(i);
+            compute(i)
+        });
+        let mut fresh = computed.into_inner().unwrap();
+        fresh.sort_unstable();
+        assert_eq!(fresh, vec![1, 2, 4, 5, 6, 8, 9, 10, 11]);
+        // ...and the merged output is byte-for-byte the uninterrupted one.
+        assert_eq!(got, expect);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn mismatched_header_discards_the_sidecar() {
+        let scratch = Scratch::new("header");
+        let path = scratch.0.join("toy.ckpt");
+        // A --quick checkpoint (different grid length) must not leak into
+        // a standard-size resume.
+        std::fs::write(&path, format!("{FORMAT} toy 5\n0\t{}\n", compute(0).save())).unwrap();
+        let computed = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..8).collect();
+        let got = run_with(&scratch.spec(true), "toy", items, Some(2), |i| {
+            computed.lock().unwrap().push(i);
+            compute(i)
+        });
+        assert_eq!(computed.lock().unwrap().len(), 8, "all points recomputed");
+        assert_eq!(got, (0..8).map(compute).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn without_resume_an_existing_sidecar_is_overwritten_not_read() {
+        let scratch = Scratch::new("overwrite");
+        let path = scratch.0.join("toy.ckpt");
+        // Poisoned entry: if it were read back, index 0 would be wrong.
+        let poisoned = Point {
+            label: "beta",
+            value: -1.0,
+            count: 999,
+        };
+        std::fs::write(&path, format!("{FORMAT} toy 4\n0\t{}\n", poisoned.save())).unwrap();
+        let items: Vec<usize> = (0..4).collect();
+        let got = run_with(&scratch.spec(false), "toy", items, Some(2), compute);
+        assert_eq!(got[0], compute(0), "resume=false must ignore the sidecar");
+    }
+
+    #[test]
+    fn unconfigured_global_path_is_plain_par_map() {
+        // The global spec is not set in tests, so the public wrapper must
+        // behave exactly like par_map and touch no files.
+        let items: Vec<usize> = (0..10).collect();
+        let got = par_map_checkpointed("toy-global", items.clone(), Some(2), compute);
+        assert_eq!(got, items.iter().map(|&i| compute(i)).collect::<Vec<_>>());
+    }
+}

@@ -2,7 +2,7 @@
 //! measured twice — once in the simulated cycle domain (`serve_trace`
 //! replaying a cycle-exact service trace) and once live, with real OS
 //! replica threads running the engine behind the same dispatch policies
-//! (`Accelerator::serve_live`).
+//! (`InferenceBackend::serve_on` with `Runtime::Live`).
 //!
 //! The point of the experiment is *structural* parity: both domains share
 //! one arrival-schedule generator, one dispatch abstraction, and one
@@ -329,6 +329,13 @@ impl LiveStudy {
 /// host's wall clock, so concurrent points would contend and pollute
 /// each other's tails.
 pub fn live_serving(sample: SampleSize) -> LiveStudy {
+    live_serving_with(sample, None)
+}
+
+/// [`live_serving`] with an optional [`ServeMetrics`] handle observed by
+/// every live run in the sweep (the `repro live --metrics` path).
+/// Metrics are observation-only: the study is unchanged by them.
+pub fn live_serving_with(sample: SampleSize, metrics: Option<&ServeMetrics>) -> LiveStudy {
     let spec = DatasetSpec::standard(DatasetKind::MolHiv);
     let requests = sample.resolve(spec.paper_stats().graphs);
     let acc = Accelerator::new(
@@ -378,8 +385,16 @@ pub fn live_serving(sample: SampleSize) -> LiveStudy {
 
                 let live_rate = load * replicas as f64 * 1e3 / wall_service_ms;
                 let live = acc
-                    .serve_live(spec.stream(), requests, &config_for(live_rate))
-                    .expect("valid live config");
+                    .serve_on(
+                        spec.stream(),
+                        requests,
+                        &FleetConfig::from(&config_for(live_rate)),
+                        Runtime::Live,
+                        metrics,
+                    )
+                    .expect("valid live config")
+                    .live()
+                    .expect("live runtime yields a wall-domain report");
                 points.push(point(replicas, policy_name, load, "live", live_rate, &live));
             }
         }
@@ -396,8 +411,16 @@ pub fn live_serving(sample: SampleSize) -> LiveStudy {
                 .build()
                 .expect("valid saturation config");
             let report = acc
-                .serve_live(spec.stream(), requests, &config)
-                .expect("valid live config");
+                .serve_on(
+                    spec.stream(),
+                    requests,
+                    &FleetConfig::from(&config),
+                    Runtime::Live,
+                    metrics,
+                )
+                .expect("valid live config")
+                .live()
+                .expect("live runtime yields a wall-domain report");
             LiveSaturation {
                 replicas,
                 throughput_per_s: report.throughput_per_s(),

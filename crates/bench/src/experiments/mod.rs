@@ -34,8 +34,8 @@ pub use latency::{
     fig7, fig8, table5, BatchSweep, Fig7, Fig8, Fig8Row, Table5, Table5Row, PAPER_TABLE5,
 };
 pub use live::{
-    live_replica_counts, live_serving, LivePoint, LiveSaturation, LiveStudy, LIVE_LOADS,
-    LIVE_POLICIES,
+    live_replica_counts, live_serving, live_serving_with, LivePoint, LiveSaturation, LiveStudy,
+    LIVE_LOADS, LIVE_POLICIES,
 };
 pub use resources::{table3, Table3, Table3Row, PAPER_TABLE3};
 pub use scale::{

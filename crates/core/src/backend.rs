@@ -14,11 +14,13 @@ use flowgnn_graph::{Graph, GraphStream};
 
 use crate::energy::EnergyModel;
 use crate::engine::Accelerator;
+use crate::metrics::ServeMetrics;
 use crate::resource::ResourceEstimate;
-use crate::serve::live::{serve_live, ModelWorker};
+use crate::serve::fleet::{run_fleet, FleetConfig, FleetError, FleetRuntime};
+use crate::serve::live::{serve_live_inner, ModelWorker};
 use crate::serve::report::{EndpointStats, WallDomain};
 use crate::serve::sim::serve_trace;
-use crate::serve::{ms_to_cycles, ServeConfig, ServeError, ServeReport};
+use crate::serve::{ms_to_cycles, Runtime, RuntimeReport, ServeConfig, ServeError, ServeReport};
 
 /// One platform's result for one workload (a graph, a shape, or a stream).
 ///
@@ -193,6 +195,10 @@ pub trait InferenceBackend {
     /// Panics if the stream (after the limit) is empty, or if `config`
     /// violates an invariant the builder enforces (zero replicas, zero
     /// batch size).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `serve_on(stream, limit, &config.into(), Runtime::Sim, None)` instead"
+    )]
     fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         let service = self.service_trace(stream, limit);
         let mut report =
@@ -227,6 +233,10 @@ pub trait InferenceBackend {
     /// # Panics
     ///
     /// Panics if the stream (after the limit) is empty.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `serve_on(stream, limit, &config.into(), Runtime::Live, None)` instead"
+    )]
     fn serve_live(
         &self,
         stream: GraphStream,
@@ -242,7 +252,83 @@ pub trait InferenceBackend {
         let workers: Vec<ModelWorker> = (0..config.replicas)
             .map(|_| ModelWorker::new(durations.clone()))
             .collect();
-        serve_live(workers, requests, config)
+        serve_live_inner(workers, requests, config)
+    }
+
+    /// The unified serving entry: one method, either [`Runtime`],
+    /// fleet-shaped configuration, optional live [`ServeMetrics`]. This
+    /// replaces the four-way `serve` / `serve_live` / `serve_fleet` /
+    /// `serve_fleet_live` sprawl — a plain pool [`ServeConfig`] lifts to
+    /// the general [`FleetConfig`] via `From` (the degenerate-fleet
+    /// equivalence), so `backend.serve_on(stream, n, &cfg.into(),
+    /// Runtime::Sim, None)` is the new spelling of `backend.serve(...)`.
+    ///
+    /// Up to `limit` graphs of `stream` are served under `config`; every
+    /// request is stamped class 0, and each endpoint's cost row is this
+    /// backend's own service trace (the endpoints model replicas *of this
+    /// backend* — drive [`crate::serve::fleet::run_fleet`] directly for
+    /// genuinely heterogeneous fleets with per-endpoint cost rows).
+    /// [`Runtime::Sim`] runs the deterministic cycle scan over
+    /// [`Self::service_trace`]; [`Runtime::Live`] spins up one
+    /// [`ModelWorker`] thread per replica occupying its thread for the
+    /// modeled per-graph latency (the cycle engine overrides this to run
+    /// real inference per request). `metrics`, when given, is updated
+    /// while the run executes; it never changes the report.
+    ///
+    /// # Errors
+    ///
+    /// The [`FleetError`] naming the violated invariant, as in
+    /// [`crate::serve::fleet::run_fleet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream (after the limit) is empty.
+    fn serve_on(
+        &self,
+        stream: GraphStream,
+        limit: usize,
+        config: &FleetConfig,
+        runtime: Runtime,
+        metrics: Option<&ServeMetrics>,
+    ) -> Result<RuntimeReport, FleetError> {
+        match runtime {
+            Runtime::Sim => {
+                let service = self.service_trace(stream, limit);
+                let costs: Vec<Vec<Cycle>> =
+                    config.endpoints.iter().map(|_| service.clone()).collect();
+                let class_of = vec![0usize; service.len()];
+                run_fleet::<ModelWorker>(&costs, &class_of, config, FleetRuntime::Sim, metrics)
+            }
+            Runtime::Live => {
+                let stream = stream.take_prefix(limit);
+                assert!(!stream.is_empty(), "cannot serve an empty graph stream");
+                let durations: Vec<Duration> = stream
+                    .map(|g| Duration::from_secs_f64(self.run_graph(&g).latency_ms / 1e3))
+                    .collect();
+                let requests = durations.len();
+                let costs: Vec<Vec<Cycle>> = config
+                    .endpoints
+                    .iter()
+                    .map(|_| {
+                        durations
+                            .iter()
+                            .map(|d| ms_to_cycles(d.as_secs_f64() * 1e3))
+                            .collect()
+                    })
+                    .collect();
+                let class_of = vec![0usize; requests];
+                let workers: Vec<ModelWorker> = (0..config.total_replicas())
+                    .map(|_| ModelWorker::new(durations.clone()))
+                    .collect();
+                run_fleet(
+                    &costs,
+                    &class_of,
+                    config,
+                    FleetRuntime::Live(workers),
+                    metrics,
+                )
+            }
+        }
     }
 }
 
@@ -293,14 +379,72 @@ impl InferenceBackend for Accelerator {
     /// Overrides the default with the engine's cycle-exact service trace
     /// ([`Accelerator::serve`]) instead of round-tripping latencies
     /// through milliseconds.
+    #[allow(deprecated)]
     fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         Accelerator::serve(self, stream, limit, config)
+    }
+
+    /// Overrides the default with cycle-exact cost rows
+    /// ([`Accelerator::service_trace`], consulting the attached trace
+    /// cache) and, for [`Runtime::Live`], replica threads that run real
+    /// engine inference per request ([`crate::EngineWorker`]). Sim
+    /// reports carry the trace cache's counters on every endpoint entry,
+    /// as [`Accelerator::serve`] did.
+    fn serve_on(
+        &self,
+        stream: GraphStream,
+        limit: usize,
+        config: &FleetConfig,
+        runtime: Runtime,
+        metrics: Option<&ServeMetrics>,
+    ) -> Result<RuntimeReport, FleetError> {
+        use crate::stream::EngineWorker;
+
+        let stream = stream.take_prefix(limit);
+        assert!(!stream.is_empty(), "cannot serve an empty graph stream");
+        let graphs: Vec<Graph> = stream.collect();
+        let service =
+            Accelerator::service_trace(self, GraphStream::from_graphs(graphs.clone()), limit);
+        let costs: Vec<Vec<Cycle>> = config.endpoints.iter().map(|_| service.clone()).collect();
+        let class_of = vec![0usize; service.len()];
+        match runtime {
+            Runtime::Sim => {
+                let mut report = run_fleet::<ModelWorker>(
+                    &costs,
+                    &class_of,
+                    config,
+                    FleetRuntime::Sim,
+                    metrics,
+                )?
+                .sim()
+                .expect("sim runtime yields a sim report");
+                if let Some(stats) = self.trace_cache().map(crate::ServiceTraceCache::stats) {
+                    for endpoint in &mut report.per_endpoint {
+                        endpoint.cache = Some(stats);
+                    }
+                }
+                Ok(RuntimeReport::Sim(report))
+            }
+            Runtime::Live => {
+                let workers: Vec<EngineWorker> = (0..config.total_replicas())
+                    .map(|_| EngineWorker::new(self.clone(), graphs.iter().cloned()))
+                    .collect();
+                run_fleet(
+                    &costs,
+                    &class_of,
+                    config,
+                    FleetRuntime::Live(workers),
+                    metrics,
+                )
+            }
+        }
     }
 
     /// Overrides the default with real engine inference per request
     /// ([`Accelerator::serve_live`]): each replica thread owns an
     /// accelerator clone and scratch and simulates every admitted graph
     /// end to end, instead of spinning for a modeled latency.
+    #[allow(deprecated)]
     fn serve_live(
         &self,
         stream: GraphStream,
@@ -330,6 +474,10 @@ impl InferenceBackend for Accelerator {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated entry points stay under test: the thin wrappers must
+    // keep matching the unified `serve_on` path bit for bit.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{AnalyticModel, ArchConfig, ExecutionMode};
     use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};
@@ -464,6 +612,69 @@ mod tests {
         let stream = || MoleculeLike::new(12.0, 4).stream(4);
         let cfg = ServeConfig::builder().replicas(2).build().unwrap();
         let report = InferenceBackend::serve_live(&a, stream(), 4, &cfg).unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.per_replica.len(), 2);
+        assert!(report.makespan_cycles > 0, "real time elapsed");
+    }
+
+    #[test]
+    fn unified_serve_on_matches_the_deprecated_sim_entry() {
+        use crate::serve::ArrivalProcess;
+        // The new one-method API over a lifted plain config must match
+        // the deprecated per-runtime entry bit for bit (records and all).
+        let a = acc();
+        let stream = || MoleculeLike::new(12.0, 4).stream(6);
+        let cfg = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed {
+                gap: ms_to_cycles(0.002),
+            })
+            .queue_capacity(8)
+            .replicas(2)
+            .build()
+            .unwrap();
+        let old = InferenceBackend::serve(&a, stream(), 6, &cfg);
+        let new = a
+            .serve_on(stream(), 6, &(&cfg).into(), Runtime::Sim, None)
+            .unwrap()
+            .sim()
+            .expect("sim runtime yields a sim report");
+        assert_eq!(old.records, new.records);
+        assert_eq!(old.per_replica, new.per_replica);
+        assert_eq!(old.makespan_cycles, new.makespan_cycles);
+        // The unified path names endpoints from the config registry.
+        assert_eq!(new.per_endpoint.len(), 1);
+        assert_eq!(new.per_endpoint[0].name, "pool");
+
+        // The default (analytic) implementation agrees with its
+        // deprecated twin the same way.
+        struct Fixed;
+        impl InferenceBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn run_graph(&self, _g: &Graph) -> BackendReport {
+                BackendReport::from_ms(2.0, 500.0)
+            }
+        }
+        let old = InferenceBackend::serve(&Fixed, stream(), 6, &cfg);
+        let new = Fixed
+            .serve_on(stream(), 6, &(&cfg).into(), Runtime::Sim, None)
+            .unwrap()
+            .sim()
+            .unwrap();
+        assert_eq!(old.records, new.records);
+    }
+
+    #[test]
+    fn unified_serve_on_live_runs_real_threads() {
+        let a = acc();
+        let stream = || MoleculeLike::new(12.0, 4).stream(4);
+        let cfg = ServeConfig::builder().replicas(2).build().unwrap();
+        let report = a
+            .serve_on(stream(), 4, &(&cfg).into(), Runtime::Live, None)
+            .unwrap()
+            .live()
+            .expect("live runtime yields a wall report");
         assert_eq!(report.completed, 4);
         assert_eq!(report.per_replica.len(), 2);
         assert!(report.makespan_cycles > 0, "real time elapsed");

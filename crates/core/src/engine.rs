@@ -132,6 +132,7 @@ pub struct Accelerator {
     config: ArchConfig,
     regions: Vec<Region>,
     trace_cache: Option<ServiceTraceCache>,
+    metrics: Option<crate::metrics::EngineMetrics>,
 }
 
 impl Accelerator {
@@ -143,6 +144,7 @@ impl Accelerator {
             config,
             regions,
             trace_cache: None,
+            metrics: None,
         }
     }
 
@@ -168,6 +170,23 @@ impl Accelerator {
     /// The attached service-trace cache, if any.
     pub fn trace_cache(&self) -> Option<&ServiceTraceCache> {
         self.trace_cache.as_ref()
+    }
+
+    /// Attaches an [`crate::metrics::EngineMetrics`] bundle: every
+    /// subsequent engine run counts graphs and simulated cycles into it,
+    /// and [`Accelerator::service_trace`] counts trace-cache hits and
+    /// misses as they happen. Cloning the accelerator shares the handle
+    /// (the counters are atomic), so one registry observes a whole
+    /// replica pool. Observation only: reports are bit-identical with or
+    /// without metrics attached.
+    pub fn with_metrics(mut self, metrics: crate::metrics::EngineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached engine-metrics bundle, if any.
+    pub fn engine_metrics(&self) -> Option<&crate::metrics::EngineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The deployed model.
@@ -352,6 +371,11 @@ impl Accelerator {
             None
         };
         exec.finish(scratch);
+
+        if let Some(m) = &self.metrics {
+            m.graphs.inc();
+            m.cycles.add(total_cycles);
+        }
 
         RunReport {
             total_cycles,

@@ -56,6 +56,7 @@ mod energy;
 mod engine;
 mod exec;
 mod imbalance;
+pub mod metrics;
 mod pipeline;
 mod regions;
 mod resource;
@@ -72,14 +73,20 @@ pub use energy::{graphs_per_kj, EnergyModel, FPGA_STATIC_WATTS};
 pub use engine::{Accelerator, PreparedGraph, RunReport};
 pub use exec::SimScratch;
 pub use imbalance::{bank_workloads, imbalance_percent, stream_imbalance_percent};
+pub use metrics::{
+    render_prometheus, EngineMetrics, MetricsSnapshotter, Registry, ServeMetrics,
+    LATENCY_BUCKETS_MS,
+};
 pub use resource::{ResourceEstimate, U50_AVAILABLE};
 pub use serve::{
-    serve_fleet, serve_fleet_live, serve_live, AdmissionPolicy, ArrivalProcess, BatchConfig,
-    ClassStats, CycleDomain, DispatchPolicy, Dispatcher, EndpointStats, FleetConfig,
-    FleetConfigBuilder, FleetError, LiveWorker, ModelEndpoint, ModelWorker, QueuePolicy,
-    ReplicaStats, RequestClass, RequestRecord, ServeConfig, ServeConfigBuilder, ServeError,
+    run_fleet, AdmissionPolicy, ArrivalProcess, BatchConfig, ClassStats, CycleDomain,
+    DispatchPolicy, Dispatcher, EndpointStats, FleetConfig, FleetConfigBuilder, FleetError,
+    FleetRuntime, LiveWorker, ModelEndpoint, ModelWorker, QueuePolicy, ReplicaStats, RequestClass,
+    RequestRecord, Runtime, RuntimeReport, ServeConfig, ServeConfigBuilder, ServeError,
     ServeReport, TimeDomain, WallDomain,
 };
+#[allow(deprecated)]
+pub use serve::{serve_fleet, serve_fleet_live, serve_live};
 pub use stream::{EngineWorker, LatencyStats, StreamReport};
 pub use trace::{LaneSymbol, RegionTrace, Trace};
 
@@ -97,14 +104,20 @@ pub mod prelude {
         ArchConfig, EngineMode, ExecutionMode, GatherBanking, PipelineStrategy,
     };
     pub use crate::engine::{Accelerator, PreparedGraph, RunReport};
+    pub use crate::metrics::{
+        render_prometheus, EngineMetrics, MetricsSnapshotter, Registry, ServeMetrics,
+        LATENCY_BUCKETS_MS,
+    };
     pub use crate::serve::sim::serve_trace;
     pub use crate::serve::{
         arrivals, batch, dispatch, fleet, live, ms_to_cycles, percentile_nearest_rank, queue,
-        report, serve_fleet, serve_fleet_live, serve_live, sim, AdmissionPolicy, ArrivalProcess,
-        BatchConfig, ClassStats, CycleDomain, DispatchPolicy, Dispatcher, EndpointStats,
-        FleetConfig, FleetConfigBuilder, FleetError, LiveWorker, ModelEndpoint, ModelWorker,
-        QueuePolicy, ReplicaStats, RequestClass, RequestRecord, ServeConfig, ServeConfigBuilder,
-        ServeError, ServeReport, TimeDomain, WallDomain,
+        report, run_fleet, sim, AdmissionPolicy, ArrivalProcess, BatchConfig, ClassStats,
+        CycleDomain, DispatchPolicy, Dispatcher, EndpointStats, FleetConfig, FleetConfigBuilder,
+        FleetError, FleetRuntime, LiveWorker, ModelEndpoint, ModelWorker, QueuePolicy,
+        ReplicaStats, RequestClass, RequestRecord, Runtime, RuntimeReport, ServeConfig,
+        ServeConfigBuilder, ServeError, ServeReport, TimeDomain, WallDomain,
     };
+    #[allow(deprecated)]
+    pub use crate::serve::{serve_fleet, serve_fleet_live, serve_live};
     pub use crate::stream::{EngineWorker, LatencyStats, StreamReport};
 }

@@ -47,17 +47,26 @@ use std::time::Instant;
 
 use flowgnn_desim::Cycle;
 
+use crate::metrics::ServeMetrics;
+
 use super::arrivals::ArrivalProcess;
 use super::batch::BatchConfig;
 use super::dispatch::{DispatchPolicy, Dispatcher};
 use super::live::LiveWorker;
 use super::queue::{AdmissionPolicy, AdmissionShard, OfferOutcome, QueuePolicy};
+use super::report::RequestRecord;
 use super::report::{
     percentile_nearest_rank, summarize, ClassStats, CycleDomain, EndpointStats, ReplicaStats,
-    RequestRecord, ServeReport, TimeDomain, WallDomain,
+    ServeReport, TimeDomain, WallDomain,
 };
 use super::sim::ReplicaSim;
-use super::ServeError;
+use super::{RuntimeReport, ServeConfig, ServeError};
+
+/// How often the simulated fleet scan journals its gauges as a time
+/// series: one [`crate::metrics::Registry::sample`] every this many
+/// arrivals (plus one final sample at the makespan). Purely an
+/// observability cadence — it never affects the scan itself.
+const SIM_SAMPLE_EVERY: usize = 64;
 
 /// One tenant request class: who is asking, how important they are at a
 /// full admission queue, and what latency they were promised.
@@ -254,6 +263,131 @@ impl FleetConfig {
     pub fn total_replicas(&self) -> usize {
         self.endpoints.iter().map(|e| e.replicas).sum()
     }
+}
+
+impl From<&ServeConfig> for FleetConfig {
+    /// Lifts a plain pool configuration to its degenerate fleet: one
+    /// `"pool"` endpoint carrying all the replicas, one priority-0
+    /// `"default"` class, FIFO admission. By the degenerate-fleet
+    /// equivalence (pinned in `tests/differential.rs`) serving through
+    /// the lifted config is bit-identical to the plain pool loops — this
+    /// conversion is how the unified entry points reduce the four-way
+    /// `serve`/`serve_live`/`serve_fleet`/`serve_fleet_live` sprawl to
+    /// one fleet-shaped path.
+    fn from(config: &ServeConfig) -> Self {
+        FleetConfig {
+            arrivals: config.arrivals,
+            queue: config.queue,
+            admission: AdmissionPolicy::Fifo,
+            policy: config.policy,
+            batch: config.batch,
+            endpoints: vec![ModelEndpoint::new("pool", config.replicas)],
+            classes: vec![RequestClass::new("default", 0)],
+        }
+    }
+}
+
+impl From<ServeConfig> for FleetConfig {
+    fn from(config: ServeConfig) -> Self {
+        Self::from(&config)
+    }
+}
+
+/// Which runtime [`run_fleet`] should execute a fleet scenario on, plus
+/// the live runtime's worker pool when applicable. The live variant
+/// carries one [`LiveWorker`] per *global* replica in registry order;
+/// callers that only ever simulate can name the worker type away with
+/// [`FleetRuntime::sim`].
+pub enum FleetRuntime<W: LiveWorker> {
+    /// The deterministic cycle-domain scan (no workers needed).
+    Sim,
+    /// The wall-clock thread-per-replica runtime, with its worker pool.
+    Live(Vec<W>),
+}
+
+impl FleetRuntime<super::live::ModelWorker> {
+    /// The simulator runtime with the worker type fixed to the built-in
+    /// [`ModelWorker`](super::live::ModelWorker) — convenient for callers
+    /// that never go live and would otherwise have to annotate `W`.
+    pub fn sim() -> Self {
+        FleetRuntime::Sim
+    }
+}
+
+/// The unified fleet serving entry: one function, either runtime,
+/// optional live metrics.
+///
+/// `costs`, `class_of`, and `config` mean exactly what they mean in the
+/// fleet runtimes (see [`serve_fleet`]'s documentation for the cost/class
+/// contract); `runtime` picks the timeline ([`FleetRuntime::Sim`] for the
+/// deterministic cycle scan, [`FleetRuntime::Live`] with a worker pool
+/// for the wall-clock runtime); `metrics`, when given, is updated *while
+/// the run executes* — counters for offers/completions/drops/
+/// displacements, per-replica dispatch counters, queue-depth gauges
+/// journaled as a time series, sojourn/wait histograms, and per-replica
+/// utilization gauges at the end of the run. Metrics are observation
+/// only: a run with `metrics` attached produces the same report, bit for
+/// bit, as one without.
+///
+/// # Errors
+///
+/// The [`FleetError`] naming the violated invariant, as in
+/// [`serve_fleet`] / [`serve_fleet_live`].
+pub fn run_fleet<W: LiveWorker>(
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+    runtime: FleetRuntime<W>,
+    metrics: Option<&ServeMetrics>,
+) -> Result<RuntimeReport, FleetError> {
+    match runtime {
+        FleetRuntime::Sim => Ok(RuntimeReport::Sim(fleet_sim(
+            costs, class_of, config, metrics,
+        )?)),
+        FleetRuntime::Live(workers) => Ok(RuntimeReport::Live(fleet_live(
+            workers, costs, class_of, config, metrics,
+        )?)),
+    }
+}
+
+/// Pre-bound per-run instrument handles: every series the serving loops
+/// touch is registered once, before the hot loop, so the loops only do
+/// atomic stores.
+struct BoundServeMetrics {
+    dispatch: Vec<std::sync::Arc<crate::metrics::Counter>>,
+    depth: Vec<std::sync::Arc<crate::metrics::Gauge>>,
+    utilization: Vec<std::sync::Arc<crate::metrics::Gauge>>,
+}
+
+impl BoundServeMetrics {
+    fn bind(metrics: &ServeMetrics, replicas: usize) -> Self {
+        Self {
+            dispatch: metrics.dispatch_counters_for(replicas),
+            depth: metrics.queue_depth_gauges_for(replicas),
+            utilization: metrics.utilization_gauges_for(replicas),
+        }
+    }
+}
+
+/// Final metrics pass shared by both runtimes: completion counters,
+/// sojourn/wait histograms over completed records, end-of-run
+/// utilization gauges, and one last gauge sample at the makespan.
+fn observe_summary<D: TimeDomain>(
+    metrics: &ServeMetrics,
+    bound: &BoundServeMetrics,
+    report: &ServeReport<D>,
+) {
+    metrics.completed.add(report.completed as u64);
+    for r in report.records.iter().filter(|r| !r.dropped) {
+        metrics.sojourn_ms.observe(D::to_ms(r.sojourn_cycles()));
+        metrics.wait_ms.observe(D::to_ms(r.wait_cycles()));
+    }
+    if let Ok(utils) = report.replica_utilization() {
+        for (gauge, util) in bound.utilization.iter().zip(utils) {
+            gauge.set(util);
+        }
+    }
+    metrics.registry().sample(D::to_ms(report.makespan_cycles));
 }
 
 /// Fluent builder for [`FleetConfig`]; invariants (≥ 1 endpoint, every
@@ -534,10 +668,31 @@ fn endpoint_summaries(
 /// problems from the [`FleetConfigBuilder::build`] set, shape mismatches
 /// between `costs`/`class_of`/the registries, and
 /// [`FleetError::Serve`] for the plain serving invariants.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `run_fleet(costs, class_of, config, FleetRuntime::sim(), None)` \
+            (or `InferenceBackend::serve_on`) instead"
+)]
 pub fn serve_fleet(
     costs: &[Vec<Cycle>],
     class_of: &[usize],
     config: &FleetConfig,
+) -> Result<ServeReport, FleetError> {
+    fleet_sim(costs, class_of, config, None)
+}
+
+/// The cycle-domain fleet scan (see [`serve_fleet`] for the contract),
+/// with optional live metrics: when `metrics` is given, the scan counts
+/// offers/drops/displacements as they happen, journals per-replica queue
+/// depths every [`SIM_SAMPLE_EVERY`] arrivals (timestamped in simulated
+/// milliseconds), and closes with histograms and utilization gauges.
+/// Observation only — the report is bit-identical with or without
+/// `metrics`.
+pub(crate) fn fleet_sim(
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+    metrics: Option<&ServeMetrics>,
 ) -> Result<ServeReport, FleetError> {
     let requests = validate_fleet(costs, class_of, config)?;
     let endpoint_of = endpoint_index(&config.endpoints);
@@ -556,6 +711,7 @@ pub fn serve_fleet(
         replica: 0,
     };
     let mut records = vec![placeholder; requests];
+    let bound = metrics.map(|m| BoundServeMetrics::bind(m, replicas));
 
     for (i, &arrival) in arrivals.iter().enumerate() {
         // Bring every replica up to date first, so the load-aware
@@ -577,6 +733,10 @@ pub fn serve_fleet(
             |g| pool[g].backlog(arrival),
             |g| pool[g].pending_work(arrival, &costs[endpoint_of[g]]) + costs[endpoint_of[g]][i],
         );
+        if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+            m.requests.inc();
+            b.dispatch[target].inc();
+        }
         let service = &costs[endpoint_of[target]];
         let rep = &mut pool[target];
         if rep.free_at <= arrival {
@@ -611,6 +771,10 @@ pub fn serve_fleet(
                         replica: target,
                     };
                     rep.waiting.push_back(i);
+                    if let Some(m) = metrics {
+                        m.dropped.inc();
+                        m.displaced.inc();
+                    }
                 }
                 None => {
                     records[i] = RequestRecord {
@@ -620,10 +784,21 @@ pub fn serve_fleet(
                         dropped: true,
                         replica: target,
                     };
+                    if let Some(m) = metrics {
+                        m.dropped.inc();
+                    }
                 }
             }
         } else {
             rep.waiting.push_back(i);
+        }
+        if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+            for (g, gauge) in b.depth.iter().enumerate() {
+                gauge.set(pool[g].waiting.len() as f64);
+            }
+            if i % SIM_SAMPLE_EVERY == 0 {
+                m.registry().sample(CycleDomain::to_ms(arrival));
+            }
         }
     }
     // No more arrivals: run every queue dry.
@@ -648,6 +823,9 @@ pub fn serve_fleet(
     let mut report: ServeReport<CycleDomain> = summarize(records, per_replica);
     report.per_class = class_summaries::<CycleDomain>(&report.records, class_of, &config.classes);
     report.per_endpoint = endpoint_summaries(&report.per_replica, &config.endpoints, &endpoint_of);
+    if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+        observe_summary::<CycleDomain>(m, b, &report);
+    }
     Ok(report)
 }
 
@@ -671,11 +849,31 @@ pub fn serve_fleet(
 /// The [`FleetError`] naming the violated invariant;
 /// [`FleetError::Serve`]`(`[`ServeError::WorkerMismatch`]`)` when
 /// `workers.len()` differs from the fleet's total replica count.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `run_fleet(costs, class_of, config, FleetRuntime::Live(workers), None)` \
+            (or `InferenceBackend::serve_on`) instead"
+)]
 pub fn serve_fleet_live<W: LiveWorker>(
     workers: Vec<W>,
     costs: &[Vec<Cycle>],
     class_of: &[usize],
     config: &FleetConfig,
+) -> Result<ServeReport<WallDomain>, FleetError> {
+    fleet_live(workers, costs, class_of, config, None)
+}
+
+/// The wall-clock fleet runtime (see [`serve_fleet_live`] for the
+/// contract), with optional live metrics: the load generator counts
+/// offers/drops/displacements and journals shard queue depths as it
+/// paces arrivals (timestamped in wall milliseconds), and the run closes
+/// with histograms and utilization gauges. Observation only.
+pub(crate) fn fleet_live<W: LiveWorker>(
+    workers: Vec<W>,
+    costs: &[Vec<Cycle>],
+    class_of: &[usize],
+    config: &FleetConfig,
+    metrics: Option<&ServeMetrics>,
 ) -> Result<ServeReport<WallDomain>, FleetError> {
     let requests = validate_fleet(costs, class_of, config)?;
     let endpoint_of = endpoint_index(&config.endpoints);
@@ -702,6 +900,7 @@ pub fn serve_fleet_live<W: LiveWorker>(
         replica: 0,
     };
     let mut records = vec![placeholder; requests];
+    let bound = metrics.map(|m| BoundServeMetrics::bind(m, replicas));
 
     let t0 = Instant::now();
     let (per_replica, served) = std::thread::scope(|scope| {
@@ -765,6 +964,10 @@ pub fn serve_fleet_live<W: LiveWorker>(
             );
             let priority = config.classes[class_of[i]].priority;
             let cost = costs[endpoint_of[target]][i];
+            if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+                m.requests.inc();
+                b.dispatch[target].inc();
+            }
             match shards[target].offer_prioritized(i, arrival, priority, cost, capacity, admission)
             {
                 OfferOutcome::Admitted => {}
@@ -776,6 +979,9 @@ pub fn serve_fleet_live<W: LiveWorker>(
                         dropped: true,
                         replica: target,
                     };
+                    if let Some(m) = metrics {
+                        m.dropped.inc();
+                    }
                 }
                 OfferOutcome::Displaced {
                     request,
@@ -788,6 +994,18 @@ pub fn serve_fleet_live<W: LiveWorker>(
                         dropped: true,
                         replica: target,
                     };
+                    if let Some(m) = metrics {
+                        m.dropped.inc();
+                        m.displaced.inc();
+                    }
+                }
+            }
+            if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+                for (g, gauge) in b.depth.iter().enumerate() {
+                    gauge.set(shards[g].backlog() as f64);
+                }
+                if i % SIM_SAMPLE_EVERY == 0 {
+                    m.registry().sample(WallDomain::to_ms(arrival));
                 }
             }
         }
@@ -809,11 +1027,18 @@ pub fn serve_fleet_live<W: LiveWorker>(
     let mut report = summarize::<WallDomain>(records, per_replica);
     report.per_class = class_summaries::<WallDomain>(&report.records, class_of, &config.classes);
     report.per_endpoint = endpoint_summaries(&report.per_replica, &config.endpoints, &endpoint_of);
+    if let (Some(m), Some(b)) = (metrics, bound.as_ref()) {
+        observe_summary::<WallDomain>(m, b, &report);
+    }
     Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated entry points stay under test: they are the published
+    // API surface the wrappers must keep equivalent to the unified path.
+    #![allow(deprecated)]
+
     use super::super::sim::serve_trace;
     use super::super::ServeConfig;
     use super::*;
@@ -1134,5 +1359,173 @@ mod tests {
                 replicas: 3
             })
         );
+    }
+
+    #[test]
+    fn run_fleet_sim_matches_the_deprecated_entry_bit_for_bit() {
+        let n = 32;
+        let costs = vec![vec![700u64; n], vec![2_100u64; n]];
+        let class_of: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let config = FleetConfig::builder()
+            .arrivals(ArrivalProcess::poisson_rate(200_000.0, 5))
+            .queue_capacity(2)
+            .admission(AdmissionPolicy::Priority)
+            .policy(DispatchPolicy::CostBased)
+            .endpoint(ModelEndpoint::new("accel", 1))
+            .endpoint(ModelEndpoint::new("cpu", 2))
+            .class(RequestClass::new("hi", 1))
+            .class(RequestClass::new("lo", 0))
+            .build()
+            .unwrap();
+        let old = serve_fleet(&costs, &class_of, &config).unwrap();
+        let new = run_fleet(&costs, &class_of, &config, FleetRuntime::sim(), None)
+            .unwrap()
+            .sim()
+            .expect("sim runtime yields a sim report");
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn serve_config_lifts_to_its_degenerate_fleet() {
+        let plain = ServeConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 250 })
+            .queue_capacity(4)
+            .replicas(3)
+            .policy(DispatchPolicy::JoinShortestQueue)
+            .build()
+            .unwrap();
+        let fleet = FleetConfig::from(&plain);
+        assert_eq!(fleet.total_replicas(), 3);
+        assert_eq!(fleet.admission, AdmissionPolicy::Fifo);
+        assert_eq!(fleet.endpoints.len(), 1);
+        assert_eq!(fleet.classes.len(), 1);
+        // Serving through the lifted config is bit-identical to the
+        // plain pool scan over the same trace.
+        let service: Vec<Cycle> = (0..20).map(|i| 300 + (i % 5) * 40).collect();
+        let plain_report = serve_trace(&service, &plain).unwrap();
+        let lifted = fleet_sim(
+            std::slice::from_ref(&service),
+            &vec![0; service.len()],
+            &fleet,
+            None,
+        )
+        .unwrap();
+        assert_eq!(lifted.records, plain_report.records);
+        assert_eq!(lifted.per_replica, plain_report.per_replica);
+    }
+
+    #[test]
+    fn metrics_are_observation_only_and_count_the_run() {
+        use crate::metrics::{Registry, ServeMetrics};
+
+        let n = 40;
+        let costs = vec![vec![10_000u64; n]];
+        let class_of: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let config = FleetConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 100 })
+            .queue_capacity(1)
+            .admission(AdmissionPolicy::Priority)
+            .endpoint(ModelEndpoint::new("one", 1))
+            .class(RequestClass::new("hi", 2))
+            .class(RequestClass::new("lo", 0))
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        let metrics = ServeMetrics::new(&registry);
+        let bare = fleet_sim(&costs, &class_of, &config, None).unwrap();
+        let observed = fleet_sim(&costs, &class_of, &config, Some(&metrics)).unwrap();
+        // Observation only: the report is bit-identical either way.
+        assert_eq!(bare, observed);
+        // The counters account for the whole run.
+        assert_eq!(metrics.requests.get(), n as u64);
+        assert_eq!(metrics.completed.get(), observed.completed as u64);
+        assert_eq!(metrics.dropped.get(), observed.dropped as u64);
+        assert!(metrics.displaced.get() > 0, "priority overload displaces");
+        assert_eq!(metrics.sojourn_ms.count(), observed.completed as u64);
+        // Queue depths were journaled as a time series.
+        let series = registry
+            .gauge_series("flowgnn_queue_depth", &[("queue", "0")])
+            .expect("depth gauge journaled");
+        assert!(!series.is_empty());
+    }
+
+    /// Golden pin of the full Prometheus text exposition for one seeded
+    /// sim run. Deliberately brittle: any change to metric names, help
+    /// strings, label spellings, bucket bounds, or the renderer itself
+    /// must show up here as a diff a human reviews.
+    #[test]
+    fn prometheus_exposition_of_a_seeded_sim_run_is_pinned() {
+        use crate::metrics::{render_prometheus, Registry, ServeMetrics};
+
+        // 8 fixed-cost requests at 2x the service rate into a 1-replica,
+        // 2-deep queue: deterministic completions (6), drops (2), and a
+        // fully busy replica.
+        let n = 8;
+        let costs = vec![vec![30_000u64; n]];
+        let class_of = vec![0usize; n];
+        let config = FleetConfig::builder()
+            .arrivals(ArrivalProcess::Fixed { gap: 15_000 })
+            .queue_capacity(2)
+            .endpoint(ModelEndpoint::new("pool", 1))
+            .class(RequestClass::new("default", 0))
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        let metrics = ServeMetrics::new(&registry);
+        fleet_sim(&costs, &class_of, &config, Some(&metrics)).unwrap();
+        let expect = concat!(
+            "# HELP flowgnn_serve_requests_total Requests offered to the serving runtime.\n",
+            "# TYPE flowgnn_serve_requests_total counter\n",
+            "flowgnn_serve_requests_total 8\n",
+            "# HELP flowgnn_serve_completed_total Requests that completed service.\n",
+            "# TYPE flowgnn_serve_completed_total counter\n",
+            "flowgnn_serve_completed_total 6\n",
+            "# HELP flowgnn_serve_dropped_total Requests rejected by a full admission queue.\n",
+            "# TYPE flowgnn_serve_dropped_total counter\n",
+            "flowgnn_serve_dropped_total 2\n",
+            "# HELP flowgnn_serve_displaced_total Lower-priority requests displaced by priority admission.\n",
+            "# TYPE flowgnn_serve_displaced_total counter\n",
+            "flowgnn_serve_displaced_total 0\n",
+            "# HELP flowgnn_serve_sojourn_ms Request sojourn (wait + service) in milliseconds.\n",
+            "# TYPE flowgnn_serve_sojourn_ms histogram\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"0.05\"} 0\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"0.1\"} 1\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"0.25\"} 4\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"0.5\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"1\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"2.5\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"5\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"10\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"25\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"50\"} 6\n",
+            "flowgnn_serve_sojourn_ms_bucket{le=\"+Inf\"} 6\n",
+            "flowgnn_serve_sojourn_ms_sum 1.3\n",
+            "flowgnn_serve_sojourn_ms_count 6\n",
+            "# HELP flowgnn_serve_wait_ms Request queueing wait in milliseconds.\n",
+            "# TYPE flowgnn_serve_wait_ms histogram\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"0.05\"} 2\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"0.1\"} 3\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"0.25\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"0.5\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"1\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"2.5\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"5\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"10\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"25\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"50\"} 6\n",
+            "flowgnn_serve_wait_ms_bucket{le=\"+Inf\"} 6\n",
+            "flowgnn_serve_wait_ms_sum 0.7\n",
+            "flowgnn_serve_wait_ms_count 6\n",
+            "# HELP flowgnn_dispatch_requests_total Requests routed to each replica by the dispatcher.\n",
+            "# TYPE flowgnn_dispatch_requests_total counter\n",
+            "flowgnn_dispatch_requests_total{replica=\"0\"} 8\n",
+            "# HELP flowgnn_queue_depth Waiting requests per admission queue.\n",
+            "# TYPE flowgnn_queue_depth gauge\n",
+            "flowgnn_queue_depth{queue=\"0\"} 2\n",
+            "# HELP flowgnn_replica_utilization Busy fraction per replica over the run so far.\n",
+            "# TYPE flowgnn_replica_utilization gauge\n",
+            "flowgnn_replica_utilization{replica=\"0\"} 1\n",
+        );
+        assert_eq!(render_prometheus(&registry), expect);
     }
 }

@@ -37,8 +37,7 @@
 
 use std::time::{Duration, Instant};
 
-use super::fleet::{serve_fleet_live, FleetConfig, FleetError, ModelEndpoint, RequestClass};
-use super::queue::AdmissionPolicy;
+use super::fleet::{fleet_live, FleetConfig, FleetError};
 use super::report::{ServeReport, WallDomain};
 use super::{ServeConfig, ServeError};
 
@@ -149,7 +148,27 @@ pub(crate) fn elapsed_ns(t0: Instant) -> u64 {
 /// invariants the builder enforces, and [`ServeError::WorkerMismatch`]
 /// when `workers.len() != config.replicas` — every replica needs exactly
 /// one worker.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `InferenceBackend::serve_on(stream, limit, &config.into(), Runtime::Live, None)` \
+            or `run_fleet` with `FleetRuntime::Live(workers)` instead"
+)]
 pub fn serve_live<W: LiveWorker>(
+    workers: Vec<W>,
+    requests: usize,
+    config: &ServeConfig,
+) -> Result<ServeReport<WallDomain>, ServeError> {
+    serve_live_inner(workers, requests, config)
+}
+
+/// The non-deprecated body behind [`serve_live`]: validates the plain
+/// pool invariants, lifts the configuration through
+/// `FleetConfig::from(&ServeConfig)` (the degenerate-fleet equivalence),
+/// and runs the live fleet runtime. Unit cost rows make cost-based
+/// routing observe exactly the shard backlogs (pending cost == waiting +
+/// in-flight), matching the policy's backlog-argmin fallback in
+/// `Dispatcher::route`.
+pub(crate) fn serve_live_inner<W: LiveWorker>(
     workers: Vec<W>,
     requests: usize,
     config: &ServeConfig,
@@ -169,24 +188,11 @@ pub fn serve_live<W: LiveWorker>(
             replicas: config.replicas,
         });
     }
-    // The single-model pool is the degenerate fleet: one endpoint
-    // contributing every replica, one priority-0 class, FIFO admission.
-    // Unit cost rows make cost-based routing observe exactly the shard
-    // backlogs (pending cost == waiting + in-flight), matching the
-    // policy's backlog-argmin fallback in `Dispatcher::route`.
-    let fleet_config = FleetConfig {
-        arrivals: config.arrivals,
-        queue: config.queue,
-        admission: AdmissionPolicy::Fifo,
-        policy: config.policy,
-        batch: config.batch,
-        endpoints: vec![ModelEndpoint::new("pool", config.replicas)],
-        classes: vec![RequestClass::new("default", 0)],
-    };
+    let fleet_config = FleetConfig::from(config);
     let costs = vec![vec![1u64; requests]];
     let class_of = vec![0usize; requests];
     let mut report =
-        serve_fleet_live(workers, &costs, &class_of, &fleet_config).map_err(|e| match e {
+        fleet_live(workers, &costs, &class_of, &fleet_config, None).map_err(|e| match e {
             FleetError::Serve(e) => e,
             other => unreachable!("degenerate fleet is well-formed by construction: {other}"),
         })?;
@@ -199,6 +205,10 @@ pub fn serve_live<W: LiveWorker>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper stays under test: it must keep delegating to
+    // the unified fleet path unchanged.
+    #![allow(deprecated)]
+
     use super::super::{ArrivalProcess, DispatchPolicy, QueuePolicy};
     use super::*;
     use crate::serve::ServeConfig;

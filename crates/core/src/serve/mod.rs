@@ -87,16 +87,67 @@ pub mod sim;
 pub use arrivals::ArrivalProcess;
 pub use batch::BatchConfig;
 pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use fleet::run_fleet;
+#[allow(deprecated)]
 pub use fleet::{
-    serve_fleet, serve_fleet_live, FleetConfig, FleetConfigBuilder, FleetError, ModelEndpoint,
-    RequestClass,
+    serve_fleet, serve_fleet_live, FleetConfig, FleetConfigBuilder, FleetError, FleetRuntime,
+    ModelEndpoint, RequestClass,
 };
-pub use live::{serve_live, LiveWorker, ModelWorker};
+#[allow(deprecated)]
+pub use live::serve_live;
+pub use live::{LiveWorker, ModelWorker};
 pub use queue::{AdmissionPolicy, QueuePolicy};
 pub use report::{
     percentile_nearest_rank, ClassStats, CycleDomain, EndpointStats, ReplicaStats, RequestRecord,
     ServeReport, TimeDomain, WallDomain,
 };
+
+/// Which of the two serving runtimes a unified entry point should run:
+/// the deterministic cycle-domain simulator or the wall-clock live
+/// runtime. This is the one switch the unified
+/// [`crate::InferenceBackend::serve_on`] entry takes — everything else
+/// (arrivals, queues, admission, dispatch, batching, endpoints, classes)
+/// lives in the [`FleetConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runtime {
+    /// The cycle-domain discrete-event simulator ([`sim::serve_trace`] /
+    /// the fleet scan): deterministic, instant, timeline in simulated
+    /// cycles.
+    Sim,
+    /// The wall-clock runtime: one OS thread per replica really doing
+    /// the work, timeline in measured nanoseconds.
+    Live,
+}
+
+/// The report a unified serving entry returns: the domain of the inner
+/// [`ServeReport`] follows the [`Runtime`] that produced it. Use
+/// [`RuntimeReport::sim`] / [`RuntimeReport::live`] to get the typed
+/// report back (each returns `None` for the other runtime's variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeReport {
+    /// A simulated run's report, on the cycle timeline.
+    Sim(ServeReport<CycleDomain>),
+    /// A live run's report, on the wall-clock timeline.
+    Live(ServeReport<WallDomain>),
+}
+
+impl RuntimeReport {
+    /// The cycle-domain report, if this came from [`Runtime::Sim`].
+    pub fn sim(self) -> Option<ServeReport<CycleDomain>> {
+        match self {
+            RuntimeReport::Sim(r) => Some(r),
+            RuntimeReport::Live(_) => None,
+        }
+    }
+
+    /// The wall-clock report, if this came from [`Runtime::Live`].
+    pub fn live(self) -> Option<ServeReport<WallDomain>> {
+        match self {
+            RuntimeReport::Live(r) => Some(r),
+            RuntimeReport::Sim(_) => None,
+        }
+    }
+}
 
 /// Converts a millisecond latency to whole cycles at the simulated clock,
 /// rounding to nearest. Used to place analytic backends (whose models are

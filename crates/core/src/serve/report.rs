@@ -253,10 +253,22 @@ impl<D: TimeDomain> ServeReport<D> {
     }
 
     /// Each replica's utilization: busy time as a fraction of the
-    /// run's makespan (all zeros when the makespan is zero).
-    pub fn replica_utilization(&self) -> Vec<f64> {
+    /// run's makespan. A zero makespan (nothing completed) yields all
+    /// zeros rather than dividing by zero — an idle pool is 0% utilised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroReplicas`] when the report carries no
+    /// per-replica stats at all (there is no pool to describe), instead
+    /// of silently yielding an empty vector a caller could mistake for a
+    /// zero-utilization answer.
+    pub fn replica_utilization(&self) -> Result<Vec<f64>, ServeError> {
+        if self.per_replica.is_empty() {
+            return Err(ServeError::ZeroReplicas);
+        }
         let span = self.makespan_cycles;
-        self.per_replica
+        Ok(self
+            .per_replica
             .iter()
             .map(|r| {
                 if span == 0 {
@@ -265,16 +277,23 @@ impl<D: TimeDomain> ServeReport<D> {
                     r.busy_cycles as f64 / span as f64
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Load imbalance across replicas in percent: `(max − mean) / mean`
     /// over per-replica busy time (the Table VII convention applied to
-    /// the pool). Zero for a single replica or an all-idle pool.
-    pub fn load_imbalance_percent(&self) -> f64 {
+    /// the pool). Zero for a single replica or an all-idle pool (mean
+    /// busy time of zero — the ratio is undefined, and a pool that did no
+    /// work is perfectly balanced by convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroReplicas`] when the report carries no
+    /// per-replica stats at all, instead of a NaN-adjacent silent zero.
+    pub fn load_imbalance_percent(&self) -> Result<f64, ServeError> {
         let n = self.per_replica.len();
         if n == 0 {
-            return 0.0;
+            return Err(ServeError::ZeroReplicas);
         }
         let busy: Vec<f64> = self
             .per_replica
@@ -283,10 +302,10 @@ impl<D: TimeDomain> ServeReport<D> {
             .collect();
         let mean = busy.iter().sum::<f64>() / n as f64;
         if mean <= 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let max = busy.iter().cloned().fold(0.0, f64::max);
-        (max - mean) / mean * 100.0
+        Ok((max - mean) / mean * 100.0)
     }
 }
 

@@ -322,8 +322,8 @@ mod tests {
             assert_eq!(stats.completed, 3);
             assert_eq!(stats.busy_cycles, 300);
         }
-        assert_eq!(report.load_imbalance_percent(), 0.0);
-        assert_eq!(report.replica_utilization(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(report.load_imbalance_percent(), Ok(0.0));
+        assert_eq!(report.replica_utilization(), Ok(vec![1.0, 1.0, 1.0]));
     }
 
     #[test]

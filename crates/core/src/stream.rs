@@ -16,7 +16,7 @@ use flowgnn_graph::GraphStream;
 use crate::cache::{graph_fingerprint, ServiceTraceCache};
 use crate::engine::{Accelerator, PreparedGraph};
 use crate::exec::SimScratch;
-use crate::serve::live::{serve_live, LiveWorker};
+use crate::serve::live::{serve_live_inner, LiveWorker};
 use crate::serve::report::WallDomain;
 use crate::serve::sim::serve_trace;
 use crate::serve::{ServeConfig, ServeError, ServeReport};
@@ -93,12 +93,23 @@ impl Accelerator {
             .map(|g| match self.trace_cache() {
                 Some(cache) => {
                     let fp = graph_fingerprint(&g);
-                    cache.lookup(fp, self.config()).unwrap_or_else(|| {
-                        let prepared = self.prepare_owned(g);
-                        let cycles = self.run_prepared(&prepared, &mut scratch).total_cycles;
-                        cache.insert(fp, self.config(), cycles);
-                        cycles
-                    })
+                    match cache.lookup(fp, self.config()) {
+                        Some(cycles) => {
+                            if let Some(m) = self.engine_metrics() {
+                                m.cache_hits.inc();
+                            }
+                            cycles
+                        }
+                        None => {
+                            if let Some(m) = self.engine_metrics() {
+                                m.cache_misses.inc();
+                            }
+                            let prepared = self.prepare_owned(g);
+                            let cycles = self.run_prepared(&prepared, &mut scratch).total_cycles;
+                            cache.insert(fp, self.config(), cycles);
+                            cycles
+                        }
+                    }
                 }
                 None => {
                     let prepared = self.prepare_owned(g);
@@ -160,6 +171,11 @@ impl Accelerator {
     /// [`ServeReport::per_endpoint`] view for the accelerator; if a
     /// [`crate::ServiceTraceCache`] is attached, that entry's `cache`
     /// field carries the cache's counters as of the end of this call.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `InferenceBackend::serve_on(stream, limit, &config.into(), Runtime::Sim, None)` \
+                instead"
+    )]
     pub fn serve(&self, stream: GraphStream, limit: usize, config: &ServeConfig) -> ServeReport {
         let mut report = serve_trace(&self.service_trace(stream, limit), config)
             .expect("non-empty trace with a validated config");
@@ -196,6 +212,11 @@ impl Accelerator {
     /// # Panics
     ///
     /// Panics if the stream (after the limit) is empty.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `InferenceBackend::serve_on(stream, limit, &config.into(), Runtime::Live, None)` \
+                instead"
+    )]
     pub fn serve_live(
         &self,
         stream: GraphStream,
@@ -209,7 +230,7 @@ impl Accelerator {
         let workers: Vec<EngineWorker> = (0..config.replicas)
             .map(|_| EngineWorker::new(self.clone(), graphs.iter().cloned()))
             .collect();
-        serve_live(workers, requests, config)
+        serve_live_inner(workers, requests, config)
     }
 
     /// Streams graphs with *inter-graph pipelining*: the next graph's COO
@@ -312,6 +333,10 @@ impl LiveWorker for EngineWorker {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated inherent entry points stay under test: they are thin
+    // wrappers whose behaviour must not drift from the unified path.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::serve::{ArrivalProcess, QueuePolicy};
     use crate::ArchConfig;
@@ -446,6 +471,32 @@ mod tests {
         for stats in &report.per_replica {
             assert!(stats.completed > 0);
         }
+    }
+
+    #[test]
+    fn engine_metrics_count_graphs_cycles_and_cache_traffic() {
+        use crate::metrics::{EngineMetrics, Registry};
+
+        let registry = Registry::new();
+        let metrics = EngineMetrics::new(&registry);
+        let a = acc()
+            .with_trace_cache(ServiceTraceCache::new(16))
+            .with_metrics(metrics.clone());
+        // Three distinct graphs, each streamed twice: first pass all
+        // misses, second pass all hits.
+        let stream = || {
+            let graphs: Vec<_> = MoleculeLike::new(12.0, 4).stream(3).collect();
+            GraphStream::from_graphs([graphs.clone(), graphs].concat())
+        };
+        let bare = Accelerator::new(a.model().clone(), *a.config()).run_stream(stream(), 6);
+        let observed = a.run_stream(stream(), 6);
+        // Observation only: the report is bit-identical with metrics on.
+        assert_eq!(bare, observed);
+        assert_eq!(metrics.cache_misses.get(), 3);
+        assert_eq!(metrics.cache_hits.get(), 3);
+        // Only the misses ran the engine.
+        assert_eq!(metrics.graphs.get(), 3);
+        assert!(metrics.cycles.get() > 0);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! tolerance. These are the guarantees the perf-oriented plumbing
 //! (service-trace cache, zero-clone prepare) must never erode.
 
+// The deprecated serving entry points are pinned here on purpose: the
+// thin wrappers must keep matching the unified path bit for bit.
+#![allow(deprecated)]
+
 use flowgnn_core::prelude::*;
 use flowgnn_core::ServiceTraceCache;
 use flowgnn_graph::generators::{GraphGenerator, MoleculeLike};

@@ -428,10 +428,18 @@ pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
 /// (deterministically) rather than silently divided by a `0.0`/NaN sum,
 /// and a debug assertion fires so model bugs surface in development.
 pub fn softmax(xs: &mut [f32]) {
-    let Some(max) = xs.iter().copied().reduce(f32::max) else {
+    if xs.is_empty() {
         return;
-    };
-    if !max.is_finite() {
+    }
+    // `f32::max` returns the non-NaN operand, so the max alone cannot
+    // detect a NaN element — track it alongside the reduction.
+    let mut max = f32::NEG_INFINITY;
+    let mut saw_nan = false;
+    for &x in xs.iter() {
+        saw_nan |= x.is_nan();
+        max = max.max(x);
+    }
+    if saw_nan || !max.is_finite() {
         debug_assert!(
             false,
             "softmax over a non-finite row (max = {max}); row left unchanged"

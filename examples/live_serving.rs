@@ -69,8 +69,16 @@ fn main() {
 
             let live_rate = LOAD * replicas as f64 * 1e3 / wall_ms;
             let live = acc
-                .serve_live(spec.stream(), REQUESTS, &config(live_rate))
-                .expect("valid live config");
+                .serve_on(
+                    spec.stream(),
+                    REQUESTS,
+                    &FleetConfig::from(&config(live_rate)),
+                    Runtime::Live,
+                    None,
+                )
+                .expect("valid live config")
+                .live()
+                .expect("live runtime yields a wall-domain report");
             println!(
                 "{replicas:<10} {name:<8} {:<8} {live_rate:>12.0} {:>10.4} {:>10.4} {:>10}",
                 "live", live.p50_ms, live.p99_ms, live.dropped
@@ -86,8 +94,16 @@ fn main() {
             .build()
             .expect("valid saturation config");
         let report = acc
-            .serve_live(spec.stream(), REQUESTS, &config)
-            .expect("valid live config");
+            .serve_on(
+                spec.stream(),
+                REQUESTS,
+                &FleetConfig::from(&config),
+                Runtime::Live,
+                None,
+            )
+            .expect("valid live config")
+            .live()
+            .expect("live runtime yields a wall-domain report");
         println!(
             "  x{replicas}: {:.0} req/s ({} completed in {:.1} ms)",
             report.throughput_per_s(),

@@ -68,7 +68,7 @@ fn main() {
                 rate,
                 report.p99_ms,
                 report.dropped,
-                report.load_imbalance_percent(),
+                report.load_imbalance_percent().expect("pool has replicas"),
             );
         }
     }
@@ -88,7 +88,7 @@ fn main() {
             "  B={batch}: p50 {:.4} ms, p99 {:.4} ms, util {:.2}",
             report.p50_ms,
             report.p99_ms,
-            report.replica_utilization()[0],
+            report.replica_utilization().expect("pool has replicas")[0],
         );
     }
 }

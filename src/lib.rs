@@ -45,11 +45,13 @@ pub use flowgnn_graph as graph;
 pub use flowgnn_models as models;
 pub use flowgnn_tensor as tensor;
 
+#[allow(deprecated)]
+pub use flowgnn_core::serve_live;
 pub use flowgnn_core::{
-    serve_live, Accelerator, ArchConfig, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy,
-    Dispatcher, EngineMode, EngineWorker, ExecutionMode, LiveWorker, ModelWorker, PipelineStrategy,
-    QueuePolicy, ReplicaStats, RunReport, ServeConfig, ServeError, ServeReport, TimeDomain,
-    WallDomain,
+    run_fleet, Accelerator, ArchConfig, ArrivalProcess, BatchConfig, CycleDomain, DispatchPolicy,
+    Dispatcher, EngineMode, EngineWorker, ExecutionMode, FleetConfig, FleetRuntime, LiveWorker,
+    ModelWorker, PipelineStrategy, QueuePolicy, ReplicaStats, RunReport, Runtime, RuntimeReport,
+    ServeConfig, ServeError, ServeReport, TimeDomain, WallDomain,
 };
 pub use flowgnn_graph::{Graph, GraphStream};
 pub use flowgnn_models::{Dataflow, GnnModel, ModelKind};
@@ -66,7 +68,12 @@ pub mod prelude {
     //!     GnnModel::gcn(spec.node_feat_dim(), 7),
     //!     ArchConfig::default(),
     //! );
-    //! let report = acc.serve(spec.stream(), 8, &ServeConfig::builder().build().unwrap());
+    //! let config = FleetConfig::from(&ServeConfig::builder().build().unwrap());
+    //! let report = acc
+    //!     .serve_on(spec.stream(), 8, &config, Runtime::Sim, None)
+    //!     .unwrap()
+    //!     .sim()
+    //!     .unwrap();
     //! assert_eq!(report.completed, 8);
     //! ```
 
